@@ -1,0 +1,64 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark prints the reproduced table or figure (run pytest with
+``-s`` to see them; they are also asserted on, so a silent green run
+still validates the shapes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testbed.abilene import abilene_testbed
+from repro.testbed.experiment import CampaignConfig, run_campaign
+from repro.testbed.planetlab import generate_planetlab
+from repro.testbed.stats import group_cases
+from repro.testbed.workload import WorkloadConfig
+
+
+#: one shared seed so every bench regenerates the same evaluation
+CAMPAIGN_SEED = 2
+TESTBED_SEED = 42
+ABILENE_SEED = 1
+
+
+@pytest.fixture(scope="session")
+def planetlab_testbed():
+    """The 142-host-scale synthetic PlanetLab used by Figures 9/10."""
+    return generate_planetlab(seed=TESTBED_SEED)
+
+
+@pytest.fixture(scope="session")
+def planetlab_campaign(planetlab_testbed):
+    """One full PlanetLab campaign shared by the Figure 9/10 and
+    crossover-table benchmarks."""
+    return run_campaign(
+        planetlab_testbed,
+        CampaignConfig(max_cases=120, iterations=3),
+        seed=CAMPAIGN_SEED,
+    )
+
+
+@pytest.fixture(scope="session")
+def planetlab_cases(planetlab_campaign):
+    return group_cases(planetlab_campaign.measurements)
+
+
+@pytest.fixture(scope="session")
+def abilene_campaign():
+    """The constrained Abilene experiment behind Figure 11."""
+    testbed = abilene_testbed(seed=ABILENE_SEED)
+    config = CampaignConfig(
+        iterations=5,
+        max_cases=None,
+        workload=WorkloadConfig(min_exponent=4, max_exponent=8),
+        depot_load_median=0.9,
+        depot_load_sigma=0.2,
+        measure_noise_sigma=0.3,
+    )
+    return run_campaign(testbed, config, seed=3)
+
+
+@pytest.fixture(scope="session")
+def abilene_cases(abilene_campaign):
+    return group_cases(abilene_campaign.measurements)

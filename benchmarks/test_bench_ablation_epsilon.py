@@ -1,0 +1,98 @@
+"""Ablation: the ε edge-equivalence choice.
+
+The paper fixes ε = 10 % after observing that "clusters coalesced around
+10% and higher values did little to alter the generated schedules", and
+leaves automatic selection ("prediction error from the NWS and variance
+of the measurement set") as an open question.  This bench sweeps ε on
+the PlanetLab matrix and reports:
+
+* scheduler coverage (fraction of pairs given depot routes);
+* mean tree complexity (relayed destinations per tree);
+* realised speedup of the chosen routes under the measurement model.
+
+Expected shape: coverage and complexity fall monotonically with ε;
+beyond ~0.1 the schedules change slowly (the paper's observation); the
+NWS-error-driven ε lands near the fixed 10 % on this data.
+"""
+
+import pytest
+
+from repro.core.epsilon import NwsErrorEpsilon
+from repro.core.paths import relayed_fraction
+from repro.core.scheduler import LogisticalScheduler
+from repro.nws.matrix import CliqueAggregator
+from repro.report.tables import TextTable
+from repro.util.rng import RngStream
+
+EPSILONS = [0.0, 0.02, 0.05, 0.1, 0.2, 0.5]
+
+
+@pytest.fixture(scope="module")
+def probed_aggregator(planetlab_testbed):
+    aggregator = CliqueAggregator(planetlab_testbed.site_of)
+    rng = RngStream(3, "ablation-probes")
+    for src_site, dst_site in planetlab_testbed.site_pairs():
+        a = planetlab_testbed.hosts_at(src_site)[0]
+        b = planetlab_testbed.hosts_at(dst_site)[0]
+        true = planetlab_testbed.true_bandwidth(a, b)
+        for _ in range(16):
+            aggregator.observe(a, b, true * float(rng.lognormal(0, 0.05)))
+    return aggregator
+
+
+def coverage_for(matrix, depots, epsilon, sample_hosts):
+    scheduler = LogisticalScheduler(matrix, epsilon=epsilon, depot_hosts=depots)
+    total = relayed = 0
+    tree_complexity = []
+    for src in sample_hosts:
+        tree = scheduler.tree(src)
+        tree_complexity.append(relayed_fraction(tree))
+        for dst in sample_hosts:
+            if src == dst:
+                continue
+            total += 1
+            if scheduler.decide(src, dst).use_lsl:
+                relayed += 1
+    return relayed / total, sum(tree_complexity) / len(tree_complexity)
+
+
+def test_epsilon_sweep(benchmark, planetlab_testbed, probed_aggregator):
+    matrix = probed_aggregator.build_matrix()
+    depots = set(planetlab_testbed.depot_hosts)
+    sample = planetlab_testbed.hosts[:40]
+
+    def sweep():
+        return {
+            eps: coverage_for(matrix, depots, eps, sample)
+            for eps in EPSILONS
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = TextTable(["epsilon", "coverage", "relayed frac per tree"])
+    for eps, (coverage, complexity) in results.items():
+        table.add_row([eps, f"{coverage:.1%}", f"{complexity:.2f}"])
+    print("\nAblation: epsilon sweep\n" + table.render())
+
+    coverages = [results[eps][0] for eps in EPSILONS]
+    # monotone: larger epsilon never adds routes
+    for lo, hi in zip(coverages, coverages[1:]):
+        assert hi <= lo + 1e-9
+    # eps=0 is winner's-curse territory: far more routes than eps=0.1
+    assert results[0.0][0] > 1.5 * results[0.1][0]
+    # the paper's observation: the marginal change flattens past 10%
+    drop_0_to_10 = coverages[0] - coverages[3]
+    drop_10_to_50 = coverages[3] - coverages[5]
+    assert drop_0_to_10 > drop_10_to_50
+
+
+def test_nws_error_epsilon_lands_near_paper_value(
+    benchmark, probed_aggregator
+):
+    """The automatic ε candidate the paper suggests: with ~5 % probe
+    noise the forecast-error ε comes out well below the conservative
+    10 % — quantifying how much slack the paper's fixed choice carries."""
+    policy = NwsErrorEpsilon(probed_aggregator, floor=0.01, ceiling=0.5)
+    eps = benchmark(policy.value)
+    print(f"\nNWS-error-driven epsilon: {eps:.3f} (paper fixed 0.1)")
+    assert 0.01 <= eps <= 0.2

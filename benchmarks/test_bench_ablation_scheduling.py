@@ -1,0 +1,147 @@
+"""Ablations on the scheduling policy itself.
+
+Three modifications the paper discusses but does not fully evaluate:
+
+1. **Re-scheduling frequency** (Section 4.2, last paragraph): "In the
+   first experiment, the scheduler was re-run at 5 minute intervals and
+   was based on relatively current information.  For the second
+   experiment, it was run only initially" — under drifting network
+   conditions, rescheduling should win.
+
+2. **The min-gain filter** (Section 4.2): "in the cases where the
+   performance failed to improve we should have avoided using LSL at
+   all" — requiring a predicted margin should raise the fraction of
+   winning cases at the cost of coverage.
+
+3. **Host throughput as an edge** (Section 6): charging the depot's
+   forwarding capacity in the graph should steer routes away from
+   overloaded depots.
+"""
+
+import pytest
+
+from repro.core.scheduler import LogisticalScheduler
+from repro.report.tables import TextTable
+from repro.testbed.experiment import CampaignConfig, run_campaign
+from repro.testbed.stats import group_cases, overall_speedup, percentile_of_unity
+from repro.testbed.workload import WorkloadConfig
+
+
+class DictGraph:
+    """A tiny CostGraph over an explicit undirected edge-cost dict."""
+
+    def __init__(self, hosts, costs):
+        import math
+
+        self.hosts = list(hosts)
+        self._costs = {}
+        for (a, b), c in costs.items():
+            self._costs[(a, b)] = c
+            self._costs[(b, a)] = c
+        self._inf = math.inf
+
+    def cost(self, src, dst):
+        if src == dst:
+            return 0.0
+        return self._costs.get((src, dst), self._inf)
+
+
+SMALL_WORKLOAD = WorkloadConfig(min_exponent=2, max_exponent=6)
+
+
+def campaign_speedup(testbed, seed=11, **overrides):
+    base = dict(
+        iterations=2,
+        max_cases=60,
+        workload=SMALL_WORKLOAD,
+    )
+    base.update(overrides)
+    result = run_campaign(testbed, CampaignConfig(**base), seed=seed)
+    cases = group_cases(result.measurements)
+    return overall_speedup(cases), cases, result
+
+
+def test_rescheduling_beats_static_under_drift(benchmark, planetlab_testbed):
+    def run_both():
+        drift = dict(rounds=4, drift_sigma=0.35)
+        static, _, _ = campaign_speedup(
+            planetlab_testbed, reschedule=False, **drift
+        )
+        dynamic, _, _ = campaign_speedup(
+            planetlab_testbed, reschedule=True, **drift
+        )
+        return static, dynamic
+
+    static, dynamic = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    table = TextTable(["policy", "mean speedup"])
+    table.add_row(["static (scheduled once)", static])
+    table.add_row(["re-scheduled each round", dynamic])
+    print("\nAblation: scheduling frequency under drift\n" + table.render())
+
+    # fresher information must not hurt, and should measurably help
+    assert dynamic > static
+
+
+def test_min_gain_filter_trades_coverage_for_precision(
+    benchmark, planetlab_testbed
+):
+    def run_both():
+        eager_speedup, eager_cases, eager = campaign_speedup(
+            planetlab_testbed, min_gain=1.0
+        )
+        picky_speedup, picky_cases, picky = campaign_speedup(
+            planetlab_testbed, min_gain=1.5
+        )
+        return (eager_speedup, eager, eager_cases), (
+            picky_speedup,
+            picky,
+            picky_cases,
+        )
+
+    (eager_speedup, eager, eager_cases), (picky_speedup, picky, picky_cases) = (
+        benchmark.pedantic(run_both, rounds=1, iterations=1)
+    )
+
+    table = TextTable(["policy", "coverage", "mean speedup"])
+    table.add_row(["min_gain = 1.0 (paper)", f"{eager.coverage:.1%}", eager_speedup])
+    table.add_row(["min_gain = 1.5", f"{picky.coverage:.1%}", picky_speedup])
+    print("\nAblation: the 'avoid LSL when marginal' filter\n" + table.render())
+
+    # the filter sacrifices coverage ...
+    assert picky.coverage < eager.coverage
+    # ... to buy a better hit rate on the routes it does issue
+    assert picky_speedup > eager_speedup
+
+
+def test_host_bandwidth_extension_avoids_slow_depots(benchmark):
+    """Section 6's 'trivially extended' graph: a depot whose host can
+    only forward slowly must lose its relay role once the extension is
+    enabled."""
+    g = DictGraph(
+        ["src", "fast_depot", "slow_depot", "dst"],
+        {
+            ("src", "fast_depot"): 2.0,
+            ("fast_depot", "dst"): 2.0,
+            ("src", "slow_depot"): 1.0,
+            ("slow_depot", "dst"): 1.0,
+            ("src", "dst"): 10.0,
+            ("fast_depot", "slow_depot"): 1.0,
+        },
+    )
+    # without host costs the scheduler loves the slow depot's great links
+    plain = LogisticalScheduler(g, epsilon=0.0)
+    assert plain.route("src", "dst") == ["src", "slow_depot", "dst"]
+
+    # the slow depot forwards at 1/5 units; the fast one at 1/1
+    def run():
+        extended = LogisticalScheduler(
+            g,
+            epsilon=0.0,
+            host_bandwidth={"slow_depot": 1 / 5.0, "fast_depot": 1.0},
+        )
+        return extended.route("src", "dst")
+
+    route = benchmark(run)
+    print(f"\nAblation: host-bandwidth extension routes via {route}")
+    assert route == ["src", "fast_depot", "dst"]

@@ -1,0 +1,38 @@
+"""Section-4.2 scale facts.
+
+"We had a pool of 142 machines in the set.  The scheduler identified
+better routes via depots for 26% of the total number of paths in the
+system."
+"""
+
+from repro.report.tables import TextTable
+
+
+def test_scheduler_coverage(benchmark, planetlab_campaign, planetlab_testbed):
+    coverage = planetlab_campaign.coverage
+
+    table = TextTable(["quantity", "paper", "measured"])
+    table.add_row(["machines in pool", 142, len(planetlab_testbed.hosts)])
+    table.add_row(["depot-route coverage", "26%", f"{coverage:.1%}"])
+    table.add_row(
+        ["measurements taken", "362,895", len(planetlab_campaign.measurements)]
+    )
+    print("\nSection 4.2 scale facts\n" + table.render())
+
+    # pool size near the paper's 142
+    assert 80 <= len(planetlab_testbed.hosts) <= 180
+    # coverage in the paper's neighbourhood: a minority of pairs benefit
+    assert 0.10 <= coverage <= 0.45
+
+    benchmark(lambda: planetlab_campaign.coverage)
+
+
+def test_depot_routes_are_short(benchmark, planetlab_campaign):
+    """Chosen relays use one or two depots, not long chains — the
+    minimax objective saturates quickly."""
+    lengths = benchmark(
+        lambda: [len(d.route) - 2 for d in planetlab_campaign.decisions.values()]
+    )
+    assert lengths
+    assert max(lengths) <= 4
+    assert sum(1 for n in lengths if n <= 2) / len(lengths) > 0.6

@@ -1,0 +1,41 @@
+"""The Section-4.2 percentile table.
+
+"The following table shows the percentile where the speedup becomes
+greater than 1":
+
+    1M: 39   2M: 43   4M: 48   8M: 43   16M: 48   32M: 46   64M: 49
+
+i.e. between ~39% and ~49% of the measured cases saw no benefit — the
+mean is carried by the winning tail.
+"""
+
+from repro.report.tables import TextTable
+from repro.testbed.stats import percentile_of_unity
+from repro.util.units import mb
+
+PAPER_PERCENTILES = {1: 39, 2: 43, 4: 48, 8: 43, 16: 48, 32: 46, 64: 49}
+
+
+def test_crossover_percentile_table(benchmark, planetlab_cases):
+    def compute():
+        return {
+            s: percentile_of_unity(planetlab_cases, mb(s))
+            for s in PAPER_PERCENTILES
+        }
+
+    ours = benchmark(compute)
+
+    table = TextTable(["size (MB)", "paper percentile", "measured percentile"])
+    for s, paper in PAPER_PERCENTILES.items():
+        table.add_row([s, paper, ours[s]])
+    print(
+        "\nSection 4.2: percentile where speedup exceeds 1\n" + table.render()
+    )
+
+    for s, value in ours.items():
+        # the paper's band is 39-49; we accept a moderate widening:
+        # a large minority of cases must lose while the majority win
+        assert 25.0 <= value <= 65.0, f"{s}MB percentile {value}"
+    # averaged across sizes we should sit in the paper's band's vicinity
+    mean_pct = sum(ours.values()) / len(ours)
+    assert 35.0 <= mean_pct <= 60.0

@@ -1,0 +1,71 @@
+"""Ablation: depot placement — core versus leaf.
+
+Section 4.2: "While the Planetlab nodes are widely distributed they
+are, for the most part, located at university sites and not 'in the
+network'.  LSL depots would serve best if located near the core of the
+network as opposed to at the leaves."
+
+On the Abilene testbed we can test that directly: run the same campaign
+once with the POP depots (core placement) and once with the university
+hosts as the only depots (leaf placement, peer-to-peer mode).
+"""
+
+import pytest
+
+from repro.report.tables import TextTable
+from repro.testbed.abilene import abilene_testbed
+from repro.testbed.experiment import CampaignConfig, run_campaign
+from repro.testbed.network import Testbed
+from repro.testbed.stats import group_cases, overall_speedup
+from repro.testbed.workload import WorkloadConfig
+
+
+def with_leaf_depots(testbed: Testbed) -> Testbed:
+    """The same environment, but only campus hosts may forward."""
+    return Testbed(
+        hosts=testbed.hosts,
+        site_of=testbed.site_of,
+        topology=testbed.topology,
+        gateway_routes=testbed.gateway_routes,
+        forward_cap=testbed.forward_cap,
+        rate_cap=testbed.rate_cap,
+        depot_hosts=list(testbed.endpoint_hosts),
+        endpoint_hosts=list(testbed.endpoint_hosts),
+    )
+
+
+def test_core_depots_beat_leaf_depots(benchmark):
+    config = CampaignConfig(
+        iterations=3,
+        max_cases=60,
+        workload=WorkloadConfig(min_exponent=4, max_exponent=6),
+        depot_load_median=0.9,
+        depot_load_sigma=0.2,
+    )
+
+    def run_both():
+        core_tb = abilene_testbed(seed=1)
+        core = run_campaign(core_tb, config, seed=9)
+        leaf = run_campaign(with_leaf_depots(core_tb), config, seed=9)
+        return core, leaf
+
+    core, leaf = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    core_speedup = overall_speedup(group_cases(core.measurements))
+    leaf_cases = group_cases(leaf.measurements)
+    leaf_speedup = overall_speedup(leaf_cases) if leaf_cases else float("nan")
+
+    table = TextTable(["placement", "coverage", "mean speedup"])
+    table.add_row(["core (Abilene POPs)", f"{core.coverage:.1%}", core_speedup])
+    table.add_row(
+        [
+            "leaf (campus peers)",
+            f"{leaf.coverage:.1%}",
+            leaf_speedup if leaf_cases else "n/a",
+        ]
+    )
+    print("\nAblation: depot placement\n" + table.render())
+
+    # the core-depot campaign must deliver the larger average speedup
+    assert core_speedup > 1.1
+    if leaf_cases:
+        assert core_speedup > leaf_speedup

@@ -1,0 +1,94 @@
+"""The Section-2 deployment-safety claim, quantified.
+
+"One significant benefit of this approach is that it has predictable
+impact on the network.  The stability and fairness are known as the
+system relies on TCP connections between depots.  The impact on the
+network is not in question and the system is safe for incremental
+deployment."
+
+What that claim means operationally: an LSL sublink competing on a
+bottleneck behaves exactly like any TCP flow of its RTT — no worse than
+TCP (it backs off, shares capacity), though *no better than TCP* either:
+it inherits TCP's well-known RTT bias, and because sublinks are shorter
+than the end-to-end paths they replace, a relayed transfer typically
+claims more of a contended link than the direct transfer would have.
+This bench measures both sides of that statement.
+"""
+
+import pytest
+
+from repro.net.contention import ContendedScenario, SharedLink, jain_index
+from repro.net.topology import PathSpec
+from repro.report.tables import TextTable
+from repro.util.units import mb
+
+
+BOTTLENECK_MBIT = 50.0
+SIZE = mb(8)
+
+
+def test_lsl_sublink_is_tcp_fair_against_equals(benchmark):
+    """A relayed sublink against a direct flow of the *same* RTT on the
+    same bottleneck: an even split — LSL adds no aggression beyond TCP."""
+
+    def run():
+        link = SharedLink(BOTTLENECK_MBIT * 1.25e5)
+        same_rtt = PathSpec.from_mbit(30, BOTTLENECK_MBIT, loss_rate=1e-4)
+        feeder = PathSpec.from_mbit(30, 200, loss_rate=5e-5)
+        sc = ContendedScenario()
+        sc.add_transfer("direct flow", [same_rtt], SIZE, shared=[link])
+        sc.add_transfer(
+            "LSL sublink", [feeder, same_rtt], SIZE, shared=[None, link]
+        )
+        return {o.label: o.bandwidth for o in sc.run()}
+
+    bws = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = TextTable(["flow", "Mbit/s"])
+    for label, bw in bws.items():
+        table.add_row([label, bw * 8 / 1e6])
+    print("\nFairness: LSL sublink vs equal-RTT direct flow\n" + table.render())
+
+    index = jain_index(list(bws.values()))
+    print(f"Jain fairness index: {index:.3f}")
+    assert index > 0.9
+
+
+def test_lsl_inherits_tcp_rtt_bias(benchmark):
+    """Against a *longer*-RTT direct flow, the relayed sublink wins more
+    than an even share — TCP's RTT bias, not an LSL-specific behaviour."""
+
+    def run():
+        link = SharedLink(BOTTLENECK_MBIT * 1.25e5)
+        long_direct = PathSpec.from_mbit(120, BOTTLENECK_MBIT, loss_rate=1e-4)
+        feeder = PathSpec.from_mbit(30, 200, loss_rate=5e-5)
+        short_sublink = PathSpec.from_mbit(30, BOTTLENECK_MBIT, loss_rate=1e-4)
+        # reference: two direct long-RTT flows (the pre-LSL world)
+        ref_link = SharedLink(BOTTLENECK_MBIT * 1.25e5)
+        ref = ContendedScenario()
+        ref.add_transfer("long A", [long_direct], SIZE, shared=[ref_link])
+        ref.add_transfer("long B", [long_direct], SIZE, shared=[ref_link])
+        ref_out = {o.label: o.bandwidth for o in ref.run()}
+
+        sc = ContendedScenario()
+        sc.add_transfer("long direct", [long_direct], SIZE, shared=[link])
+        sc.add_transfer(
+            "LSL sublink", [feeder, short_sublink], SIZE, shared=[None, link]
+        )
+        return ref_out, {o.label: o.bandwidth for o in sc.run()}
+
+    ref_out, bws = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = TextTable(["scenario", "flow", "Mbit/s"])
+    for label, bw in ref_out.items():
+        table.add_row(["two long directs", label, bw * 8 / 1e6])
+    for label, bw in bws.items():
+        table.add_row(["long direct vs LSL", label, bw * 8 / 1e6])
+    print("\nRTT bias under contention\n" + table.render())
+
+    # the reference pair splits evenly
+    assert jain_index(list(ref_out.values())) > 0.95
+    # the short sublink out-competes the long direct flow
+    assert bws["LSL sublink"] > 1.2 * bws["long direct"]
+    # but the long flow is not starved: it still gets a usable share
+    assert bws["long direct"] > 0.2 * bws["LSL sublink"]

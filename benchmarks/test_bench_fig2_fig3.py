@@ -1,0 +1,99 @@
+"""Figures 2 and 3: observed bandwidth versus transfer size, direct
+versus LSL.
+
+Figure 2: UCSB -> UIUC via a Denver depot, 1-64 MB.
+Figure 3: UCSB -> UF via a Houston depot, 1-128 MB.
+
+Shape targets (absolute Mbit/s belong to 2004 Abilene, not to us):
+
+* bandwidth rises with transfer size and saturates at a steady state;
+* the depot-relayed connection beats direct at every size;
+* "the connections segmented by the depot reach higher bandwidths with
+  smaller transfer sizes".
+"""
+
+import pytest
+
+from repro.net.simulator import NetworkSimulator
+from repro.report.ascii_plot import Series, ascii_line_plot
+from repro.report.tables import TextTable
+from repro.testbed import section3
+from repro.util.units import mb
+
+
+def run_sweep(direct, relay, sizes_mb):
+    config = section3.tcp_config_for(direct)
+    sim = NetworkSimulator(config=config, seed=1)
+    rows = []
+    for size_mb in sizes_mb:
+        d = sim.run_direct(direct, mb(size_mb), record_trace=False)
+        r = sim.run_relay(
+            relay,
+            mb(size_mb),
+            depot_capacities=[section3.DEPOT_CAPACITY],
+            record_trace=False,
+        )
+        rows.append((size_mb, d.bandwidth_mbit, r.bandwidth_mbit))
+    return rows
+
+
+def report(title, rows):
+    table = TextTable(["size (MB)", "Direct (Mbit/s)", "LSL (Mbit/s)", "ratio"])
+    for size_mb, d_bw, r_bw in rows:
+        table.add_row([size_mb, d_bw, r_bw, r_bw / d_bw])
+    plot = ascii_line_plot(
+        [str(s) for s, _, _ in rows],
+        [
+            Series("Direct", [d for _, d, _ in rows]),
+            Series("LSL", [r for _, _, r in rows]),
+        ],
+        title=title,
+    )
+    print("\n" + table.render())
+    print(plot)
+
+
+def check_shape(rows):
+    directs = [d for _, d, _ in rows]
+    lsls = [r for _, _, r in rows]
+    # LSL above direct at every size
+    for d_bw, r_bw in zip(directs, lsls):
+        assert r_bw > d_bw
+    # both curves rise from the smallest size and then flatten: the last
+    # two sizes are within 10% of each other ("steady state")
+    assert directs[1] > directs[0]
+    assert lsls[1] > lsls[0]
+    assert directs[-1] == pytest.approx(directs[-2], rel=0.1)
+    assert lsls[-1] == pytest.approx(lsls[-2], rel=0.1)
+    # LSL reaches the direct curve's steady state at a smaller size
+    direct_steady = directs[-1]
+    sizes_where_lsl_beats_steady = [
+        s for (s, _, r_bw) in rows if r_bw >= direct_steady
+    ]
+    assert sizes_where_lsl_beats_steady[0] < rows[-1][0]
+
+
+def test_fig2_ucsb_uiuc(benchmark):
+    rows = benchmark.pedantic(
+        run_sweep,
+        args=(section3.UCSB_UIUC, section3.uiuc_relay(), [1, 2, 4, 8, 16, 32, 64]),
+        rounds=1,
+        iterations=1,
+    )
+    report("Figure 2: UCSB -> UIUC (via Denver depot)", rows)
+    check_shape(rows)
+
+
+def test_fig3_ucsb_uf(benchmark):
+    rows = benchmark.pedantic(
+        run_sweep,
+        args=(
+            section3.UCSB_UF,
+            section3.uf_relay(),
+            [1, 2, 4, 8, 16, 32, 64, 128],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("Figure 3: UCSB -> UF (via Houston depot)", rows)
+    check_shape(rows)

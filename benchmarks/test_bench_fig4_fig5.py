@@ -1,0 +1,133 @@
+"""Figures 4 and 5: averaged acknowledged-sequence-number traces for
+64 MB transfers.
+
+Figure 4 (UCSB -> UF via Houston): "the slopes of subflow 1 and subflow
+2 are very close together implying that subpath 1 (UCSB to Houston) was
+the bottleneck rather than subpath 2."
+
+Figure 5 (UCSB -> UIUC via Denver): "The growth of the sublink 1 curve
+up to 32 MBytes is very fast.  At the 32 MByte mark, however, the slope
+changes to roughly match that of the sublink 2 plot.  This is due to the
+fact that the depot offers 32 Mbytes of total buffers."
+"""
+
+import numpy as np
+import pytest
+
+from repro.net.simulator import NetworkSimulator
+from repro.net.trace import average_traces
+from repro.report.tables import TextTable
+from repro.testbed import section3
+from repro.util.units import mb
+
+SIZE = mb(64)
+ITERATIONS = 10  # the paper averaged 10 runs
+
+
+def run_traces(direct, relay):
+    # ssthresh is cached per destination, so each sublink starts with
+    # its own path's equilibrium
+    config = section3.tcp_config_for(direct)
+    relay_configs = [section3.tcp_config_for(p) for p in relay]
+    sim = NetworkSimulator(config=config, seed=1)
+    direct_traces, sub1_traces, sub2_traces = [], [], []
+    for _ in range(ITERATIONS):
+        d = sim.run_direct(direct, SIZE)
+        r = sim.run_relay(
+            relay,
+            SIZE,
+            depot_capacities=[section3.DEPOT_CAPACITY],
+            configs=relay_configs,
+        )
+        direct_traces.append(d.traces[0])
+        sub1_traces.append(r.traces[0])
+        sub2_traces.append(r.traces[1])
+    return (
+        average_traces(direct_traces),
+        average_traces(sub1_traces),
+        average_traces(sub2_traces),
+    )
+
+
+def report(title, direct, sub1, sub2):
+    table = TextTable(
+        ["connection", "time to 16MB (s)", "time to 32MB (s)", "time to 64MB (s)"]
+    )
+    for trace in (sub1, sub2, direct):
+        table.add_row(
+            [
+                trace.name,
+                trace.time_to_reach(mb(16)),
+                trace.time_to_reach(mb(32)),
+                trace.time_to_reach(mb(64) * 0.999),
+            ]
+        )
+    print(f"\n{title}\n" + table.render())
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def traces(self, request):
+        benchmark_done = run_traces(section3.UCSB_UF, section3.uf_relay())
+        return benchmark_done
+
+    def test_fig4_traces(self, benchmark):
+        direct, sub1, sub2 = benchmark.pedantic(
+            run_traces,
+            args=(section3.UCSB_UF, section3.uf_relay()),
+            rounds=1,
+            iterations=1,
+        )
+        report("Figure 4: 64MB UCSB -> UF via Houston", direct, sub1, sub2)
+
+        # subflow slopes nearly equal over the bulk of the transfer:
+        # subpath 1 is the bottleneck and subpath 2 carries all load
+        t_end = sub1.time_to_reach(mb(60))
+        s1 = sub1.slope(t_end * 0.2, t_end * 0.9)
+        s2 = sub2.slope(t_end * 0.2, t_end * 0.9)
+        assert s2 == pytest.approx(s1, rel=0.15)
+
+        # the relayed transfer finishes well before the direct one
+        assert sub2.time_to_reach(SIZE * 0.999) < 0.8 * direct.time_to_reach(
+            SIZE * 0.999
+        )
+
+        # sublink 2 lags sublink 1 by only a pipeline offset, never by a
+        # buffer's worth: the depot pool stays shallow
+        gap = np.max(sub1.acked - np.interp(sub1.times, sub2.times, sub2.acked))
+        assert gap < section3.DEPOT_CAPACITY / 2
+
+
+class TestFigure5:
+    def test_fig5_traces(self, benchmark):
+        direct, sub1, sub2 = benchmark.pedantic(
+            run_traces,
+            args=(section3.UCSB_UIUC, section3.uiuc_relay()),
+            rounds=1,
+            iterations=1,
+        )
+        report("Figure 5: 64MB UCSB -> UIUC via Denver", direct, sub1, sub2)
+
+        # sublink 1 races ahead until the depot pool (32 MB) fills...
+        t_25 = sub1.time_to_reach(mb(25))
+        early_slope = sub1.slope(t_25 * 0.2, t_25)
+        t_40 = sub1.time_to_reach(mb(40))
+        t_56 = sub1.time_to_reach(mb(56))
+        late_slope = sub1.slope(t_40, t_56)
+        assert early_slope > 2.5 * late_slope
+
+        # ...after which its slope collapses to sublink 2's (the
+        # bottleneck): compare over the same late window
+        s2 = sub2.slope(t_40, t_56)
+        assert late_slope == pytest.approx(s2, rel=0.25)
+
+        # the slope change sits at the 32 MB mark (the paper's headline
+        # observation), within a bandwidth-delay product of slack
+        lead = sub1.acked - np.interp(sub1.times, sub2.times, sub2.acked)
+        kink_bytes = float(sub1.acked[np.argmax(lead >= 0.95 * section3.DEPOT_CAPACITY)])
+        assert kink_bytes == pytest.approx(mb(32), rel=0.25)
+
+        # sublink 2 is the limiting factor end to end
+        assert sub2.time_to_reach(SIZE * 0.999) >= sub1.time_to_reach(
+            SIZE * 0.99
+        ) * 0.9

@@ -1,0 +1,108 @@
+"""Figures 6, 7 and 8: the MMP-tree-shaping example.
+
+Figure 6 is a hypothetical fully-connected graph over hosts at three
+university sites; Figure 7 shows the strict (ε = 0) MMP tree from
+ash.ucsb.edu, where "the path to bell.uiuc.edu is lengthened due to the
+marginal difference in edge costs" (5.0 via its site peer versus 5.1
+direct); Figure 8 shows the same tree with ε = 0.1, where "these values
+are considered the same" and the detour collapses.
+"""
+
+import math
+
+import pytest
+
+from repro.core.minimax import build_mmp_tree
+from repro.core.paths import relayed_fraction, tree_edges
+from repro.report.tables import TextTable
+
+
+class Figure6Graph:
+    """The Figures 6-8 scenario graph (fully connected, site-structured)."""
+
+    def __init__(self):
+        self.hosts = [
+            "ash.ucsb.edu",
+            "elm.ucsb.edu",
+            "cetus.utk.edu",
+            "dsi.utk.edu",
+            "bell.uiuc.edu",
+            "opus.uiuc.edu",
+        ]
+        base = {
+            ("ash.ucsb.edu", "elm.ucsb.edu"): 1.0,
+            ("cetus.utk.edu", "dsi.utk.edu"): 1.0,
+            ("bell.uiuc.edu", "opus.uiuc.edu"): 1.0,
+            ("ash.ucsb.edu", "cetus.utk.edu"): 4.0,
+            ("ash.ucsb.edu", "dsi.utk.edu"): 4.1,
+            ("elm.ucsb.edu", "cetus.utk.edu"): 4.1,
+            ("elm.ucsb.edu", "dsi.utk.edu"): 4.2,
+            ("ash.ucsb.edu", "bell.uiuc.edu"): 5.1,
+            ("ash.ucsb.edu", "opus.uiuc.edu"): 5.0,
+            ("elm.ucsb.edu", "bell.uiuc.edu"): 5.2,
+            ("elm.ucsb.edu", "opus.uiuc.edu"): 5.1,
+            ("cetus.utk.edu", "bell.uiuc.edu"): 6.0,
+            ("cetus.utk.edu", "opus.uiuc.edu"): 6.1,
+            ("dsi.utk.edu", "bell.uiuc.edu"): 6.1,
+            ("dsi.utk.edu", "opus.uiuc.edu"): 6.2,
+        }
+        self._costs = {}
+        for (a, b), c in base.items():
+            self._costs[(a, b)] = c
+            self._costs[(b, a)] = c
+
+    def cost(self, src, dst):
+        if src == dst:
+            return 0.0
+        return self._costs.get((src, dst), math.inf)
+
+
+def render_tree(title, tree):
+    table = TextTable(["edge (parent -> child)", "path to child"])
+    for parent, child in tree_edges(tree):
+        table.add_row([f"{parent} -> {child}", " -> ".join(tree.path_to(child))])
+    print(f"\n{title}\n" + table.render())
+
+
+def test_fig7_strict_mmp_tree(benchmark):
+    graph = Figure6Graph()
+    tree = benchmark(build_mmp_tree, graph, "ash.ucsb.edu", 0.0)
+    render_tree("Figure 7: strict MMP tree (epsilon = 0)", tree)
+    # the marginal detour: bell reached through opus
+    assert tree.path_to("bell.uiuc.edu") == [
+        "ash.ucsb.edu",
+        "opus.uiuc.edu",
+        "bell.uiuc.edu",
+    ]
+    assert tree.cost_to("bell.uiuc.edu") == pytest.approx(5.0)
+
+
+def test_fig8_damped_mmp_tree(benchmark):
+    graph = Figure6Graph()
+    tree = benchmark(build_mmp_tree, graph, "ash.ucsb.edu", 0.1)
+    render_tree("Figure 8: MMP tree with epsilon = 0.1", tree)
+    # 5.0 is not 10% better than 5.1: the direct edge survives
+    assert tree.path_to("bell.uiuc.edu") == ["ash.ucsb.edu", "bell.uiuc.edu"]
+
+
+def test_epsilon_simplifies_the_tree(benchmark):
+    """Edge equivalence 'consistently builds more appropriate trees':
+    fewer relayed destinations, never a worse-than-(1+eps) path."""
+    graph = Figure6Graph()
+
+    def both():
+        return (
+            build_mmp_tree(graph, "ash.ucsb.edu", 0.0),
+            build_mmp_tree(graph, "ash.ucsb.edu", 0.1),
+        )
+
+    strict, damped = benchmark(both)
+    assert relayed_fraction(damped) <= relayed_fraction(strict)
+    for dest in graph.hosts:
+        if dest == "ash.ucsb.edu":
+            continue
+        worst = max(
+            graph.cost(a, b)
+            for a, b in zip(damped.path_to(dest), damped.path_to(dest)[1:])
+        ) if len(damped.path_to(dest)) > 1 else 0.0
+        assert worst <= strict.cost_to(dest) * 1.1 + 1e-9

@@ -1,0 +1,82 @@
+"""Figures 9 and 10: the PlanetLab campaign's speedup aggregates.
+
+Figure 9: "Average speedup per transfer size over all host pairs" —
+between 1.0575 and 1.09 in the paper, for sizes 1-64 MB.
+
+Figure 10: "Median, 25th and 75th percentile of absolute speedup per
+transfer size" — the interquartile band straddles 1: LSL helps on
+average, yet "there are quite a few cases in which we failed and
+actually caused worse performance."
+"""
+
+import pytest
+
+from repro.report.ascii_plot import Series, ascii_line_plot
+from repro.report.tables import TextTable
+from repro.testbed.stats import (
+    box_stats,
+    overall_speedup,
+    percentile_of_unity,
+    speedup_by_size,
+)
+from repro.util.units import mb
+
+
+SIZES_MB = [1, 2, 4, 8, 16, 32, 64]
+
+
+def test_fig9_average_speedup_per_size(benchmark, planetlab_cases):
+    by_size = benchmark(speedup_by_size, planetlab_cases)
+
+    table = TextTable(["size (MB)", "mean speedup"])
+    for size, value in by_size.items():
+        table.add_row([size >> 20, value])
+    print("\nFigure 9: average speedup per transfer size\n" + table.render())
+    print(
+        ascii_line_plot(
+            [str(s) for s in SIZES_MB],
+            [Series("speedup", [by_size[mb(s)] for s in SIZES_MB])],
+            title="Figure 9 (paper: 1.0575 .. 1.09)",
+        )
+    )
+
+    # every size is present
+    assert sorted(by_size) == [mb(s) for s in SIZES_MB]
+    # mean speedup is modest but positive overall (paper: 5.75%-9%)
+    overall = overall_speedup(planetlab_cases)
+    assert 1.0 < overall < 1.25
+    # and no single size shows either collapse or runaway gains
+    for value in by_size.values():
+        assert 0.9 < value < 1.4
+
+
+def test_fig10_percentile_bands(benchmark, planetlab_cases):
+    def compute():
+        return {s: box_stats(planetlab_cases, mb(s)) for s in SIZES_MB}
+
+    boxes = benchmark(compute)
+
+    table = TextTable(["size (MB)", "25th pct", "median", "75th pct"])
+    for s in SIZES_MB:
+        b = boxes[s]
+        table.add_row([s, b.q25, b.median, b.q75])
+    print("\nFigure 10: speedup quartiles per transfer size\n" + table.render())
+
+    for s in SIZES_MB:
+        b = boxes[s]
+        # the interquartile band straddles (or at least touches) 1:
+        # plenty of losing cases exist alongside the winners
+        assert b.q25 < 1.1
+        assert b.q75 > 1.0
+        # quartile ordering
+        assert b.q25 <= b.median <= b.q75
+        # medians stay in a modest band, as in the paper's Figure 10
+        assert 0.8 < b.median < 1.35
+
+
+def test_fig9_fig10_variance_story(benchmark, planetlab_cases):
+    """'There are cases where performance is improved by a factor of
+    four and cases where using LSL causes performance to suffer.'"""
+    speedups = benchmark(lambda: [c.speedup for c in planetlab_cases])
+    assert max(speedups) > 1.5
+    assert min(speedups) < 0.8

@@ -1,0 +1,104 @@
+"""Related-work comparison: PSockets-style parallel sockets versus LSL.
+
+The paper positions LSL against application-level striping (its
+reference [30]): parallel sockets multiply the effective window — they
+attack the *flow-control* limit — but every stripe still spans the full
+RTT, so the control loop stays long.  A depot attacks the *RTT* itself.
+
+Expected shape:
+
+* on a small-buffer (window-limited) path, striping and relaying both
+  help — striping can even win, which is why PSockets was popular;
+* on a loss-limited path with ample buffers, striping's advantage
+  shrinks (each stripe still pays the full-RTT Mathis ceiling, though p
+  per stripe drops) while the depot halves the RTT term directly;
+* the two are composable in principle; we quantify each alone.
+"""
+
+import pytest
+
+from repro.core.baselines import parallel_socket_bandwidth
+from repro.models.relay import relay_effective_bandwidth
+from repro.models.transfer_time import effective_bandwidth
+from repro.net.topology import PathSpec
+from repro.report.tables import TextTable
+from repro.util.units import mb
+
+
+SIZE = mb(32)
+
+
+def halves(path: PathSpec) -> list[PathSpec]:
+    """Split a path at its midpoint (loss divides evenly)."""
+    return [
+        PathSpec(
+            rtt=path.rtt / 2,
+            bandwidth=path.bandwidth,
+            loss_rate=path.loss_rate / 2,
+            send_buffer=path.send_buffer,
+            recv_buffer=path.recv_buffer,
+            name=f"{path.name}-half{i}",
+        )
+        for i in range(2)
+    ]
+
+
+def compare(path: PathSpec):
+    direct = effective_bandwidth(path, SIZE)
+    striped4 = parallel_socket_bandwidth(path, SIZE, 4)
+    striped8 = parallel_socket_bandwidth(path, SIZE, 8)
+    relayed = relay_effective_bandwidth(halves(path), SIZE)
+    return direct, striped4, striped8, relayed
+
+
+def test_window_limited_path(benchmark):
+    """PSockets' home turf: 64 KB buffers over 87 ms."""
+    path = PathSpec.from_mbit(
+        87, 400, send_buffer=64 << 10, recv_buffer=64 << 10, name="window-limited"
+    )
+    direct, s4, s8, relayed = benchmark(compare, path)
+
+    table = TextTable(["approach", "Mbit/s", "vs direct"])
+    for label, bw in [
+        ("direct", direct),
+        ("PSockets x4", s4),
+        ("PSockets x8", s8),
+        ("LSL midpoint depot", relayed),
+    ]:
+        table.add_row([label, bw * 8 / 1e6, bw / direct])
+    print("\nPSockets vs LSL, window-limited path\n" + table.render())
+
+    # striping defeats the per-socket window limit handily
+    assert s4 > 3 * direct
+    # relaying helps too (halved RTT doubles the window rate)
+    assert relayed > 1.5 * direct
+
+def test_loss_limited_path(benchmark):
+    """Big buffers, real loss: the regime the paper targets."""
+    path = PathSpec.from_mbit(87, 400, loss_rate=4e-4, name="loss-limited")
+    direct, s4, s8, relayed = benchmark(compare, path)
+
+    table = TextTable(["approach", "Mbit/s", "vs direct"])
+    for label, bw in [
+        ("direct", direct),
+        ("PSockets x4", s4),
+        ("PSockets x8", s8),
+        ("LSL midpoint depot", relayed),
+    ]:
+        table.add_row([label, bw * 8 / 1e6, bw / direct])
+    print("\nPSockets vs LSL, loss-limited path\n" + table.render())
+
+    # the depot shortens the control loop: solid gain
+    assert relayed > 1.3 * direct
+    # striping gains less per socket here than on the window-limited
+    # path (diminishing returns: x8 adds little over x4)
+    assert s8 < 1.6 * s4
+
+
+def test_depot_and_no_free_lunch(benchmark):
+    """On a short clean path neither trick should pay."""
+    path = PathSpec.from_mbit(10, 50, name="short-clean")
+    direct, s4, s8, relayed = benchmark(compare, path)
+    # the wire is the limit: nothing beats it by more than overheads
+    assert s4 <= direct * 1.05
+    assert relayed <= direct * 1.05

@@ -1,0 +1,61 @@
+"""Section 3 RTT table.
+
+The paper reports the round-trip times it measured between the test
+sites; our Section-3 path configuration encodes them verbatim, and the
+synthetic site catalog must place the same cities at geographically
+consistent distances.
+"""
+
+import pytest
+
+from repro.report.tables import TextTable
+from repro.testbed import section3
+from repro.testbed.sites import SiteCatalog
+from repro.util.units import seconds_to_ms
+
+
+def test_section3_rtt_table(benchmark):
+    """Regenerate the Section-3 RTT table from the path configuration."""
+
+    def build():
+        table = TextTable(["path", "paper RTT (ms)", "configured RTT (ms)"])
+        specs = {
+            "UCSB-UF": section3.UCSB_UF,
+            "UCSB-Houston": section3.UCSB_HOUSTON,
+            "Houston-UF": section3.HOUSTON_UF,
+            "UCSB-UIUC": section3.UCSB_UIUC,
+            "UCSB-Denver": section3.UCSB_DENVER,
+            "Denver-UIUC": section3.DENVER_UIUC,
+        }
+        for name, paper_ms in section3.PAPER_RTTS_MS.items():
+            table.add_row([name, paper_ms, seconds_to_ms(specs[name].rtt)])
+        return table
+
+    table = benchmark(build)
+    print("\n" + table.render())
+
+    # configured RTTs equal the paper's measurements exactly
+    for name, paper_ms in section3.PAPER_RTTS_MS.items():
+        spec = getattr(section3, name.replace("-", "_").upper())
+        assert seconds_to_ms(spec.rtt) == pytest.approx(paper_ms)
+
+    # sublink RTTs must not exceed their end-to-end path (triangle sanity)
+    assert section3.UCSB_HOUSTON.rtt < section3.UCSB_UF.rtt
+    assert section3.HOUSTON_UF.rtt < section3.UCSB_UF.rtt
+    assert section3.UCSB_DENVER.rtt < section3.UCSB_UIUC.rtt
+    assert section3.DENVER_UIUC.rtt < section3.UCSB_UIUC.rtt
+
+
+def test_site_catalog_matches_paper_geography(benchmark):
+    """The synthetic latency model should land near the paper's RTTs for
+    the same city pairs (within the slack real routing introduces)."""
+    catalog = SiteCatalog()
+
+    def ucsb_to_uiuc_rtt_ms():
+        a = catalog.get("ucsb.edu")
+        b = catalog.get("uiuc.edu")
+        return 2.0 * seconds_to_ms(a.one_way_latency(b)) / 1000.0 * 1000.0
+
+    rtt = benchmark(ucsb_to_uiuc_rtt_ms)
+    # paper measured 70 ms; geographic model should be within ~35%
+    assert rtt == pytest.approx(70.0, rel=0.35)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""The Logistical Session Layer on real TCP sockets.
+
+Starts a sink and two depot servers on localhost, then sends a session
+whose loose source route chains the depots — the same wire format,
+forwarding and back-pressure the paper's user-level depot processes
+implemented.  Verifies the payload arrives byte-exact.
+
+Run:  python examples/lsl_over_sockets.py
+"""
+
+import hashlib
+
+from repro.lsl.header import SessionHeader, new_session_id
+from repro.lsl.options import LooseSourceRoute
+from repro.lsl.socket_transport import DepotServer, SinkServer, send_session
+from repro.util.rng import RngStream
+
+
+def main() -> None:
+    payload = RngStream(99).generator.bytes(1 << 20)  # 1 MB of noise
+    digest = hashlib.sha256(payload).hexdigest()
+
+    with SinkServer() as sink, DepotServer() as depot_a, DepotServer() as depot_b:
+        print(f"sink     listening on {sink.address}")
+        print(f"depot A  listening on {depot_a.address}")
+        print(f"depot B  listening on {depot_b.address}")
+
+        header = SessionHeader(
+            session_id=new_session_id(),
+            src_ip="127.0.0.1",
+            dst_ip="127.0.0.1",
+            src_port=0,
+            dst_port=sink.port,
+            options=(
+                # connect to depot A; the option carries the hops beyond it
+                LooseSourceRoute(hops=(("127.0.0.1", depot_b.port),)),
+            ),
+        )
+        print(f"\nsession {header.hex_id[:16]}...: "
+              f"source -> depot A -> depot B -> sink")
+        send_session(payload, header, depot_a.address)
+
+        received = sink.wait_for(header.hex_id)
+        ok = hashlib.sha256(received).hexdigest() == digest
+        print(f"received {len(received)} bytes, integrity ok: {ok}")
+        print(f"depot A forwarded {depot_a.bytes_forwarded} bytes "
+              f"in {depot_a.sessions_forwarded} session(s)")
+        print(f"depot B forwarded {depot_b.bytes_forwarded} bytes "
+              f"in {depot_b.sessions_forwarded} session(s)")
+
+        arrived = sink.headers[header.hex_id]
+        lsrr = arrived.option(LooseSourceRoute)
+        print(f"loose source route at arrival: "
+              f"{lsrr.hops if lsrr else 'consumed'}")
+
+
+if __name__ == "__main__":
+    main()

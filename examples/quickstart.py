@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: the logistical effect in three steps.
+
+1. Describe a high bandwidth-delay path and its two halves.
+2. Simulate a direct transfer and a depot-relayed one.
+3. Ask the scheduler to find the relay automatically.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    LogisticalScheduler,
+    NetworkSimulator,
+    PathSpec,
+    PerformanceMatrix,
+    mb,
+)
+from repro.util.units import format_rate
+
+
+def main() -> None:
+    # ---- 1. a long lossy path and its two halves -------------------------
+    # (modelled on the paper's UCSB -> UF route through a Houston depot)
+    direct = PathSpec.from_mbit(
+        rtt_ms=87, mbit_per_sec=400, loss_rate=2.0e-4, name="UCSB-UF"
+    )
+    first_half = PathSpec.from_mbit(
+        rtt_ms=68, mbit_per_sec=400, loss_rate=1.6e-4, name="UCSB-Houston"
+    )
+    second_half = PathSpec.from_mbit(
+        rtt_ms=34, mbit_per_sec=400, loss_rate=8.0e-5, name="Houston-UF"
+    )
+
+    # ---- 2. simulate both ways -------------------------------------------
+    sim = NetworkSimulator(seed=1)
+    size = mb(64)
+    d = sim.run_direct(direct, size, record_trace=False)
+    r = sim.run_relay([first_half, second_half], size, record_trace=False)
+
+    print("64 MB transfer, UCSB -> UF")
+    print(f"  direct          : {d.duration:6.1f} s  ({format_rate(d.bandwidth)})")
+    print(f"  via Houston depot: {r.duration:6.1f} s  ({format_rate(r.bandwidth)})")
+    print(f"  speedup          : {r.bandwidth / d.bandwidth:.2f}x")
+
+    # ---- 3. let the scheduler discover the depot -------------------------
+    matrix = PerformanceMatrix(["ucsb", "houston", "uf"])
+    matrix.set_symmetric("ucsb", "houston", size / sim.run_direct(
+        first_half, size, record_trace=False).duration)
+    matrix.set_symmetric("houston", "uf", size / sim.run_direct(
+        second_half, size, record_trace=False).duration)
+    matrix.set_symmetric("ucsb", "uf", d.bandwidth)
+
+    scheduler = LogisticalScheduler(matrix)  # epsilon = the paper's 10%
+    decision = scheduler.decide("ucsb", "uf")
+    print("\nscheduler verdict for ucsb -> uf:")
+    print(f"  route          : {' -> '.join(decision.route)}")
+    print(f"  uses LSL depots: {decision.use_lsl}")
+    print(f"  predicted gain : {decision.predicted_gain:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

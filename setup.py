@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment is offline and has no ``wheel`` package, so PEP-660
+editable installs fail; the presence of ``setup.py`` lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` path.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

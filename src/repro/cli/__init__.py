@@ -1,0 +1,18 @@
+"""Command-line tools.
+
+``python -m repro.cli`` (or the installed ``repro`` script) exposes the
+library's main workflows to operators:
+
+* ``repro schedule`` — compute minimax routes / route tables from a
+  performance-matrix file;
+* ``repro simulate`` — run direct and relayed transfers on the fluid
+  TCP simulator;
+* ``repro depot`` — run a real-socket LSL depot;
+* ``repro send`` — push a file through depots to a sink;
+* ``repro campaign`` — run a synthetic PlanetLab or Abilene campaign
+  and print the paper's aggregate statistics.
+"""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

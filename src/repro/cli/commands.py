@@ -1,0 +1,265 @@
+"""Implementations of the ``repro`` subcommands."""
+
+from __future__ import annotations
+
+import time
+
+from repro.cli.matrixio import load_matrix
+from repro.core.scheduler import LogisticalScheduler
+from repro.lsl.routetable import RouteTable
+from repro.net.simulator import NetworkSimulator
+from repro.net.topology import PathSpec
+from repro.report.tables import TextTable
+from repro.testbed.abilene import abilene_testbed
+from repro.testbed.experiment import CampaignConfig, run_campaign
+from repro.testbed.planetlab import generate_planetlab
+from repro.testbed.stats import (
+    box_stats,
+    group_cases,
+    overall_speedup,
+    percentile_of_unity,
+    speedup_by_size,
+)
+from repro.util.units import format_rate, mb
+
+
+def parse_path_spec(text: str, name: str = "") -> PathSpec:
+    """Parse ``RTT_MS:MBIT[:LOSS]`` into a :class:`PathSpec`."""
+    fields = text.split(":")
+    if len(fields) not in (2, 3):
+        raise ValueError(
+            f"path spec {text!r}: expected RTT_MS:MBIT[:LOSS]"
+        )
+    rtt_ms = float(fields[0])
+    mbit = float(fields[1])
+    loss = float(fields[2]) if len(fields) == 3 else 0.0
+    return PathSpec.from_mbit(rtt_ms, mbit, loss_rate=loss, name=name or text)
+
+
+def parse_endpoint(text: str) -> tuple[str, int]:
+    """Parse ``IP:PORT``."""
+    host, _, port = text.rpartition(":")
+    if not host:
+        raise ValueError(f"endpoint {text!r}: expected IP:PORT")
+    return host, int(port)
+
+
+# -- schedule -----------------------------------------------------------------
+def cmd_schedule(args) -> int:
+    """Compute minimax routes or a route table from a matrix file."""
+    matrix = load_matrix(args.matrix)
+    scheduler = LogisticalScheduler(matrix, epsilon=args.epsilon)
+    if args.source not in matrix:
+        raise KeyError(f"source {args.source!r} not in matrix")
+
+    if args.table:
+        table = RouteTable.from_scheduler(scheduler, args.source)
+        print(table.to_text(), end="")
+        return 0
+
+    dests = (
+        [args.dest]
+        if args.dest
+        else [h for h in matrix.hosts if h != args.source]
+    )
+    out = TextTable(["destination", "route", "predicted gain"])
+    for dest in dests:
+        decision = scheduler.decide(args.source, dest)
+        out.add_row(
+            [dest, " -> ".join(decision.route), decision.predicted_gain]
+        )
+    print(out.render())
+    return 0
+
+
+# -- simulate --------------------------------------------------------------------
+def cmd_simulate(args) -> int:
+    """Simulate direct (and optionally relayed) transfers."""
+    size = mb(args.size_mb)
+    sim = NetworkSimulator(seed=args.seed)
+    direct = parse_path_spec(args.direct, "direct")
+    d = sim.run_direct(direct, size, record_trace=False)
+    print(
+        f"direct : {d.duration:8.2f} s   {format_rate(d.bandwidth)}   "
+        f"(losses: {d.loss_events})"
+    )
+    if args.via:
+        relay = [
+            parse_path_spec(spec, f"hop{i}") for i, spec in enumerate(args.via)
+        ]
+        if len(relay) < 2:
+            raise ValueError("--via must be given at least twice (two hops)")
+        r = sim.run_relay(relay, size, record_trace=False)
+        print(
+            f"relayed: {r.duration:8.2f} s   {format_rate(r.bandwidth)}   "
+            f"(losses: {r.loss_events})"
+        )
+        print(f"speedup: {r.bandwidth / d.bandwidth:.2f}x")
+    return 0
+
+
+# -- depot ----------------------------------------------------------------------
+def cmd_depot(args) -> int:
+    """Run a real-socket LSL depot until interrupted."""
+    from repro.lsl.socket_transport import DepotServer
+
+    route_table = {}
+    for entry in args.route:
+        dst, _, hop = entry.partition("=")
+        if not hop:
+            raise ValueError(f"--route {entry!r}: expected DST=IP:PORT")
+        route_table[dst] = hop
+    server = DepotServer(port=args.port, route_table=route_table)
+    print(f"depot listening on {server.host}:{server.port}", flush=True)
+    try:
+        while True:
+            time.sleep(0.05)
+            if args.once and server.sessions_forwarded >= 1:
+                break
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.close()
+    print(
+        f"forwarded {server.sessions_forwarded} session(s), "
+        f"{server.bytes_forwarded} bytes"
+    )
+    return 0
+
+
+# -- send ------------------------------------------------------------------------
+def cmd_send(args) -> int:
+    """Send a file through LSL depots to a sink."""
+    from repro.lsl.header import SessionHeader, new_session_id
+    from repro.lsl.options import LooseSourceRoute
+    from repro.lsl.socket_transport import send_session
+
+    with open(args.file, "rb") as fh:
+        payload = fh.read()
+    sink = parse_endpoint(args.to)
+    hops = [parse_endpoint(h) for h in args.via.split(",") if h]
+    options = ()
+    if len(hops) > 1:
+        options = (LooseSourceRoute(hops=tuple(hops[1:])),)
+    header = SessionHeader(
+        session_id=new_session_id(),
+        src_ip="127.0.0.1",
+        dst_ip=sink[0],
+        src_port=0,
+        dst_port=sink[1],
+        options=options,
+    )
+    first_hop = hops[0] if hops else sink
+    send_session(payload, header, first_hop)
+    print(
+        f"sent {len(payload)} bytes as session {header.hex_id} via "
+        f"{len(hops)} depot(s)"
+    )
+    return 0
+
+
+# -- forecast --------------------------------------------------------------------
+def cmd_forecast(args) -> int:
+    """Race the NWS forecaster battery over a measurement file."""
+    from repro.nws.selector import AdaptiveSelector
+
+    values = []
+    with open(args.series, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            try:
+                values.append(float(line))
+            except ValueError:
+                raise ValueError(
+                    f"line {lineno}: {line!r} is not a number"
+                ) from None
+    if len(values) < 2:
+        raise ValueError("need at least two measurements")
+
+    selector = AdaptiveSelector()
+    selector.extend(values)
+    report = selector.forecast()
+    print(
+        f"{len(values)} measurements; forecast {format_rate(report.value)} "
+        f"by {report.forecaster!r} "
+        f"(relative error {selector.prediction_error():.1%})"
+    )
+    table = TextTable(["forecaster", "mse"])
+    ranked = sorted(selector.error_table().items(), key=lambda kv: kv[1])
+    for name, mse in ranked[: args.top]:
+        table.add_row([name, f"{mse:.4g}"])
+    print(table.render())
+    return 0
+
+
+# -- validate --------------------------------------------------------------------
+def cmd_validate(args) -> int:
+    """Check route-table files for loops, dead ends and stretch."""
+    from repro.core.validate import validate_route_tables
+
+    tables = {}
+    for path in args.tables:
+        with open(path, "r", encoding="utf-8") as fh:
+            table = RouteTable.from_text(fh.read())
+        tables[table.owner] = table
+    report = validate_route_tables(tables, max_stretch=args.max_stretch)
+    print(
+        f"checked {report.pairs_checked} pairs across {len(tables)} tables; "
+        f"longest route {report.max_hops_seen} hops"
+    )
+    if report.ok:
+        print("OK: no loops, dead ends or over-stretched routes")
+        return 0
+    for violation in report.violations:
+        print(
+            f"{violation.kind}: {violation.source} -> {violation.dest}: "
+            f"{violation.detail}"
+        )
+    return 1
+
+
+# -- pickup -----------------------------------------------------------------------
+def cmd_pickup(args) -> int:
+    """Fetch an asynchronously parked session from a depot."""
+    from repro.lsl.socket_transport import fetch_pickup
+
+    session_id = bytes.fromhex(args.session)
+    if len(session_id) != 16:
+        raise ValueError("session id must be 32 hex digits (128 bits)")
+    payload = fetch_pickup(parse_endpoint(args.depot), session_id)
+    if not payload:
+        raise ValueError("depot returned no data (unknown session id?)")
+    with open(args.out, "wb") as fh:
+        fh.write(payload)
+    print(f"fetched {len(payload)} bytes into {args.out}")
+    return 0
+
+
+# -- campaign -----------------------------------------------------------------------
+def cmd_campaign(args) -> int:
+    """Run a synthetic campaign and print the paper's statistics."""
+    if args.testbed == "planetlab":
+        testbed = generate_planetlab(seed=args.seed)
+    else:
+        testbed = abilene_testbed(seed=args.seed)
+    result = run_campaign(
+        testbed,
+        CampaignConfig(max_cases=args.max_cases, iterations=args.iterations),
+        seed=args.campaign_seed,
+    )
+    cases = group_cases(result.measurements)
+    print(
+        f"{args.testbed}: {len(testbed.hosts)} hosts, coverage "
+        f"{result.coverage:.1%}, {len(result.measurements)} measurements"
+    )
+    print(f"overall mean speedup: {overall_speedup(cases):.3f}")
+    table = TextTable(["size (MB)", "mean", "median", "pct<=1"])
+    for size, mean in speedup_by_size(cases).items():
+        b = box_stats(cases, size)
+        table.add_row(
+            [size >> 20, mean, b.median, percentile_of_unity(cases, size)]
+        )
+    print(table.render())
+    return 0

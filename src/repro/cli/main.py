@@ -1,0 +1,161 @@
+"""The ``repro`` command-line entry point.
+
+Each subcommand is a thin shell over the library; all real logic lives
+in importable modules so the CLI stays testable (every command is a
+function taking parsed args and returning an exit code, printing to
+stdout).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cli import commands
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Network logistics for Grid applications: minimax scheduling "
+            "and the Logistical Session Layer (reproduction of Swany, "
+            "SC 2004)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser(
+        "schedule", help="compute minimax routes from a performance matrix"
+    )
+    p.add_argument("matrix", help="matrix file: lines of 'src dst bytes/sec'")
+    p.add_argument("--source", required=True, help="route tree root host")
+    p.add_argument("--dest", help="print only the route to this host")
+    p.add_argument(
+        "--epsilon",
+        type=float,
+        default=0.1,
+        help="edge-equivalence fraction (default: the paper's 0.1)",
+    )
+    p.add_argument(
+        "--table",
+        action="store_true",
+        help="emit the depot route table instead of full paths",
+    )
+    p.set_defaults(func=commands.cmd_schedule)
+
+    p = sub.add_parser(
+        "simulate", help="simulate a transfer on the fluid TCP model"
+    )
+    p.add_argument("--size-mb", type=float, required=True)
+    p.add_argument(
+        "--direct",
+        required=True,
+        metavar="RTT_MS:MBIT[:LOSS]",
+        help="direct path spec",
+    )
+    p.add_argument(
+        "--via",
+        action="append",
+        default=[],
+        metavar="RTT_MS:MBIT[:LOSS]",
+        help="relay sublink spec (repeat per hop; two hops = one depot)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=commands.cmd_simulate)
+
+    p = sub.add_parser("depot", help="run a real-socket LSL depot")
+    p.add_argument("--port", type=int, default=0)
+    p.add_argument(
+        "--route",
+        action="append",
+        default=[],
+        metavar="DST_IP=NEXT_IP:PORT",
+        help="route-table entry (repeatable)",
+    )
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="exit after the first forwarded session (for scripting)",
+    )
+    p.set_defaults(func=commands.cmd_depot)
+
+    p = sub.add_parser("send", help="send a file through LSL depots")
+    p.add_argument("file", help="payload file path")
+    p.add_argument("--to", required=True, metavar="IP:PORT", help="sink")
+    p.add_argument(
+        "--via",
+        default="",
+        metavar="IP:PORT[,IP:PORT...]",
+        help="comma-separated depot chain",
+    )
+    p.set_defaults(func=commands.cmd_send)
+
+    p = sub.add_parser(
+        "forecast",
+        help="run the NWS forecaster battery over a measurement series",
+    )
+    p.add_argument(
+        "series",
+        help="file with one measurement per line (bandwidth in bytes/sec)",
+    )
+    p.add_argument(
+        "--top", type=int, default=5, help="show the N best forecasters"
+    )
+    p.set_defaults(func=commands.cmd_forecast)
+
+    p = sub.add_parser(
+        "validate", help="check a set of route-table files for loops"
+    )
+    p.add_argument(
+        "tables",
+        nargs="+",
+        help="route-table files (the 'repro schedule --table' format)",
+    )
+    p.add_argument(
+        "--max-stretch",
+        type=int,
+        default=6,
+        help="flag successful routes longer than this many hops",
+    )
+    p.set_defaults(func=commands.cmd_validate)
+
+    p = sub.add_parser(
+        "pickup", help="fetch an asynchronously parked session from a depot"
+    )
+    p.add_argument("--depot", required=True, metavar="IP:PORT")
+    p.add_argument(
+        "--session", required=True, help="hex 128-bit session identifier"
+    )
+    p.add_argument("--out", required=True, help="file to write the payload to")
+    p.set_defaults(func=commands.cmd_pickup)
+
+    p = sub.add_parser(
+        "campaign", help="run a synthetic measurement campaign"
+    )
+    p.add_argument(
+        "--testbed", choices=("planetlab", "abilene"), default="planetlab"
+    )
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--campaign-seed", type=int, default=2)
+    p.add_argument("--max-cases", type=int, default=60)
+    p.add_argument("--iterations", type=int, default=2)
+    p.set_defaults(func=commands.cmd_campaign)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and dispatch; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, KeyError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

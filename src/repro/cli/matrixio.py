@@ -1,0 +1,72 @@
+"""Loading and saving performance matrices as plain text.
+
+Format: one directed pair per line, ``src dst bandwidth_bytes_per_sec``;
+``#`` starts a comment.  Symmetric entries must be listed in both
+directions (the scheduler treats the graph as directed).
+"""
+
+from __future__ import annotations
+
+from repro.nws.matrix import PerformanceMatrix
+
+
+def parse_matrix(text: str) -> PerformanceMatrix:
+    """Parse matrix text into a :class:`PerformanceMatrix`.
+
+    Raises
+    ------
+    ValueError
+        On malformed lines, duplicate entries or non-positive values.
+    """
+    entries: list[tuple[str, str, float]] = []
+    hosts: set[str] = set()
+    seen: set[tuple[str, str]] = set()
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        if len(fields) != 3:
+            raise ValueError(
+                f"line {lineno}: expected 'src dst bandwidth', got {raw!r}"
+            )
+        src, dst, value_text = fields
+        try:
+            value = float(value_text)
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: bandwidth {value_text!r} is not a number"
+            ) from None
+        if value <= 0:
+            raise ValueError(f"line {lineno}: bandwidth must be positive")
+        if src == dst:
+            raise ValueError(f"line {lineno}: self-pair {src!r}")
+        if (src, dst) in seen:
+            raise ValueError(f"line {lineno}: duplicate pair {src}->{dst}")
+        seen.add((src, dst))
+        hosts.update((src, dst))
+        entries.append((src, dst, value))
+    if not entries:
+        raise ValueError("matrix file contains no entries")
+    matrix = PerformanceMatrix(sorted(hosts))
+    for src, dst, value in entries:
+        matrix.set_bandwidth(src, dst, value)
+    return matrix
+
+
+def load_matrix(path: str) -> PerformanceMatrix:
+    """Read a matrix file from disk."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_matrix(fh.read())
+
+
+def dump_matrix(matrix: PerformanceMatrix) -> str:
+    """Serialise a matrix back to the text format (known entries only)."""
+    import math
+
+    lines = ["# src dst bandwidth_bytes_per_sec"]
+    for src, dst in matrix.pairs():
+        bw = matrix.bandwidth(src, dst)
+        if not math.isnan(bw) and math.isfinite(bw):
+            lines.append(f"{src} {dst} {bw:.6g}")
+    return "\n".join(lines) + "\n"

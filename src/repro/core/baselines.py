@@ -1,0 +1,131 @@
+"""Baseline routing and throughput models the paper compares against.
+
+* :func:`direct_route` — the default Internet behaviour: one TCP
+  connection on the default path;
+* :func:`dijkstra_tree` — additive-cost shortest paths on the same
+  ``1/bandwidth`` weights.  Summing transfer times is the *wrong*
+  objective for pipelined relays (Section 4: "the time that it takes to
+  transfer data down some path ... is not the sum of the times of each
+  edge"); it is kept as the strawman it is;
+* :func:`widest_path_tree` — maximise the minimum bandwidth along the
+  path.  Mathematically equivalent to the minimax tree on ``1/bandwidth``
+  weights (the tests verify this), expressed in bandwidth terms;
+* :func:`parallel_socket_bandwidth` — a PSockets-style model (the
+  paper's reference [30]): ``n`` parallel TCP sockets behave like one
+  connection with an ``n``-fold window, until the wire caps them.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+from repro.core.minimax import CostGraph, MinimaxTree
+from repro.models.transfer_time import transfer_time
+from repro.net.tcp import TcpConfig
+from repro.net.topology import PathSpec
+from repro.util.validation import check_positive
+
+
+def direct_route(source: str, dest: str) -> list[str]:
+    """The default route: straight from source to destination."""
+    if source == dest:
+        raise ValueError("source and destination are the same host")
+    return [source, dest]
+
+
+def dijkstra_tree(graph: CostGraph, start: str) -> MinimaxTree:
+    """Additive-cost shortest-path tree over the same cost graph.
+
+    Returned in :class:`MinimaxTree` form (parent/cost maps) so the two
+    policies can be compared edge for edge.  The ``cost`` entries are
+    additive path costs, not minimax costs.
+    """
+    hosts = list(graph.hosts)
+    if start not in hosts:
+        raise KeyError(f"start node {start!r} not in graph")
+    parent: dict[str, str] = {start: start}
+    cost: dict[str, float] = {start: 0.0}
+    best: dict[str, float] = {h: math.inf for h in hosts}
+    best[start] = 0.0
+    done: set[str] = set()
+    heap: list[tuple[float, str]] = [(0.0, start)]
+    while heap:
+        node_cost, node = heapq.heappop(heap)
+        if node in done or node_cost > best[node]:
+            continue
+        done.add(node)
+        cost[node] = node_cost
+        for other in hosts:
+            if other in done or other == node:
+                continue
+            edge = graph.cost(node, other)
+            if not math.isfinite(edge):
+                continue
+            relax = node_cost + edge
+            if relax < best[other]:
+                best[other] = relax
+                parent[other] = node
+                heapq.heappush(heap, (relax, other))
+    return MinimaxTree(start=start, parent=parent, cost=cost, epsilon=0.0)
+
+
+class _BandwidthAsCost:
+    """Adapter: view a bandwidth matrix's reciprocal as edge costs."""
+
+    def __init__(self, bandwidth_of, hosts: list[str]) -> None:
+        self.hosts = hosts
+        self._bandwidth_of = bandwidth_of
+
+    def cost(self, src: str, dst: str) -> float:
+        bw = self._bandwidth_of(src, dst)
+        if math.isnan(bw) or bw <= 0:
+            return math.inf
+        return 1.0 / bw
+
+
+def widest_path_tree(
+    graph: CostGraph, start: str, epsilon: float = 0.0
+) -> MinimaxTree:
+    """Maximin-bandwidth ("widest path") tree.
+
+    On ``1/bandwidth`` weights, maximising the minimum bandwidth is the
+    same optimisation as minimising the maximum cost, so this simply
+    delegates to the minimax builder — the point of exposing it is the
+    equivalence itself, which the test suite asserts.
+    """
+    from repro.core.minimax import build_mmp_tree
+
+    return build_mmp_tree(graph, start, epsilon)
+
+
+def parallel_socket_bandwidth(
+    path: PathSpec,
+    size: int,
+    n_sockets: int,
+    config: TcpConfig | None = None,
+) -> float:
+    """PSockets-style aggregate bandwidth of ``n`` striped connections.
+
+    Each socket carries ``size / n`` bytes independently; the stripes
+    share the wire, so each sees ``bandwidth / n`` of capacity but its
+    own full window and its own slow start.  Aggregate observed
+    bandwidth is ``size`` over the slowest stripe's completion time.
+
+    This is the application-level alternative the related work contrasts
+    with LSL: parallel sockets attack the *window* limit but cannot
+    shorten the control loop the way a depot does.
+    """
+    check_positive("n_sockets", n_sockets)
+    check_positive("size", size)
+    stripe = PathSpec(
+        rtt=path.rtt,
+        bandwidth=path.bandwidth / n_sockets,
+        loss_rate=path.loss_rate,
+        send_buffer=path.send_buffer,
+        recv_buffer=path.recv_buffer,
+        name=f"{path.name}/x{n_sockets}",
+    )
+    stripe_size = max(1, size // n_sockets)
+    slowest = transfer_time(stripe, stripe_size, config)
+    return size / slowest

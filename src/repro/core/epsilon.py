@@ -1,0 +1,126 @@
+"""ε selection policies for the edge-equivalence rule.
+
+The paper fixes ε = 0.1 empirically ("clusters coalesced around 10 % and
+higher values did little to alter the generated schedules") and notes
+that "an automatic method of choosing ε would be very desirable.
+Prediction error from the NWS and variance of the measurement set are
+potentially good candidates."  All four candidates are implemented here:
+
+* :class:`FixedEpsilon` — a constant;
+* :class:`RelativeEpsilon` — the 10 % rule (a named constant, so the
+  experiments read like the paper);
+* :class:`NwsErrorEpsilon` — ε from the winning forecaster's relative
+  prediction error, via a :class:`~repro.nws.matrix.CliqueAggregator`;
+* :class:`VarianceEpsilon` — ε from the coefficient of variation of a
+  measurement series.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.nws.matrix import CliqueAggregator
+from repro.nws.series import MeasurementSeries
+from repro.util.validation import check_in_range, check_non_negative
+
+
+class EpsilonPolicy:
+    """Base class: produce the ε used when building an MMP tree."""
+
+    def value(self) -> float:
+        """The ε fraction (non-negative)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(value={self.value():.4f})"
+
+
+class FixedEpsilon(EpsilonPolicy):
+    """A constant ε."""
+
+    def __init__(self, epsilon: float) -> None:
+        check_non_negative("epsilon", epsilon)
+        self._epsilon = epsilon
+
+    def value(self) -> float:
+        return self._epsilon
+
+
+class RelativeEpsilon(FixedEpsilon):
+    """The paper's 10 % rule: "if the evaluated edge was not 10 % better
+    than the previous edge, then it was not added to the path"."""
+
+    PAPER_VALUE = 0.1
+
+    def __init__(self, epsilon: float = PAPER_VALUE) -> None:
+        super().__init__(epsilon)
+
+
+class NwsErrorEpsilon(EpsilonPolicy):
+    """ε from NWS forecast error, aggregated across the matrix's streams.
+
+    Takes the median relative prediction error over all probed host
+    pairs — pairs whose forecasts wobble a lot should be treated as
+    equivalent over a wider band.
+
+    Parameters
+    ----------
+    aggregator:
+        The clique aggregator feeding the performance matrix.
+    floor, ceiling:
+        Clamp for the resulting ε (a pathological stream should not
+        disable tree-building entirely).
+    """
+
+    def __init__(
+        self,
+        aggregator: CliqueAggregator,
+        floor: float = 0.01,
+        ceiling: float = 0.5,
+    ) -> None:
+        check_non_negative("floor", floor)
+        check_in_range("ceiling", ceiling, floor, 10.0)
+        self._aggregator = aggregator
+        self._floor = floor
+        self._ceiling = ceiling
+
+    def value(self) -> float:
+        errors = []
+        for src in self._aggregator.hosts:
+            for dst in self._aggregator.hosts:
+                if src == dst:
+                    continue
+                err = self._aggregator.prediction_error(src, dst)
+                if not math.isnan(err) and math.isfinite(err):
+                    errors.append(err)
+        if not errors:
+            return self._floor
+        errors.sort()
+        median = errors[len(errors) // 2]
+        return min(self._ceiling, max(self._floor, median))
+
+
+class VarianceEpsilon(EpsilonPolicy):
+    """ε from the coefficient of variation of a measurement series.
+
+    Suits single-pair studies where one probe stream characterises the
+    environment's noise level.
+    """
+
+    def __init__(
+        self,
+        series: MeasurementSeries,
+        floor: float = 0.01,
+        ceiling: float = 0.5,
+    ) -> None:
+        check_non_negative("floor", floor)
+        check_in_range("ceiling", ceiling, floor, 10.0)
+        self._series = series
+        self._floor = floor
+        self._ceiling = ceiling
+
+    def value(self) -> float:
+        cov = self._series.coefficient_of_variation()
+        if math.isnan(cov) or not math.isfinite(cov):
+            return self._floor
+        return min(self._ceiling, max(self._floor, cov))

@@ -1,0 +1,177 @@
+"""The Minimax Path (MMP) tree algorithm — the paper's Appendix A.
+
+The cost of a path is the weight of its heaviest edge
+(``max(cost(i, j) | (i, j) in P)``), so the optimal route from a source is
+the one whose worst hop is least bad: exactly the right objective when
+path throughput is dominated by the slowest pipelined sublink.
+
+The algorithm is Dijkstra with a different relaxation::
+
+    relax_cost = max(edge(new, other), cost[new])
+    if relax_cost * (1 + epsilon) < cost[other]:
+        adopt new as other's parent
+
+The ε term is the paper's **edge equivalence**: an alternative route is
+adopted only when it is more than an ε fraction better than the incumbent,
+which keeps measurement jitter from manufacturing spurious multi-hop
+detours (Figures 7 → 8).  With ε = 0 this is the textbook minimax tree and
+is optimal; with ε > 0 the tree is within a factor ``(1 + ε)`` of optimal
+on every path, trading that slack for stability.
+
+Complexity is ``O(E log V)`` with the lazy heap used here; the paper's
+fully connected graphs make ``E = V²``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.util.validation import check_non_negative
+
+
+class CostGraph(Protocol):
+    """What the tree builder needs from a graph: hosts and edge costs."""
+
+    hosts: list[str]
+
+    def cost(self, src: str, dst: str) -> float:
+        """Weight of the directed edge ``src -> dst`` (``inf`` if absent)."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class MinimaxTree:
+    """The tree of best (minimax, ε-damped) paths from one start node.
+
+    Attributes
+    ----------
+    start:
+        Root node.
+    parent:
+        Predecessor of each reached node on its best path; the root is
+        its own parent (as in the paper's pseudo-code).
+    cost:
+        Minimax cost of the best path to each reached node (0 for the
+        root).  Unreachable nodes are absent from both maps.
+    epsilon:
+        The edge-equivalence fraction used to build the tree.
+    """
+
+    start: str
+    parent: dict[str, str]
+    cost: dict[str, float]
+    epsilon: float = 0.0
+
+    def reached(self, node: str) -> bool:
+        """True if ``node`` is connected to the root."""
+        return node in self.parent
+
+    def path_to(self, dest: str) -> list[str]:
+        """The host sequence from the root to ``dest`` (inclusive).
+
+        Raises
+        ------
+        KeyError
+            If ``dest`` was never reached.
+        """
+        if dest not in self.parent:
+            raise KeyError(f"{dest!r} not reached from {self.start!r}")
+        path = [dest]
+        node = dest
+        while node != self.start:
+            node = self.parent[node]
+            path.append(node)
+            if len(path) > len(self.parent) + 1:  # pragma: no cover
+                raise RuntimeError("cycle in parent pointers")
+        path.reverse()
+        return path
+
+    def cost_to(self, dest: str) -> float:
+        """Minimax cost of the chosen path to ``dest`` (inf if unreached)."""
+        return self.cost.get(dest, math.inf)
+
+    def next_hop(self, dest: str) -> str:
+        """First hop out of the root toward ``dest``.
+
+        This is what a depot's route table stores.
+        """
+        path = self.path_to(dest)
+        if len(path) == 1:
+            return self.start
+        return path[1]
+
+    def __len__(self) -> int:
+        return len(self.parent)
+
+
+def build_mmp_tree(
+    graph: CostGraph,
+    start: str,
+    epsilon: float = 0.0,
+    relay_nodes: set[str] | None = None,
+) -> MinimaxTree:
+    """Build the MMP tree from ``start`` over all of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        Anything exposing ``hosts`` and ``cost(src, dst)`` — typically a
+        :class:`repro.nws.matrix.PerformanceMatrix`.
+    start:
+        Root node; must be one of ``graph.hosts``.
+    epsilon:
+        Edge-equivalence fraction.  The paper uses 0.1 ("if the evaluated
+        edge was not 10 % better than the previous edge, then it was not
+        added to the path").
+    relay_nodes:
+        If given, only these nodes may appear as *intermediate* hops;
+        every other node is a leaf of the tree.  Used for the Abilene
+        experiment, where only the POP depots forward.
+
+    Returns
+    -------
+    MinimaxTree
+        Parent pointers and minimax costs for every reachable node.
+    """
+    check_non_negative("epsilon", epsilon)
+    hosts = list(graph.hosts)
+    if start not in hosts:
+        raise KeyError(f"start node {start!r} not in graph")
+
+    parent: dict[str, str] = {start: start}
+    cost: dict[str, float] = {start: 0.0}
+    best: dict[str, float] = {h: math.inf for h in hosts}
+    best[start] = 0.0
+    done: set[str] = set()
+
+    # lazy-deletion heap of (tentative cost, node)
+    heap: list[tuple[float, str]] = [(0.0, start)]
+    while heap:
+        node_cost, node = heapq.heappop(heap)
+        if node in done or node_cost > best[node]:
+            continue  # stale entry
+        done.add(node)
+        cost[node] = node_cost
+        if (
+            relay_nodes is not None
+            and node != start
+            and node not in relay_nodes
+        ):
+            continue  # may be reached, but never forwards
+        for other in hosts:
+            if other in done or other == node:
+                continue
+            edge = graph.cost(node, other)
+            if not math.isfinite(edge):
+                continue
+            relax_cost = max(edge, node_cost)
+            # Appendix A: adopt only if more than epsilon-fraction better
+            if relax_cost * (1.0 + epsilon) < best[other]:
+                best[other] = relax_cost
+                parent[other] = node
+                heapq.heappush(heap, (relax_cost, other))
+
+    return MinimaxTree(start=start, parent=parent, cost=cost, epsilon=epsilon)

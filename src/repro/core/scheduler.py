@@ -1,0 +1,259 @@
+"""The logistical scheduler: performance matrix in, forwarding routes out.
+
+"The scheduling system takes a fully-connected map of the network as its
+graph and produces a path tree from each node to all others.  For hop by
+hop routing, the MMP tree is reduced to a list of destinations and the
+next hop along the chosen path.  These destination/next hop tuples form a
+'route table' that is consumed by the logistical depot and used to
+control forwarding." (Section 4.2)
+
+Two extensions flagged by the paper are implemented behind options:
+
+* **host throughput as an edge** — "the scheduling algorithms can be
+  trivially extended to include the path through the host as another
+  edge whose bandwidth must be taken into account" (Section 6).  Pass
+  ``host_bandwidth`` to cap relayed paths by each depot's forwarding
+  capacity.
+* **avoiding LSL when it would lose** — "in the cases where the
+  performance failed to improve we should have avoided using LSL at all"
+  (Section 4.2).  Pass ``min_gain`` to require the scheduled path to
+  beat the direct edge by a margin before a depot route is issued.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.minimax import CostGraph, MinimaxTree, build_mmp_tree
+from repro.core.epsilon import EpsilonPolicy, RelativeEpsilon
+from repro.util.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class ScheduleDecision:
+    """The scheduler's verdict for one (source, destination) pair.
+
+    Attributes
+    ----------
+    route:
+        Full host sequence, source first.  Length 2 means direct.
+    use_lsl:
+        True when the route traverses at least one depot.
+    direct_cost:
+        Cost (1/bandwidth) of the direct edge.
+    scheduled_cost:
+        Minimax cost of the chosen route.
+    predicted_gain:
+        ``direct_cost / scheduled_cost`` — the scheduler's expected
+        speedup factor (1.0 for direct routes; > 1 when a depot route is
+        predicted to win).
+    """
+
+    route: list[str]
+    use_lsl: bool
+    direct_cost: float
+    scheduled_cost: float
+
+    @property
+    def predicted_gain(self) -> float:
+        if self.scheduled_cost <= 0:
+            return 1.0
+        if not math.isfinite(self.direct_cost):
+            return math.inf
+        return self.direct_cost / self.scheduled_cost
+
+    @property
+    def depots(self) -> list[str]:
+        """Intermediate hosts along the route."""
+        return self.route[1:-1]
+
+
+class _HostCappedGraph:
+    """Cost view that charges each *intermediate* hop the depot's own
+    forwarding limit: edge cost out of a depot is at least
+    ``1 / host_bandwidth[depot]``.
+
+    The source and sink are not capped — their host path is part of the
+    application either way.
+    """
+
+    def __init__(self, graph: CostGraph, host_bandwidth: dict[str, float]):
+        self._graph = graph
+        self.hosts = list(graph.hosts)
+        self._host_cost = {
+            h: (1.0 / bw if bw > 0 else math.inf)
+            for h, bw in host_bandwidth.items()
+        }
+
+    def cost(self, src: str, dst: str) -> float:
+        base = self._graph.cost(src, dst)
+        return max(base, self._host_cost.get(src, 0.0))
+
+
+class LogisticalScheduler:
+    """Builds MMP trees over a performance matrix and issues routes.
+
+    Parameters
+    ----------
+    graph:
+        Anything exposing ``hosts`` and ``cost(src, dst)`` — typically a
+        :class:`repro.nws.matrix.PerformanceMatrix`.
+    epsilon:
+        Edge-equivalence policy or plain float; defaults to the paper's
+        10 % rule.
+    host_bandwidth:
+        Optional per-host forwarding capacity (bytes/sec) applied to
+        intermediate hops (the Section-6 extension).  Hosts absent from
+        the mapping are uncapped.
+    min_gain:
+        Issue a depot route only when its predicted gain exceeds this
+        factor (1.0 reproduces the paper's behaviour: any nominally
+        better multi-hop path is used).
+    depot_hosts:
+        If given, only these hosts may serve as intermediate depots
+        (the Abilene experiment restricts relaying to the POP depots).
+    """
+
+    def __init__(
+        self,
+        graph: CostGraph,
+        epsilon: EpsilonPolicy | float | None = None,
+        host_bandwidth: dict[str, float] | None = None,
+        min_gain: float = 1.0,
+        depot_hosts: set[str] | None = None,
+    ) -> None:
+        if epsilon is None:
+            self._epsilon_policy: EpsilonPolicy = RelativeEpsilon()
+        elif isinstance(epsilon, EpsilonPolicy):
+            self._epsilon_policy = epsilon
+        else:
+            check_non_negative("epsilon", epsilon)
+            self._epsilon_policy = RelativeEpsilon(epsilon)
+        if min_gain < 1.0:
+            raise ValueError(f"min_gain={min_gain} must be >= 1.0")
+        self.min_gain = min_gain
+        self._graph: CostGraph = (
+            _HostCappedGraph(graph, host_bandwidth)
+            if host_bandwidth
+            else graph
+        )
+        self._base_graph = graph
+        self.depot_hosts = set(depot_hosts) if depot_hosts is not None else None
+        self._trees: dict[str, MinimaxTree] = {}
+
+    # -- tree management ----------------------------------------------------
+    @property
+    def epsilon(self) -> float:
+        """The ε currently produced by the policy."""
+        return self._epsilon_policy.value()
+
+    @property
+    def hosts(self) -> list[str]:
+        return list(self._graph.hosts)
+
+    def tree(self, source: str) -> MinimaxTree:
+        """The (cached) MMP tree rooted at ``source``."""
+        cached = self._trees.get(source)
+        if cached is None or cached.epsilon != self.epsilon:
+            cached = build_mmp_tree(
+                self._graph, source, self.epsilon, relay_nodes=self.depot_hosts
+            )
+            self._trees[source] = cached
+        return cached
+
+    def invalidate(self) -> None:
+        """Drop cached trees — call after the performance matrix changes.
+
+        The paper re-ran the scheduler every 5 minutes in the PlanetLab
+        experiment; the experiment harness calls this on each re-run.
+        """
+        self._trees.clear()
+
+    # -- decisions ------------------------------------------------------------
+    def decide(self, source: str, dest: str) -> ScheduleDecision:
+        """Route one pair: depot forwarding if predicted better, else direct."""
+        if source == dest:
+            raise ValueError("source and destination are the same host")
+        tree = self.tree(source)
+        direct_cost = self._graph.cost(source, dest)
+        if not tree.reached(dest):
+            # no multi-hop route either; fall back to the direct edge
+            return ScheduleDecision(
+                route=[source, dest],
+                use_lsl=False,
+                direct_cost=direct_cost,
+                scheduled_cost=direct_cost,
+            )
+        route = tree.path_to(dest)
+        scheduled_cost = tree.cost_to(dest)
+        gain = (
+            direct_cost / scheduled_cost
+            if scheduled_cost > 0 and math.isfinite(direct_cost)
+            else math.inf
+        )
+        if len(route) > 2 and gain >= self.min_gain:
+            return ScheduleDecision(
+                route=route,
+                use_lsl=True,
+                direct_cost=direct_cost,
+                scheduled_cost=scheduled_cost,
+            )
+        return ScheduleDecision(
+            route=[source, dest],
+            use_lsl=False,
+            direct_cost=direct_cost,
+            scheduled_cost=direct_cost,
+        )
+
+    def route(self, source: str, dest: str) -> list[str]:
+        """Shorthand: the chosen host sequence for a pair."""
+        return self.decide(source, dest).route
+
+    # -- route tables ---------------------------------------------------------
+    def route_table(self, node: str) -> dict[str, str]:
+        """Destination → next-hop entries for ``node``'s depot.
+
+        Walks the MMP tree rooted at ``node`` exactly as Section 4.2
+        describes.  Destinations whose decision is direct map to
+        themselves.
+        """
+        table: dict[str, str] = {}
+        for dest in self._graph.hosts:
+            if dest == node:
+                continue
+            decision = self.decide(node, dest)
+            table[dest] = decision.route[1]
+        return table
+
+    def all_route_tables(self) -> dict[str, dict[str, str]]:
+        """Route tables for every host (one scheduler sweep)."""
+        return {node: self.route_table(node) for node in self._graph.hosts}
+
+    # -- statistics -------------------------------------------------------------
+    def coverage(self) -> float:
+        """Fraction of ordered pairs given a depot route.
+
+        The paper: "The scheduler identified better routes via depots for
+        26 % of the total number of paths in the system."
+        """
+        hosts = self._graph.hosts
+        total = 0
+        relayed = 0
+        for src in hosts:
+            for dst in hosts:
+                if src == dst:
+                    continue
+                total += 1
+                if self.decide(src, dst).use_lsl:
+                    relayed += 1
+        return relayed / total if total else 0.0
+
+    def lsl_pairs(self) -> list[tuple[str, str]]:
+        """All ordered pairs for which a depot route was issued."""
+        return [
+            (src, dst)
+            for src in self._graph.hosts
+            for dst in self._graph.hosts
+            if src != dst and self.decide(src, dst).use_lsl
+        ]

@@ -1,0 +1,166 @@
+"""Validation of deployed forwarding state.
+
+A set of per-depot route tables is only safe to deploy if hop-by-hop
+forwarding terminates: no loops, no dead ends, bounded stretch.  The
+scheduler's trees guarantee this by construction *per tree*, but route
+tables are assembled per node from *different* trees, and nothing in the
+data structure prevents an operator (or a bug) from mixing incompatible
+snapshots.  These checks catch that before traffic does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lsl.routetable import RouteTable
+
+
+@dataclass(frozen=True)
+class RouteViolation:
+    """One problem found in a route-table set.
+
+    Attributes
+    ----------
+    kind:
+        ``"loop"``, ``"dead-end"`` or ``"stretch"``.
+    source, dest:
+        The pair whose forwarding is broken.
+    detail:
+        Human-readable specifics (the walk taken, the missing node...).
+    """
+
+    kind: str
+    source: str
+    dest: str
+    detail: str
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating a route-table set.
+
+    Attributes
+    ----------
+    violations:
+        Every problem found (empty means safe to deploy).
+    pairs_checked:
+        Number of (source, dest) pairs walked.
+    max_hops_seen:
+        Longest successful forwarding walk.
+    """
+
+    violations: list[RouteViolation] = field(default_factory=list)
+    pairs_checked: int = 0
+    max_hops_seen: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def by_kind(self, kind: str) -> list[RouteViolation]:
+        """Violations of one kind (``"loop"``, ``"dead-end"``, ``"stretch"``)."""
+        return [v for v in self.violations if v.kind == kind]
+
+
+def walk(
+    tables: dict[str, RouteTable], source: str, dest: str, max_hops: int
+) -> tuple[list[str], str | None]:
+    """Follow next hops from ``source`` toward ``dest``.
+
+    Returns ``(nodes_visited, problem)`` where problem is ``None`` on
+    success, ``"loop"`` if a node repeats, or ``"dead-end"`` if a hop
+    has no table.
+    """
+    path = [source]
+    node = source
+    seen = {source}
+    while node != dest:
+        table = tables.get(node)
+        if table is None:
+            return path, "dead-end"
+        nxt = table.next_hop(dest)
+        path.append(nxt)
+        if nxt in seen:
+            return path, "loop"
+        seen.add(nxt)
+        node = nxt
+        if len(path) > max_hops:
+            return path, "loop"
+    return path, None
+
+
+def validate_route_tables(
+    tables: dict[str, RouteTable],
+    hosts: list[str] | None = None,
+    max_stretch: int | None = 6,
+) -> ValidationReport:
+    """Walk every ordered pair through the table set.
+
+    Parameters
+    ----------
+    tables:
+        One :class:`RouteTable` per forwarding node, keyed by its owner.
+    hosts:
+        Endpoints to check (defaults to the table owners).
+    max_stretch:
+        Flag any successful route longer than this many hops
+        (``None`` disables the check).
+
+    Returns
+    -------
+    ValidationReport
+        With ``ok`` true iff every pair terminates at its destination.
+    """
+    for owner, table in tables.items():
+        if table.owner != owner:
+            raise ValueError(
+                f"table keyed {owner!r} claims owner {table.owner!r}"
+            )
+    if hosts is None:
+        hosts = sorted(tables)
+    report = ValidationReport()
+    hop_limit = len(hosts) + 1
+    for source in hosts:
+        for dest in hosts:
+            if source == dest:
+                continue
+            report.pairs_checked += 1
+            path, problem = walk(tables, source, dest, hop_limit)
+            if problem is not None:
+                report.violations.append(
+                    RouteViolation(
+                        kind=problem,
+                        source=source,
+                        dest=dest,
+                        detail=" -> ".join(path),
+                    )
+                )
+                continue
+            hops = len(path) - 1
+            report.max_hops_seen = max(report.max_hops_seen, hops)
+            if max_stretch is not None and hops > max_stretch:
+                report.violations.append(
+                    RouteViolation(
+                        kind="stretch",
+                        source=source,
+                        dest=dest,
+                        detail=f"{hops} hops: {' -> '.join(path)}",
+                    )
+                )
+    return report
+
+
+def validate_scheduler(scheduler, max_stretch: int | None = 6) -> ValidationReport:
+    """Build the scheduler's full route-table set and validate it.
+
+    The scheduler's per-source trees are consistent individually; this
+    verifies the hop-by-hop composition across *all* of them — the form
+    depots actually consume.
+    """
+    tables = {
+        host: RouteTable.from_scheduler(scheduler, host)
+        for host in scheduler.hosts
+    }
+    return validate_route_tables(
+        tables, hosts=list(scheduler.hosts), max_stretch=max_stretch
+    )

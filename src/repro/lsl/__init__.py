@@ -1,0 +1,69 @@
+"""The Logistical Session Layer (LSL).
+
+Section 2 of the paper: a session-layer protocol binding one end-to-end
+*session* to a series of transport connections through storage depots.
+
+* :mod:`~repro.lsl.header` — the wire format: 128-bit session identifier,
+  IPv4 source/destination plus 16-bit ports, 16-bit version and type
+  fields, a header-length field, and variable options;
+* :mod:`~repro.lsl.options` — TLV header options, including the "loose
+  source route" (the initiator-specified depot path, analogous to IP's
+  LSRR) and the synchronous multicast staging tree;
+* :mod:`~repro.lsl.routetable` — destination/next-hop tables produced by
+  the scheduler and consumed by depots for hop-by-hop forwarding;
+* :mod:`~repro.lsl.depot` — the transport-agnostic depot engine: session
+  admission, bounded per-session buffers, forwarding decisions;
+* :mod:`~repro.lsl.session` — source and sink endpoints and the session
+  state machine;
+* :mod:`~repro.lsl.multicast` — the application-layer multicast staging
+  tree carried as a header option;
+* :mod:`~repro.lsl.socket_transport` — a real-TCP (localhost)
+  implementation used for functional integration tests.  Performance
+  experiments run on the simulator (:mod:`repro.net`) instead, where
+  BDP effects exist.
+"""
+
+from repro.lsl.header import (
+    LSL_VERSION,
+    SessionHeader,
+    SessionType,
+    new_session_id,
+)
+from repro.lsl.options import (
+    HeaderOption,
+    LooseSourceRoute,
+    MulticastTreeOption,
+    PaddingOption,
+    decode_options,
+    encode_options,
+)
+from repro.lsl.routetable import RouteTable
+from repro.lsl.depot import Depot, DepotConfig, ForwardingDecision, SessionState
+from repro.lsl.session import SourceEndpoint, SinkEndpoint
+from repro.lsl.async_session import deposit, pickup, pickup_header
+from repro.lsl.multicast import StagingTree, simulate_staging
+
+__all__ = [
+    "LSL_VERSION",
+    "SessionHeader",
+    "SessionType",
+    "new_session_id",
+    "HeaderOption",
+    "LooseSourceRoute",
+    "MulticastTreeOption",
+    "PaddingOption",
+    "decode_options",
+    "encode_options",
+    "RouteTable",
+    "Depot",
+    "DepotConfig",
+    "ForwardingDecision",
+    "SessionState",
+    "SourceEndpoint",
+    "SinkEndpoint",
+    "deposit",
+    "pickup",
+    "pickup_header",
+    "StagingTree",
+    "simulate_staging",
+]

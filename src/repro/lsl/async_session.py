@@ -1,0 +1,106 @@
+"""Asynchronous LSL sessions: park data at a depot, pick it up later.
+
+Section 2: "We note that an asynchronous session is possible with the
+receiver discovering the session identifier and reading the data from
+the last depot."  The sender therefore addresses the *depot itself* as
+the session destination; the depot admits the session in
+hold-for-pickup mode and retains the bytes; any party that learns the
+128-bit session identifier can later drain them.
+
+Two executors are provided:
+
+* :func:`deposit` / :func:`pickup` — against in-memory
+  :class:`~repro.lsl.depot.Depot` engines (unit-test friendly);
+* the :class:`~repro.lsl.socket_transport.DepotServer` understands the
+  same semantics on real sockets: sessions addressed to the depot are
+  held, and a :attr:`~repro.lsl.header.SessionType.PICKUP` session whose
+  id matches a held session streams the bytes back.
+"""
+
+from __future__ import annotations
+
+from repro.lsl.depot import Depot
+from repro.lsl.header import SessionHeader, SessionType, new_session_id
+from repro.util.validation import check_positive
+
+
+def deposit(
+    depot: Depot,
+    payload: bytes,
+    src_ip: str = "0.0.0.0",
+    src_port: int = 0,
+    depot_ip: str = "0.0.0.0",
+    depot_port: int = 0,
+    chunk_size: int = 64 << 10,
+) -> SessionHeader:
+    """Park ``payload`` at ``depot`` for later pickup.
+
+    Returns the session header; its :attr:`session_id` is the claim
+    ticket.  Writes honour the depot's bounded pool: a payload larger
+    than the pool is rejected up front rather than deadlocking.
+    """
+    check_positive("chunk_size", chunk_size)
+    if not payload:
+        raise ValueError("payload must be non-empty")
+    if len(payload) > depot.config.capacity:
+        raise ValueError(
+            f"payload of {len(payload)} bytes exceeds depot pool "
+            f"({depot.config.capacity}); an asynchronous session must fit "
+            "in storage"
+        )
+    header = SessionHeader(
+        session_id=new_session_id(),
+        src_ip=src_ip,
+        dst_ip=depot_ip,
+        src_port=src_port,
+        dst_port=depot_port,
+        session_type=SessionType.POINT_TO_POINT,
+    )
+    depot.admit(header, hold_for_pickup=True)
+    offset = 0
+    while offset < len(payload):
+        accepted = depot.write(
+            header.session_id, payload[offset : offset + chunk_size]
+        )
+        if accepted == 0:
+            raise RuntimeError(
+                f"depot {depot.config.name!r} pool exhausted mid-deposit"
+            )
+        offset += accepted
+    depot.finish_write(header.session_id)
+    return header
+
+
+def pickup(
+    depot: Depot, session_id: bytes, chunk_size: int = 64 << 10
+) -> bytes:
+    """Drain a previously deposited session from ``depot``.
+
+    Raises
+    ------
+    KeyError
+        If the session id is unknown at this depot.
+    """
+    check_positive("chunk_size", chunk_size)
+    out = bytearray()
+    while True:
+        chunk = depot.read(session_id, chunk_size)
+        if not chunk:
+            break
+        out += chunk
+    depot.evict(session_id)
+    return bytes(out)
+
+
+def pickup_header(
+    depot_ip: str, depot_port: int, session_id: bytes
+) -> SessionHeader:
+    """The wire header a receiver sends to claim a held session."""
+    return SessionHeader(
+        session_id=session_id,
+        src_ip="0.0.0.0",
+        dst_ip=depot_ip,
+        src_port=0,
+        dst_port=depot_port,
+        session_type=SessionType.PICKUP,
+    )

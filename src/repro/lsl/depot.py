@@ -1,0 +1,285 @@
+"""The transport-agnostic depot engine.
+
+A depot is "a session routing process" (Section 2): it admits sessions,
+buffers their bytes in a bounded store, and forwards them toward the next
+hop chosen from the header's loose source route or from the scheduler's
+route table.  This module is pure logic — byte-exact, no sockets, no
+simulated time — so the same engine backs both the in-memory protocol
+tests and the real-socket transport.
+
+Two paper details are modelled faithfully:
+
+* **storage budget** — per-session buffering is bounded; writers are told
+  how much was accepted and must hold the rest (back-pressure, the
+  mechanism behind Figure 5's kink);
+* **admission control** — "session negotiation that allows a potential
+  depot to refuse a new connection based on host load" (Section 6,
+  future work): a depot refuses sessions beyond ``max_sessions`` or when
+  its pool is nearly exhausted.
+
+Asynchronous sessions (Section 2: "the receiver discovering the session
+identifier and reading the data from the last depot") are supported by
+admitting a session with no next hop: bytes are retained for pickup by
+session id.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.lsl.header import SessionHeader
+from repro.lsl.options import LooseSourceRoute
+from repro.lsl.routetable import RouteTable
+from repro.util.validation import check_positive
+
+
+class SessionState(Enum):
+    """Lifecycle of a session inside one depot."""
+
+    ACTIVE = "active"  # sender still writing
+    DRAINING = "draining"  # sender finished; buffered bytes remain
+    CLOSED = "closed"  # all bytes forwarded or picked up
+
+
+class AdmissionError(RuntimeError):
+    """Raised when a depot refuses a new session."""
+
+
+@dataclass(frozen=True)
+class DepotConfig:
+    """Static configuration of one depot.
+
+    Parameters
+    ----------
+    name:
+        Host name (or address string) of this depot.
+    capacity:
+        Total buffer pool in bytes shared by all sessions; defaults to
+        the paper's 32 MB depot budget.
+    max_sessions:
+        Admission ceiling on concurrently active sessions.
+    admission_headroom:
+        Refuse new sessions when less than this fraction of the pool is
+        free (load-based refusal, Section 6).
+    """
+
+    name: str
+    capacity: int = 32 << 20
+    max_sessions: int = 64
+    admission_headroom: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("capacity", self.capacity)
+        check_positive("max_sessions", self.max_sessions)
+        if not (0.0 <= self.admission_headroom < 1.0):
+            raise ValueError(
+                f"admission_headroom={self.admission_headroom} not in [0, 1)"
+            )
+
+
+@dataclass(frozen=True)
+class ForwardingDecision:
+    """Where a newly admitted session's bytes should go next.
+
+    Attributes
+    ----------
+    next_hop:
+        ``(address, port)`` of the next depot, or the final destination
+        when ``is_final``; ``None`` for hold-for-pickup sessions.
+    header:
+        The header to emit on the outgoing connection (its loose source
+        route has been advanced past this depot).
+    is_final:
+        True when ``next_hop`` is the session's destination endpoint.
+    """
+
+    next_hop: tuple[str, int] | None
+    header: SessionHeader
+    is_final: bool
+
+
+@dataclass
+class _SessionBuffer:
+    chunks: deque = field(default_factory=deque)
+    size: int = 0
+    state: SessionState = SessionState.ACTIVE
+    total_in: int = 0
+    total_out: int = 0
+
+
+class Depot:
+    """One depot's session, buffer and forwarding state.
+
+    Parameters
+    ----------
+    config:
+        Static depot parameters.
+    route_table:
+        Fallback forwarding table (used when a session carries no loose
+        source route).  ``None`` means "always forward directly to the
+        destination".
+    """
+
+    def __init__(
+        self, config: DepotConfig, route_table: RouteTable | None = None
+    ) -> None:
+        self.config = config
+        self.route_table = route_table
+        self._sessions: dict[bytes, _SessionBuffer] = {}
+        self.peak_usage = 0
+        self.total_through = 0
+        self.refused = 0
+
+    # -- admission and forwarding ------------------------------------------
+    @property
+    def pool_used(self) -> int:
+        """Bytes currently buffered across all sessions."""
+        return sum(s.size for s in self._sessions.values())
+
+    @property
+    def pool_free(self) -> int:
+        return self.config.capacity - self.pool_used
+
+    @property
+    def active_sessions(self) -> int:
+        return sum(
+            1
+            for s in self._sessions.values()
+            if s.state is not SessionState.CLOSED
+        )
+
+    def admit(
+        self, header: SessionHeader, hold_for_pickup: bool = False
+    ) -> ForwardingDecision:
+        """Admit a session and decide its next hop.
+
+        Raises
+        ------
+        AdmissionError
+            When the session ceiling or storage headroom is exceeded, or
+            the session id is already active here.
+        """
+        if self.active_sessions >= self.config.max_sessions:
+            self.refused += 1
+            raise AdmissionError(
+                f"depot {self.config.name!r}: session ceiling "
+                f"{self.config.max_sessions} reached"
+            )
+        headroom = self.config.admission_headroom * self.config.capacity
+        if self.pool_free < headroom:
+            self.refused += 1
+            raise AdmissionError(
+                f"depot {self.config.name!r}: storage pool under load"
+            )
+        if header.session_id in self._sessions:
+            raise AdmissionError(
+                f"session {header.hex_id} already active at {self.config.name!r}"
+            )
+
+        self._sessions[header.session_id] = _SessionBuffer()
+
+        if hold_for_pickup:
+            return ForwardingDecision(next_hop=None, header=header, is_final=False)
+
+        lsrr = header.option(LooseSourceRoute)
+        if lsrr is not None:
+            hop, remaining = lsrr.advance()
+            if hop is not None:
+                new_options = tuple(
+                    remaining if opt is lsrr else opt for opt in header.options
+                )
+                return ForwardingDecision(
+                    next_hop=hop,
+                    header=header.with_options(new_options),
+                    is_final=False,
+                )
+            # exhausted source route: fall through to the destination
+        elif self.route_table is not None:
+            dest = header.dst_ip
+            if self.route_table.is_relayed(dest):
+                return ForwardingDecision(
+                    next_hop=(self.route_table.next_hop(dest), header.dst_port),
+                    header=header,
+                    is_final=False,
+                )
+        return ForwardingDecision(
+            next_hop=(header.dst_ip, header.dst_port),
+            header=header,
+            is_final=True,
+        )
+
+    # -- data path -------------------------------------------------------------
+    def _session(self, session_id: bytes) -> _SessionBuffer:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise KeyError(f"unknown session {session_id.hex()}") from None
+
+    def write(self, session_id: bytes, data: bytes) -> int:
+        """Buffer incoming bytes; returns how many were accepted.
+
+        A partial write signals back-pressure: the caller must retry the
+        remainder once :meth:`read` has freed space.
+        """
+        session = self._session(session_id)
+        if session.state is not SessionState.ACTIVE:
+            raise ValueError(
+                f"session {session_id.hex()} is {session.state.value}; "
+                "writes not allowed"
+            )
+        accept = min(len(data), self.pool_free)
+        if accept > 0:
+            session.chunks.append(data[:accept])
+            session.size += accept
+            session.total_in += accept
+            self.peak_usage = max(self.peak_usage, self.pool_used)
+        return accept
+
+    def read(self, session_id: bytes, max_bytes: int) -> bytes:
+        """Drain up to ``max_bytes`` of buffered data for forwarding."""
+        check_positive("max_bytes", max_bytes)
+        session = self._session(session_id)
+        out = bytearray()
+        while session.chunks and len(out) < max_bytes:
+            chunk = session.chunks[0]
+            take = min(len(chunk), max_bytes - len(out))
+            out += chunk[:take]
+            if take == len(chunk):
+                session.chunks.popleft()
+            else:
+                session.chunks[0] = chunk[take:]
+            session.size -= take
+        session.total_out += len(out)
+        self.total_through += len(out)
+        if session.state is SessionState.DRAINING and session.size == 0:
+            session.state = SessionState.CLOSED
+        return bytes(out)
+
+    def available(self, session_id: bytes) -> int:
+        """Bytes buffered and ready to forward for a session."""
+        return self._session(session_id).size
+
+    def finish_write(self, session_id: bytes) -> None:
+        """The sender is done; remaining bytes drain, then the session
+        closes."""
+        session = self._session(session_id)
+        if session.state is SessionState.ACTIVE:
+            session.state = (
+                SessionState.CLOSED if session.size == 0 else SessionState.DRAINING
+            )
+
+    def state(self, session_id: bytes) -> SessionState:
+        """Lifecycle state of a session at this depot."""
+        return self._session(session_id).state
+
+    def evict(self, session_id: bytes) -> None:
+        """Forget a session entirely (post-close cleanup)."""
+        self._sessions.pop(session_id, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Depot({self.config.name!r}, sessions={self.active_sessions}, "
+            f"pool={self.pool_used}/{self.config.capacity})"
+        )

@@ -1,0 +1,202 @@
+"""The LSL session header wire format.
+
+Section 2: "Each session begins with a header containing a 128-bit
+session identifier.  The header also includes a source and destination IP
+address (version 4 currently) and 16-bit port number.  Additionally, the
+header contains 16-bit Version and Type fields to allow for future
+modification of the header format.  Finally, there is a header length
+field, as the size of the header will vary when it contains options."
+
+Layout (network byte order)::
+
+    0       2       4       6           22      26      30  32  34
+    +-------+-------+-------+-----------+-------+-------+---+---+----...
+    |version| type  | hlen  | session id (16 B) |src ip |dst ip |ports|opts
+    +-------+-------+-------+-----------+-------+-------+---+---+----...
+
+``hlen`` counts the complete header including options, in bytes.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import secrets
+import struct
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from repro.lsl.options import HeaderOption, decode_options, encode_options
+
+#: Current protocol version.
+LSL_VERSION = 1
+
+#: Fixed-size prefix: version, type, hlen (3 x u16), 16-byte session id,
+#: two IPv4 addresses, two ports.
+_FIXED = struct.Struct("!HHH16s4s4sHH")
+FIXED_HEADER_SIZE = _FIXED.size  # 34 bytes
+
+#: Hard ceiling on the encoded header (hlen is 16-bit).
+MAX_HEADER_SIZE = 0xFFFF
+
+
+class SessionType(IntEnum):
+    """The header's 16-bit Type field."""
+
+    #: ordinary point-to-point forwarding through depots
+    POINT_TO_POINT = 1
+    #: synchronous application-layer multicast staging (ref [33])
+    MULTICAST = 2
+    #: asynchronous pickup: the receiver "discovering the session
+    #: identifier and reading the data from the last depot" (Section 2)
+    PICKUP = 3
+
+
+def new_session_id() -> bytes:
+    """A fresh random 128-bit session identifier."""
+    return secrets.token_bytes(16)
+
+
+def _pack_ip(addr: str) -> bytes:
+    return ipaddress.IPv4Address(addr).packed
+
+
+def _unpack_ip(raw: bytes) -> str:
+    return str(ipaddress.IPv4Address(raw))
+
+
+@dataclass(frozen=True)
+class SessionHeader:
+    """One decoded (or to-be-encoded) LSL session header.
+
+    Attributes
+    ----------
+    session_id:
+        128-bit identifier, 16 raw bytes.
+    src_ip, dst_ip:
+        Dotted-quad IPv4 addresses of the session endpoints.
+    src_port, dst_port:
+        16-bit ports of the session endpoints.
+    session_type:
+        :class:`SessionType` discriminator.
+    version:
+        Protocol version (reject mismatches on decode).
+    options:
+        Decoded header options, in wire order.
+    """
+
+    session_id: bytes
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    session_type: SessionType = SessionType.POINT_TO_POINT
+    version: int = LSL_VERSION
+    options: tuple[HeaderOption, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.session_id) != 16:
+            raise ValueError(
+                f"session_id must be 16 bytes, got {len(self.session_id)}"
+            )
+        for name, port in (("src_port", self.src_port), ("dst_port", self.dst_port)):
+            if not (0 <= port <= 0xFFFF):
+                raise ValueError(f"{name}={port} out of 16-bit range")
+        if not (0 <= self.version <= 0xFFFF):
+            raise ValueError(f"version={self.version} out of 16-bit range")
+        # validate addresses eagerly
+        _pack_ip(self.src_ip)
+        _pack_ip(self.dst_ip)
+
+    # -- codec --------------------------------------------------------------
+    def encode(self) -> bytes:
+        """Serialise to wire bytes (fixed prefix + options)."""
+        opts = encode_options(self.options)
+        hlen = FIXED_HEADER_SIZE + len(opts)
+        if hlen > MAX_HEADER_SIZE:
+            raise ValueError(f"header of {hlen} bytes exceeds 16-bit length")
+        fixed = _FIXED.pack(
+            self.version,
+            int(self.session_type),
+            hlen,
+            self.session_id,
+            _pack_ip(self.src_ip),
+            _pack_ip(self.dst_ip),
+            self.src_port,
+            self.dst_port,
+        )
+        return fixed + opts
+
+    @classmethod
+    def decode(cls, data: bytes) -> tuple["SessionHeader", int]:
+        """Parse a header from the front of ``data``.
+
+        Returns ``(header, consumed_bytes)`` so stream readers know where
+        payload begins.
+
+        Raises
+        ------
+        ValueError
+            On truncation, version mismatch, or malformed options.
+        """
+        if len(data) < FIXED_HEADER_SIZE:
+            raise ValueError(
+                f"truncated header: {len(data)} < {FIXED_HEADER_SIZE} bytes"
+            )
+        (
+            version,
+            type_raw,
+            hlen,
+            session_id,
+            src_raw,
+            dst_raw,
+            src_port,
+            dst_port,
+        ) = _FIXED.unpack(data[:FIXED_HEADER_SIZE])
+        if version != LSL_VERSION:
+            raise ValueError(f"unsupported LSL version {version}")
+        if hlen < FIXED_HEADER_SIZE:
+            raise ValueError(f"header length {hlen} below fixed size")
+        if len(data) < hlen:
+            raise ValueError(f"truncated options: have {len(data)}, need {hlen}")
+        try:
+            session_type = SessionType(type_raw)
+        except ValueError as exc:
+            raise ValueError(f"unknown session type {type_raw}") from exc
+        options = decode_options(data[FIXED_HEADER_SIZE:hlen])
+        header = cls(
+            session_id=session_id,
+            src_ip=_unpack_ip(src_raw),
+            dst_ip=_unpack_ip(dst_raw),
+            src_port=src_port,
+            dst_port=dst_port,
+            session_type=session_type,
+            version=version,
+            options=tuple(options),
+        )
+        return header, hlen
+
+    # -- helpers --------------------------------------------------------------
+    def option(self, kind: type) -> HeaderOption | None:
+        """First option of the given class, or ``None``."""
+        for opt in self.options:
+            if isinstance(opt, kind):
+                return opt
+        return None
+
+    def with_options(self, options: tuple[HeaderOption, ...]) -> "SessionHeader":
+        """A copy carrying different options (headers are immutable)."""
+        return SessionHeader(
+            session_id=self.session_id,
+            src_ip=self.src_ip,
+            dst_ip=self.dst_ip,
+            src_port=self.src_port,
+            dst_port=self.dst_port,
+            session_type=self.session_type,
+            version=self.version,
+            options=tuple(options),
+        )
+
+    @property
+    def hex_id(self) -> str:
+        """Session id as lowercase hex (for logs and dict keys)."""
+        return self.session_id.hex()

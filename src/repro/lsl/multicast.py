@@ -1,0 +1,180 @@
+"""Synchronous application-layer multicast staging (header option).
+
+Section 2 mentions "a header option to form a synchronous
+application-layer multicast tree for data staging" (the paper's reference
+[33]): one source pushes a data set once, depots replicate it down a tree
+so every leaf site receives a copy while each wide-area link carries the
+payload exactly once.
+
+:class:`StagingTree` is the in-memory tree model convertible to/from the
+wire option; :func:`simulate_staging` executes a staging operation over
+real :class:`~repro.lsl.depot.Depot` engines; :func:`staging_time_model`
+estimates the synchronous completion time over a
+:class:`~repro.net.topology.Topology` using the analytic transfer models
+(pipelined: a node forwards as it receives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lsl.options import MulticastTreeOption
+from repro.models.relay import relay_transfer_time
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class StagingTree:
+    """A replication tree of depot addresses.
+
+    Attributes
+    ----------
+    nodes:
+        ``(parent_index, address, port)`` triples, root first (parent
+        index -1), parents before children.
+    """
+
+    nodes: tuple[tuple[int, str, int], ...]
+
+    def __post_init__(self) -> None:
+        MulticastTreeOption(nodes=self.nodes)  # reuse the wire validation
+
+    @classmethod
+    def from_option(cls, option: MulticastTreeOption) -> "StagingTree":
+        return cls(nodes=option.nodes)
+
+    def to_option(self) -> MulticastTreeOption:
+        """The wire option encoding this tree."""
+        return MulticastTreeOption(nodes=self.nodes)
+
+    @classmethod
+    def from_parent_map(
+        cls, root: tuple[str, int], children_of: dict[tuple[str, int], list]
+    ) -> "StagingTree":
+        """Build from an adjacency map ``parent_addr -> [child_addr, ...]``."""
+        nodes: list[tuple[int, str, int]] = [(-1, root[0], root[1])]
+        index_of = {root: 0}
+        frontier = [root]
+        while frontier:
+            parent = frontier.pop(0)
+            for child in children_of.get(parent, []):
+                child = (child[0], child[1])
+                if child in index_of:
+                    raise ValueError(f"node {child} appears twice in the tree")
+                index_of[child] = len(nodes)
+                nodes.append((index_of[parent], child[0], child[1]))
+                frontier.append(child)
+        return cls(nodes=tuple(nodes))
+
+    @property
+    def root(self) -> tuple[str, int]:
+        _, addr, port = self.nodes[0]
+        return (addr, port)
+
+    def children_of(self, index: int) -> list[int]:
+        """Indices of the direct children of node ``index``."""
+        return [i for i, (p, _, _) in enumerate(self.nodes) if p == index]
+
+    def address_of(self, index: int) -> tuple[str, int]:
+        """The ``(ip, port)`` of node ``index``."""
+        _, addr, port = self.nodes[index]
+        return (addr, port)
+
+    def leaves(self) -> list[int]:
+        """Indices of nodes with no children."""
+        parents = {p for p, _, _ in self.nodes if p >= 0}
+        return [i for i in range(len(self.nodes)) if i not in parents]
+
+    def path_to(self, index: int) -> list[int]:
+        """Node indices from the root down to ``index`` inclusive."""
+        path = [index]
+        while self.nodes[path[-1]][0] >= 0:
+            path.append(self.nodes[path[-1]][0])
+        path.reverse()
+        return path
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def simulate_staging(
+    tree: StagingTree,
+    depots: dict[tuple[str, int], "object"],
+    payload: bytes,
+) -> dict[tuple[str, int], bytes]:
+    """Replicate ``payload`` down the tree through depot engines.
+
+    Every tree node's depot receives the full payload exactly once; each
+    depot forwards to its children by replaying its buffered bytes.
+    Returns the payload observed at each address (so tests can assert
+    byte-exact replication) and leaves every depot session closed.
+    """
+    if not payload:
+        raise ValueError("payload must be non-empty")
+    from repro.lsl.header import SessionHeader, SessionType, new_session_id
+
+    received: dict[tuple[str, int], bytes] = {}
+    session_root = new_session_id()
+
+    def deliver(index: int, data: bytes) -> None:
+        addr = tree.address_of(index)
+        depot = depots.get(addr)
+        if depot is None:
+            raise KeyError(f"no depot engine at {addr}")
+        header = SessionHeader(
+            session_id=session_root,
+            src_ip="0.0.0.0",
+            dst_ip=addr[0],
+            src_port=0,
+            dst_port=addr[1],
+            session_type=SessionType.MULTICAST,
+        )
+        depot.admit(header, hold_for_pickup=True)
+        offset = 0
+        collected = bytearray()
+        while offset < len(data):
+            accepted = depot.write(session_root, data[offset : offset + (64 << 10)])
+            if accepted == 0:
+                # bounded pool: drain what we have into our local copy
+                chunk = depot.read(session_root, 64 << 10)
+                if not chunk:
+                    raise RuntimeError(f"staging stalled at {addr}")
+                collected += chunk
+                continue
+            offset += accepted
+        depot.finish_write(session_root)
+        while True:
+            chunk = depot.read(session_root, 64 << 10)
+            if not chunk:
+                break
+            collected += chunk
+        depot.evict(session_root)
+        received[addr] = bytes(collected)
+        for child in tree.children_of(index):
+            deliver(child, bytes(collected))
+
+    deliver(0, payload)
+    return received
+
+
+def staging_time_model(tree: StagingTree, path_spec_of, size: int) -> float:
+    """Synchronous staging completion time estimate.
+
+    ``path_spec_of(parent_addr, child_addr)`` must return the
+    :class:`~repro.net.topology.PathSpec` of that tree edge.  Because
+    depots forward while receiving, the data pipeline down each
+    root-to-leaf branch behaves like a relay chain; the staging finishes
+    when the slowest branch finishes.
+    """
+    check_positive("size", size)
+    worst = 0.0
+    for leaf in tree.leaves():
+        indices = tree.path_to(leaf)
+        if len(indices) < 2:
+            continue
+        paths = [
+            path_spec_of(tree.address_of(a), tree.address_of(b))
+            for a, b in zip(indices, indices[1:])
+        ]
+        worst = max(worst, relay_transfer_time(paths, size))
+    return worst

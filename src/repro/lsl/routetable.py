@@ -1,0 +1,127 @@
+"""Destination/next-hop route tables.
+
+"For hop by hop routing, the MMP tree is reduced to a list of
+destinations and the next hop along the chosen path.  These
+destination/next hop tuples form a 'route table' that is consumed by the
+logistical depot and used to control forwarding." (Section 4.2)
+
+Entries map destination host names to next-hop host names; a destination
+absent from the table is forwarded directly (the default route).  Tables
+serialise to a simple ``dest<TAB>next_hop`` text format for operators.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class RouteTable:
+    """One depot's forwarding table.
+
+    Parameters
+    ----------
+    owner:
+        The host this table belongs to (entries routing to the owner
+        itself are rejected — that would loop).
+    entries:
+        Initial destination → next-hop mapping.
+    """
+
+    def __init__(self, owner: str, entries: dict[str, str] | None = None) -> None:
+        if not owner:
+            raise ValueError("owner must be a non-empty host name")
+        self.owner = owner
+        self._entries: dict[str, str] = {}
+        for dest, hop in (entries or {}).items():
+            self.set(dest, hop)
+
+    # -- mutation -------------------------------------------------------------
+    def set(self, dest: str, next_hop: str) -> None:
+        """Install or replace an entry."""
+        if dest == self.owner:
+            raise ValueError(f"route to self ({dest!r}) is meaningless")
+        if next_hop == self.owner:
+            raise ValueError(
+                f"next hop {next_hop!r} is this depot — would loop forever"
+            )
+        self._entries[dest] = next_hop
+
+    def remove(self, dest: str) -> None:
+        """Drop an entry (KeyError if absent)."""
+        del self._entries[dest]
+
+    def clear(self) -> None:
+        """Drop every entry (all destinations become direct)."""
+        self._entries.clear()
+
+    def replace_all(self, entries: dict[str, str]) -> None:
+        """Atomically swap in a new table (the 5-minute scheduler re-run)."""
+        staged = RouteTable(self.owner, entries)  # validate first
+        self._entries = staged._entries
+
+    # -- lookup -----------------------------------------------------------------
+    def next_hop(self, dest: str) -> str:
+        """Where to forward a session bound for ``dest``.
+
+        Destinations without an entry use the default route: straight to
+        the destination itself.
+        """
+        if dest == self.owner:
+            raise ValueError("session already at its destination")
+        return self._entries.get(dest, dest)
+
+    def is_relayed(self, dest: str) -> bool:
+        """True when ``dest`` is reached through an intermediate hop."""
+        return self.next_hop(dest) != dest
+
+    def __contains__(self, dest: str) -> bool:
+        return dest in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        return iter(sorted(self._entries.items()))
+
+    # -- (de)serialisation --------------------------------------------------------
+    def to_text(self) -> str:
+        """Serialise as ``dest<TAB>next_hop`` lines, header first."""
+        lines = [f"# route table for {self.owner}"]
+        lines += [f"{dest}\t{hop}" for dest, hop in self]
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_text(cls, text: str) -> "RouteTable":
+        """Parse :meth:`to_text` output."""
+        owner = None
+        entries: dict[str, str] = {}
+        for lineno, line in enumerate(text.splitlines(), 1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line.split()
+                if "for" in parts:
+                    owner = parts[parts.index("for") + 1]
+                continue
+            fields = line.split("\t")
+            if len(fields) != 2:
+                raise ValueError(f"line {lineno}: expected 'dest<TAB>hop'")
+            entries[fields[0]] = fields[1]
+        if owner is None:
+            raise ValueError("missing '# route table for <owner>' header")
+        return cls(owner, entries)
+
+    @classmethod
+    def from_scheduler(cls, scheduler, owner: str) -> "RouteTable":
+        """Build from a :class:`~repro.core.scheduler.LogisticalScheduler`.
+
+        Only relayed destinations get entries; direct ones rely on the
+        default route.
+        """
+        raw = scheduler.route_table(owner)
+        entries = {dest: hop for dest, hop in raw.items() if hop != dest}
+        return cls(owner, entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RouteTable(owner={self.owner!r}, entries={len(self)})"

@@ -1,0 +1,284 @@
+"""LSL over real TCP sockets (localhost functional transport).
+
+The paper's depots were "user-level depot processes that implement the
+LSL protocol" on stock Linux.  This module is the same thing scaled to a
+test box: every component runs on ``127.0.0.1`` with real sockets, real
+byte streams and the real wire format from :mod:`repro.lsl.header`.
+
+* :class:`DepotServer` — accepts a session, parses the header, advances
+  the loose source route (or consults a route table keyed by
+  ``ip:port`` strings), opens the onward connection and pumps bytes
+  through a bounded user-space buffer;
+* :class:`SinkServer` — terminates sessions and stores payloads by
+  session id;
+* :func:`send_session` — the source side: connect, emit header, stream
+  payload.
+
+Localhost has no bandwidth-delay product, so this transport verifies
+*correctness* (framing, routing, integrity, back-pressure); performance
+claims are the simulator's job.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from dataclasses import dataclass, field
+
+from repro.lsl.header import FIXED_HEADER_SIZE, SessionHeader, SessionType
+from repro.lsl.options import LooseSourceRoute
+from repro.util.validation import check_positive
+
+_BACKLOG = 16
+_IO_CHUNK = 64 << 10
+
+
+def _read_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise ``ConnectionError`` on EOF."""
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise ConnectionError(
+                f"peer closed after {len(buf)} of {n} expected bytes"
+            )
+        buf += chunk
+    return bytes(buf)
+
+
+def read_header(sock: socket.socket) -> SessionHeader:
+    """Read and decode one session header from a connected socket."""
+    fixed = _read_exact(sock, FIXED_HEADER_SIZE)
+    # header length is the third u16
+    hlen = int.from_bytes(fixed[4:6], "big")
+    if hlen < FIXED_HEADER_SIZE:
+        raise ValueError(f"header length {hlen} below fixed size")
+    rest = _read_exact(sock, hlen - FIXED_HEADER_SIZE) if hlen > FIXED_HEADER_SIZE else b""
+    header, _ = SessionHeader.decode(fixed + rest)
+    return header
+
+
+class _Server:
+    """Shared accept-loop plumbing for depot and sink servers."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(_BACKLOG)
+        self.host, self.port = self._sock.getsockname()
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self._accept_thread.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return  # listener closed
+            thread = threading.Thread(
+                target=self._safe_handle, args=(conn,), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _safe_handle(self, conn: socket.socket) -> None:
+        try:
+            self.handle(conn)
+        except (ConnectionError, OSError, ValueError) as exc:
+            self.errors.append(exc)
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    errors: list = []
+
+    def handle(self, conn: socket.socket) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Stop accepting and wait for in-flight sessions to finish."""
+        self._stop.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._accept_thread.join(timeout=5)
+        for thread in self._threads:
+            thread.join(timeout=5)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+class DepotServer(_Server):
+    """A forwarding depot on real sockets.
+
+    Parameters
+    ----------
+    host, port:
+        Listen address (port 0 picks an ephemeral port).
+    route_table:
+        Optional ``dest_ip -> next_hop_ip:port`` strings mapping used
+        when a session carries no loose source route.  Values are
+        ``"ip:port"``.
+    buffer_size:
+        User-space relay buffer per session, in bytes (the store in
+        store-and-forward).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        route_table: dict[str, str] | None = None,
+        buffer_size: int = 1 << 20,
+    ) -> None:
+        check_positive("buffer_size", buffer_size)
+        self.route_table = dict(route_table or {})
+        self.buffer_size = int(buffer_size)
+        self.sessions_forwarded = 0
+        self.bytes_forwarded = 0
+        self.errors = []
+        #: asynchronous sessions parked here, keyed by hex session id
+        self.held: dict[str, bytes] = {}
+        self._held_lock = threading.Lock()
+        super().__init__(host, port)
+
+    def _next_hop(self, header: SessionHeader) -> tuple[tuple[str, int], SessionHeader]:
+        lsrr = header.option(LooseSourceRoute)
+        if lsrr is not None:
+            hop, remaining = lsrr.advance()
+            if hop is not None:
+                options = tuple(
+                    remaining if opt is lsrr else opt for opt in header.options
+                )
+                return hop, header.with_options(options)
+        entry = self.route_table.get(header.dst_ip)
+        if entry is not None:
+            ip, _, port = entry.partition(":")
+            return (ip, int(port)), header
+        return (header.dst_ip, header.dst_port), header
+
+    def handle(self, conn: socket.socket) -> None:
+        """Serve one inbound session: park, pick up, or forward."""
+        header = read_header(conn)
+        # asynchronous pickup: stream a held session back to the caller
+        if header.session_type == SessionType.PICKUP:
+            with self._held_lock:
+                payload = self.held.pop(header.hex_id, None)
+            if payload is None:
+                raise ValueError(f"no held session {header.hex_id}")
+            conn.sendall(payload)
+            return
+        # sessions addressed to this depot are parked, not forwarded
+        if (header.dst_ip, header.dst_port) == (self.host, self.port):
+            chunks = bytearray()
+            while True:
+                data = conn.recv(_IO_CHUNK)
+                if not data:
+                    break
+                chunks += data
+            with self._held_lock:
+                self.held[header.hex_id] = bytes(chunks)
+            return
+        next_hop, out_header = self._next_hop(header)
+        with socket.create_connection(next_hop, timeout=10) as out:
+            out.sendall(out_header.encode())
+            # bounded store-and-forward pump
+            while True:
+                data = conn.recv(min(_IO_CHUNK, self.buffer_size))
+                if not data:
+                    break
+                out.sendall(data)
+                self.bytes_forwarded += len(data)
+        self.sessions_forwarded += 1
+
+
+class SinkServer(_Server):
+    """Terminates LSL sessions; stores payloads keyed by session id."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.payloads: dict[str, bytes] = {}
+        self.headers: dict[str, SessionHeader] = {}
+        self._lock = threading.Lock()
+        self.errors = []
+        super().__init__(host, port)
+
+    def handle(self, conn: socket.socket) -> None:
+        """Terminate one session and store its payload."""
+        header = read_header(conn)
+        chunks = bytearray()
+        while True:
+            data = conn.recv(_IO_CHUNK)
+            if not data:
+                break
+            chunks += data
+        with self._lock:
+            self.payloads[header.hex_id] = bytes(chunks)
+            self.headers[header.hex_id] = header
+
+    def wait_for(self, session_id_hex: str, timeout: float = 10.0) -> bytes:
+        """Block until the payload for a session arrives (tests helper)."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if session_id_hex in self.payloads:
+                    return self.payloads[session_id_hex]
+            time.sleep(0.005)
+        raise TimeoutError(f"session {session_id_hex} never arrived")
+
+
+def send_session(
+    payload: bytes,
+    header: SessionHeader,
+    first_hop: tuple[str, int],
+    chunk_size: int = _IO_CHUNK,
+) -> None:
+    """Open a session toward ``first_hop`` and stream the payload.
+
+    ``first_hop`` is the first depot of the loose source route, or the
+    sink itself for a direct session.
+    """
+    check_positive("chunk_size", chunk_size)
+    with socket.create_connection(first_hop, timeout=10) as sock:
+        sock.sendall(header.encode())
+        for off in range(0, len(payload), chunk_size):
+            sock.sendall(payload[off : off + chunk_size])
+
+
+def fetch_pickup(
+    depot: tuple[str, int], session_id: bytes, timeout: float = 10.0
+) -> bytes:
+    """Claim an asynchronously parked session from a depot.
+
+    Sends a :attr:`~repro.lsl.header.SessionType.PICKUP` header carrying
+    the session id and reads the stored payload until EOF.
+    """
+    from repro.lsl.async_session import pickup_header
+
+    header = pickup_header(depot[0], depot[1], session_id)
+    with socket.create_connection(depot, timeout=timeout) as sock:
+        sock.sendall(header.encode())
+        sock.shutdown(socket.SHUT_WR)
+        chunks = bytearray()
+        while True:
+            data = sock.recv(_IO_CHUNK)
+            if not data:
+                break
+            chunks += data
+    return bytes(chunks)

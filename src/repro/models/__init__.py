@@ -1,0 +1,47 @@
+"""Closed-form TCP performance models.
+
+The fluid simulator (:mod:`repro.net`) is faithful but costs thousands of
+steps per transfer; the PlanetLab-scale campaigns of Section 4.2 need
+hundreds of thousands of transfer-time estimates.  This package provides
+the standard analytic models:
+
+* :mod:`~repro.models.mathis` — the macroscopic steady-state law
+  ``rate = C * MSS / (RTT * sqrt(p))`` (Mathis et al., the paper's [22]);
+* :mod:`~repro.models.padhye` — the PFTK model including timeouts;
+* :mod:`~repro.models.transfer_time` — handshake + slow-start ramp +
+  steady-state completion time for a single connection (Cardwell-style);
+* :mod:`~repro.models.relay` — pipelined completion time for TCP
+  connections in series through depots, dominated by the slowest sublink.
+
+The models are deliberately consistent with the fluid simulator: tests
+cross-validate them within tolerance.
+"""
+
+from repro.models.mathis import mathis_rate, mathis_window
+from repro.models.padhye import padhye_rate
+from repro.models.transfer_time import (
+    TransferModel,
+    steady_state_rate,
+    transfer_model,
+    transfer_time,
+    effective_bandwidth,
+)
+from repro.models.relay import (
+    relay_transfer_time,
+    relay_effective_bandwidth,
+    pipeline_fill_time,
+)
+
+__all__ = [
+    "mathis_rate",
+    "mathis_window",
+    "padhye_rate",
+    "TransferModel",
+    "steady_state_rate",
+    "transfer_model",
+    "transfer_time",
+    "effective_bandwidth",
+    "relay_transfer_time",
+    "relay_effective_bandwidth",
+    "pipeline_fill_time",
+]

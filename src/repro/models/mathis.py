@@ -1,0 +1,58 @@
+"""The Mathis/MSMO macroscopic model of TCP congestion avoidance.
+
+Mathis, Semke, Mahdavi and Ott (the paper's reference [22]) showed that a
+TCP connection experiencing a periodic loss with per-packet probability
+``p`` sustains an average rate of::
+
+    rate = C * MSS / (RTT * sqrt(p))
+
+with ``C = sqrt(3/2)`` for the ideal periodic-loss sawtooth.  The key
+property the paper leans on is the ``1/RTT`` factor: cutting a path in
+half doubles the sustainable rate of each half, which is the steady-state
+component of the logistical effect.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.validation import check_positive, check_probability
+
+#: Sawtooth constant for periodic loss, ``sqrt(3/2)``.
+MATHIS_C = math.sqrt(1.5)
+
+
+def mathis_rate(mss: int, rtt: float, loss_rate: float) -> float:
+    """Steady-state throughput in bytes/sec under periodic loss.
+
+    Parameters
+    ----------
+    mss:
+        Segment size in bytes.
+    rtt:
+        Round-trip time in seconds.
+    loss_rate:
+        Per-packet loss probability.  ``0`` returns ``inf`` (the model
+        imposes no ceiling on a loss-free path; window or wire limits
+        apply elsewhere).
+    """
+    check_positive("mss", mss)
+    check_positive("rtt", rtt)
+    check_probability("loss_rate", loss_rate)
+    if loss_rate == 0.0:
+        return math.inf
+    return MATHIS_C * mss / (rtt * math.sqrt(loss_rate))
+
+
+def mathis_window(mss: int, loss_rate: float) -> float:
+    """Mean congestion window (bytes) of the loss-limited sawtooth.
+
+    The sawtooth oscillates between ``W/2`` and ``W`` where
+    ``W = MSS * sqrt(8 / (3p))``; the mean is ``3W/4 = rate * RTT``.
+    """
+    check_positive("mss", mss)
+    check_probability("loss_rate", loss_rate)
+    if loss_rate == 0.0:
+        return math.inf
+    w_max = mss * math.sqrt(8.0 / (3.0 * loss_rate))
+    return 0.75 * w_max

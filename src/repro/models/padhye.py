@@ -1,0 +1,78 @@
+"""The PFTK (Padhye-Firoiu-Towsley-Kurose) TCP throughput model.
+
+Extends the Mathis law with retransmission timeouts and a receiver-window
+ceiling; at small loss rates it converges to Mathis, at large loss rates
+it is markedly lower because timeouts dominate.  Included because the
+PlanetLab environment the paper measures (small buffers, heavy sharing)
+sits in exactly the regime where the two models diverge.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.models.mathis import mathis_rate
+from repro.util.validation import check_non_negative, check_positive, check_probability
+
+
+def padhye_rate(
+    mss: int,
+    rtt: float,
+    loss_rate: float,
+    rto: float = 0.2,
+    wmax: float | None = None,
+    b: int = 1,
+) -> float:
+    """PFTK steady-state throughput in bytes/sec.
+
+    Implements the full approximation (eq. 30 of the PFTK paper)::
+
+                              MSS
+        B = min( Wmax/RTT, ------------------------------------------------ )
+                 RTT*sqrt(2bp/3) + T0 * min(1, 3*sqrt(3bp/8)) * p * (1+32p^2)
+
+    Parameters
+    ----------
+    mss:
+        Segment size in bytes.
+    rtt:
+        Round-trip time in seconds.
+    loss_rate:
+        Per-packet loss probability; ``0`` defers to the window ceiling
+        (``inf`` when ``wmax`` is ``None``).
+    rto:
+        Retransmission timeout ``T0`` in seconds.
+    wmax:
+        Receiver-window ceiling in bytes (``None`` = unlimited).
+    b:
+        Packets acknowledged per ACK (2 with delayed ACKs).
+    """
+    check_positive("mss", mss)
+    check_positive("rtt", rtt)
+    check_probability("loss_rate", loss_rate)
+    check_positive("rto", rto)
+    check_positive("b", b)
+    if wmax is not None:
+        check_positive("wmax", wmax)
+
+    window_ceiling = math.inf if wmax is None else wmax / rtt
+    if loss_rate == 0.0:
+        return window_ceiling
+
+    p = loss_rate
+    denominator = rtt * math.sqrt(2.0 * b * p / 3.0) + rto * min(
+        1.0, 3.0 * math.sqrt(3.0 * b * p / 8.0)
+    ) * p * (1.0 + 32.0 * p * p)
+    loss_limited = mss / denominator
+    return min(window_ceiling, loss_limited)
+
+
+def padhye_vs_mathis_ratio(mss: int, rtt: float, loss_rate: float) -> float:
+    """Ratio ``padhye / mathis`` — below 1, increasingly so as ``p`` grows.
+
+    Useful for sanity checks and the documentation examples.
+    """
+    check_probability("loss_rate", loss_rate)
+    if loss_rate == 0.0:
+        return 1.0
+    return padhye_rate(mss, rtt, loss_rate) / mathis_rate(mss, rtt, loss_rate)

@@ -1,0 +1,123 @@
+"""Semi-analytic completion time for TCP connections in series.
+
+Section 4 of the paper: "Once the pipeline startup overhead is amortized,
+the end to end performance is dominated by the performance of the slowest
+link."  The model here makes that statement quantitative:
+
+* LSL sessions are created dynamically — the session header travels with
+  the first data, so sublink ``i+1``'s handshake *starts* when the first
+  bytes reach depot ``i`` (serial connection setup, no persistent
+  tunnels);
+* every sublink ramps concurrently once it has data; the pipeline is
+  fully ramped when the *latest* hop finishes its ramp;
+* thereafter bytes drain at the bottleneck sublink's transient rate;
+* the last byte still has to propagate across the hops downstream of the
+  bottleneck.
+
+Depot buffers do not appear in the completion time: a bounded buffer
+changes *when the source may send* (the Figure-5 kink) but not the
+bottleneck-dominated finish, provided each buffer holds at least a
+bandwidth-delay product — which the paper's 32 MB budget comfortably
+does.  (:func:`pipeline_fill_time` exposes the kink location for the
+trace-level analyses.)
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.models.transfer_time import (
+    steady_state_rate,
+    transfer_model,
+    transient_rate,
+)
+from repro.net.tcp import TcpConfig
+from repro.net.topology import PathSpec
+from repro.util.validation import check_positive
+
+
+def relay_start_times(paths: list[PathSpec]) -> list[float]:
+    """When each sublink's handshake begins.
+
+    The source opens sublink 0 at ``t = 0``; depot ``i`` opens sublink
+    ``i+1`` when the session header (travelling with the first data)
+    arrives: one handshake RTT plus one one-way delay after sublink ``i``
+    itself started.
+    """
+    starts = [0.0]
+    for path in paths[:-1]:
+        starts.append(starts[-1] + path.rtt + path.one_way_delay)
+    return starts
+
+
+def relay_transfer_time(
+    paths: list[PathSpec], size: int, config: TcpConfig | None = None
+) -> float:
+    """Completion time in seconds for a pipelined relay over ``paths``.
+
+    A single-element list degenerates to the direct-connection model.
+    """
+    if not paths:
+        raise ValueError("at least one path is required")
+    check_positive("size", size)
+    config = config or TcpConfig()
+    if len(paths) == 1:
+        return transfer_model(paths[0], size, config).total
+
+    models = [transfer_model(p, size, config) for p in paths]
+    starts = relay_start_times(paths)
+
+    # bottleneck = slowest transient sender for this size
+    rates = [transient_rate(p, size, config) for p in paths]
+    bottleneck_idx = min(range(len(paths)), key=lambda i: rates[i])
+    bn = models[bottleneck_idx]
+
+    # the pipeline is ramped when the last hop finishes its exponential
+    # phase (each hop ramps as soon as it has data)
+    ramp_done = max(
+        start + m.handshake + m.ramp_time for start, m in zip(starts, models)
+    )
+
+    # remaining bytes drain at the bottleneck's post-ramp pace
+    completion = ramp_done + bn.steady_time
+
+    # the final byte crosses every hop at-or-after the bottleneck
+    tail = sum(p.one_way_delay for p in paths[bottleneck_idx:])
+    return completion + tail
+
+
+def relay_effective_bandwidth(
+    paths: list[PathSpec], size: int, config: TcpConfig | None = None
+) -> float:
+    """Observed end-to-end bandwidth ``size / time`` in bytes/sec."""
+    return size / relay_transfer_time(paths, size, config)
+
+
+def pipeline_fill_time(
+    upstream: PathSpec,
+    downstream: PathSpec,
+    depot_capacity: int,
+    config: TcpConfig | None = None,
+) -> tuple[float, float]:
+    """When (and at what byte count) a depot buffer fills.
+
+    For the Figure-5 configuration — upstream faster than downstream —
+    returns ``(t_fill, bytes_sent_at_fill)``: the moment the upstream
+    sender stalls on depot space and its acked-sequence slope collapses
+    to the downstream rate.  If the upstream is not faster, the buffer
+    never fills and ``(inf, inf)`` is returned.
+
+    The byte count is the quantity visible in the paper's Figure 5: "the
+    slope changes ... at the 32 MByte mark ... the depot offers 32 Mbytes
+    of total buffers."
+    """
+    check_positive("depot_capacity", depot_capacity)
+    config = config or TcpConfig()
+    r_up = steady_state_rate(upstream, config)
+    r_down = steady_state_rate(downstream, config)
+    if r_up <= r_down:
+        return math.inf, math.inf
+    # buffer grows at (r_up - r_down) once both are in steady state
+    t_fill = depot_capacity / (r_up - r_down)
+    bytes_at_fill = depot_capacity + r_down * t_fill  # occupancy + drained
+    return t_fill, bytes_at_fill

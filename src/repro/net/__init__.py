@@ -1,0 +1,61 @@
+"""Fluid network simulator substrate.
+
+The paper's measurements ran on real WAN paths (UCSB, UIUC, UF, Abilene POPs
+at Denver and Houston).  We have no WAN, so this package provides the
+substitute: a discrete-time *fluid* model of TCP connections over
+parameterised paths, faithful to the dynamics the paper identifies as the
+source of the logistical effect:
+
+* slow start doubles the congestion window once per RTT, so ramp time is
+  proportional to RTT;
+* the steady-state congestion-avoidance throughput under loss follows the
+  Mathis ``MSS/(RTT*sqrt(p))`` law, again inversely proportional to RTT;
+* socket buffers clamp the window, capping throughput at ``buffer/RTT``;
+* a relay depot pipelines data through a bounded buffer, so the end-to-end
+  rate is set by the slowest sublink, and a fast upstream link stalls once
+  the depot buffer fills (the 32 MB kink in the paper's Figure 5).
+
+Public entry points are :class:`~repro.net.simulator.NetworkSimulator` for
+running transfers and :class:`~repro.net.topology.PathSpec` for describing
+paths.
+"""
+
+from repro.net.topology import LinkSpec, PathSpec, Topology
+from repro.net.tcp import TcpConfig, TcpState
+from repro.net.flow import FluidTcpFlow, FileSource, SinkBuffer
+from repro.net.depot_sim import DepotBuffer, RelayPipeline
+from repro.net.simulator import NetworkSimulator, TransferResult
+from repro.net.trace import SeqTrace, average_traces, resample_trace
+from repro.net.contention import (
+    ContendedScenario,
+    SharedLink,
+    TransferOutcome,
+    jain_index,
+)
+from repro.net.export import load_traces, save_traces, trace_from_csv, trace_to_csv
+
+__all__ = [
+    "LinkSpec",
+    "PathSpec",
+    "Topology",
+    "TcpConfig",
+    "TcpState",
+    "FluidTcpFlow",
+    "FileSource",
+    "SinkBuffer",
+    "DepotBuffer",
+    "RelayPipeline",
+    "NetworkSimulator",
+    "TransferResult",
+    "SeqTrace",
+    "average_traces",
+    "resample_trace",
+    "ContendedScenario",
+    "SharedLink",
+    "TransferOutcome",
+    "jain_index",
+    "load_traces",
+    "save_traces",
+    "trace_from_csv",
+    "trace_to_csv",
+]

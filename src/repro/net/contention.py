@@ -1,0 +1,208 @@
+"""Link contention: multiple TCP flows sharing bottleneck capacity.
+
+Section 2 argues that LSL is safe for incremental deployment because
+"the system relies on TCP connections between depots" — its impact on
+competing traffic is that of ordinary TCP flows.  Testing that claim
+needs several flows sharing a link, which the private-path model cannot
+express; this module adds it.
+
+:class:`SharedLink` is a capacity pool; a :class:`ContendedScenario`
+steps any mix of transfers (direct and relayed) together, asking every
+flow for its *desired* send, water-filling each shared link's capacity
+across the flows that cross it (max-min fairness at the fluid level —
+what per-packet FIFO sharing gives long-run), and committing the grants.
+
+The well-known RTT bias of TCP lives in the *window dynamics*, which the
+flows keep: a short-RTT flow's window recovers faster after loss, so
+under loss-based contention it claims more than an even share.  The
+fairness benchmark quantifies exactly that for relayed sublinks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.net.depot_sim import RelayPipeline
+from repro.net.flow import FluidTcpFlow
+from repro.net.tcp import TcpConfig
+from repro.net.topology import PathSpec
+from repro.util.validation import check_positive
+
+
+class SharedLink:
+    """One contended link with a fixed capacity (bytes/sec)."""
+
+    def __init__(self, capacity: float, name: str = "") -> None:
+        check_positive("capacity", capacity)
+        self.capacity = float(capacity)
+        self.name = name
+        self.total_carried = 0.0
+
+    def allocate(self, desires: list[float], dt: float) -> list[float]:
+        """Max-min fair (water-filling) split of ``capacity * dt``.
+
+        Flows wanting less than an equal share keep their desire; the
+        leftover is re-divided among the still-hungry until exhausted.
+        """
+        budget = self.capacity * dt
+        n = len(desires)
+        grants = [0.0] * n
+        active = [i for i in range(n) if desires[i] > 0]
+        remaining = {i: desires[i] for i in active}
+        while active and budget > 1e-12:
+            share = budget / len(active)
+            satisfied = [i for i in active if remaining[i] <= share]
+            if satisfied:
+                for i in satisfied:
+                    grants[i] += remaining[i]
+                    budget -= remaining[i]
+                    del remaining[i]
+                active = [i for i in active if i in remaining]
+            else:
+                for i in active:
+                    grants[i] += share
+                    remaining[i] -= share
+                budget = 0.0
+        self.total_carried += sum(grants)
+        return grants
+
+
+@dataclass
+class TransferOutcome:
+    """Result of one transfer inside a contended scenario.
+
+    Attributes
+    ----------
+    label:
+        The transfer's name.
+    size:
+        Bytes moved.
+    duration:
+        Completion time (``nan`` if the scenario stopped first).
+    """
+
+    label: str
+    size: int
+    duration: float
+
+    @property
+    def bandwidth(self) -> float:
+        return self.size / self.duration
+
+
+@dataclass
+class _Member:
+    label: str
+    pipeline: RelayPipeline
+    #: per sublink: the SharedLink it crosses, or None for private wire
+    links: list[SharedLink | None]
+    finished_at: float = math.nan
+
+
+class ContendedScenario:
+    """Steps several (possibly relayed) transfers over shared links.
+
+    Parameters
+    ----------
+    dt:
+        Step size in seconds.
+    config:
+        Default TCP parameters for every connection.
+    """
+
+    def __init__(self, dt: float = 0.002, config: TcpConfig | None = None):
+        check_positive("dt", dt)
+        self.dt = dt
+        self.config = config or TcpConfig()
+        self._members: list[_Member] = []
+
+    def add_transfer(
+        self,
+        label: str,
+        paths: list[PathSpec],
+        size: int,
+        shared: list[SharedLink | None] | None = None,
+        depot_capacities: list[int] | None = None,
+    ) -> None:
+        """Register a transfer.
+
+        ``shared[i]`` names the shared link sublink ``i`` crosses
+        (``None`` = private).  Omitting ``shared`` makes every sublink
+        private.
+        """
+        pipeline = RelayPipeline(
+            paths,
+            size,
+            config=self.config,
+            depot_capacities=depot_capacities,
+            record_trace=False,
+        )
+        links = shared if shared is not None else [None] * len(paths)
+        if len(links) != len(paths):
+            raise ValueError(
+                f"{len(paths)} sublinks need {len(paths)} shared-link slots"
+            )
+        self._members.append(_Member(label, pipeline, list(links)))
+
+    def run(self, max_time: float = 600.0) -> list[TransferOutcome]:
+        """Step until every transfer completes; return outcomes in
+        registration order.
+
+        Raises
+        ------
+        RuntimeError
+            If any transfer fails to finish within ``max_time``.
+        """
+        if not self._members:
+            raise ValueError("no transfers registered")
+        now = 0.0
+        pending = set(range(len(self._members)))
+        while pending:
+            now += self.dt
+            if now > max_time:
+                stuck = [self._members[i].label for i in sorted(pending)]
+                raise RuntimeError(f"transfers never finished: {stuck}")
+            # phase 1: clock events, collect desires
+            desires: dict[SharedLink, list[tuple[FluidTcpFlow, float]]] = {}
+            private: list[tuple[FluidTcpFlow, float]] = []
+            for idx in sorted(pending):
+                member = self._members[idx]
+                for flow, link in zip(member.pipeline.flows, member.links):
+                    flow.process_events(now)
+                    desire = flow.desired_send(now, self.dt)
+                    if link is None:
+                        private.append((flow, desire))
+                    else:
+                        desires.setdefault(link, []).append((flow, desire))
+            # phase 2: grants
+            for flow, desire in private:
+                flow.commit_send(now, desire)
+            for link, entries in desires.items():
+                grants = link.allocate([d for _, d in entries], self.dt)
+                for (flow, _), grant in zip(entries, grants):
+                    flow.commit_send(now, grant)
+            # phase 3: completions
+            for idx in list(pending):
+                member = self._members[idx]
+                if member.pipeline.complete:
+                    member.finished_at = now
+                    pending.discard(idx)
+        return [
+            TransferOutcome(m.label, m.pipeline.size, m.finished_at)
+            for m in self._members
+        ]
+
+
+def jain_index(values: list[float]) -> float:
+    """Jain's fairness index: 1 = perfectly even, 1/n = one flow hogs.
+
+    ``(sum x)^2 / (n * sum x^2)`` over per-flow throughputs.
+    """
+    if not values:
+        raise ValueError("need at least one value")
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(values) * squares)

@@ -1,0 +1,82 @@
+"""Exporting and importing sequence traces.
+
+The paper built its Figures 4/5 from tcpdump captures post-processed
+into acked-sequence-versus-time series.  This module round-trips our
+:class:`~repro.net.trace.SeqTrace` objects through the equivalent CSV
+form (``time,acked``, one header line), so traces can be archived,
+diffed across runs, or plotted with external tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import numpy as np
+
+from repro.net.trace import SeqTrace
+
+
+def trace_to_csv(trace: SeqTrace) -> str:
+    """Serialise one trace to CSV text.
+
+    The trace name travels in a comment line so round-trips are exact.
+    """
+    out = io.StringIO()
+    out.write(f"# trace: {trace.name}\n")
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(["time_s", "acked_bytes"])
+    for t, b in zip(trace.times, trace.acked):
+        writer.writerow([f"{t:.9g}", f"{b:.9g}"])
+    return out.getvalue()
+
+
+def trace_from_csv(text: str) -> SeqTrace:
+    """Parse :func:`trace_to_csv` output back into a trace.
+
+    Raises
+    ------
+    ValueError
+        On a missing header or malformed rows.
+    """
+    name = ""
+    rows: list[tuple[float, float]] = []
+    lines = text.splitlines()
+    data_lines = []
+    for line in lines:
+        if line.startswith("# trace:"):
+            name = line.split(":", 1)[1].strip()
+        elif line.strip():
+            data_lines.append(line)
+    if not data_lines or data_lines[0].split(",")[0] != "time_s":
+        raise ValueError("missing 'time_s,acked_bytes' header")
+    for lineno, line in enumerate(data_lines[1:], 2):
+        fields = line.split(",")
+        if len(fields) != 2:
+            raise ValueError(f"row {lineno}: expected two columns")
+        try:
+            rows.append((float(fields[0]), float(fields[1])))
+        except ValueError:
+            raise ValueError(f"row {lineno}: non-numeric value") from None
+    times = np.array([t for t, _ in rows])
+    acked = np.array([b for _, b in rows])
+    return SeqTrace(times=times, acked=acked, name=name)
+
+
+def save_traces(traces: list[SeqTrace], path: str) -> None:
+    """Write several traces to one file, blank-line separated."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(trace_to_csv(t) for t in traces))
+
+
+def load_traces(path: str) -> list[SeqTrace]:
+    """Read a :func:`save_traces` file back."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    blocks = [b for b in text.split("\n# trace:") if b.strip()]
+    traces = []
+    for i, block in enumerate(blocks):
+        if i > 0 or not block.startswith("# trace:"):
+            block = "# trace:" + block if not block.startswith("# trace:") else block
+        traces.append(trace_from_csv(block))
+    return traces

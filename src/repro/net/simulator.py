@@ -1,0 +1,186 @@
+"""High-level transfer runner over the fluid model.
+
+:class:`NetworkSimulator` is the façade used by tests, examples and
+benchmarks: give it path specs and a size, get back a
+:class:`TransferResult` with the completion time, achieved bandwidth and
+per-sublink sequence traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.depot_sim import RelayPipeline
+from repro.net.tcp import TcpConfig
+from repro.net.topology import PathSpec
+from repro.net.trace import SeqTrace
+from repro.util.rng import RngStream
+from repro.util.units import bytes_per_sec_to_mbit_per_sec
+from repro.util.validation import check_positive
+
+
+@dataclass
+class TransferResult:
+    """Outcome of one simulated transfer.
+
+    Attributes
+    ----------
+    size:
+        Transfer size in bytes.
+    duration:
+        Wall-clock (simulated) seconds from session open to last byte
+        delivered at the sink application.
+    traces:
+        One :class:`SeqTrace` per TCP sublink, source side first.  A
+        direct transfer has exactly one.
+    loss_events:
+        Total congestion events across all sublinks.
+    depot_peaks:
+        Peak buffer occupancy per depot (empty for direct transfers).
+    """
+
+    size: int
+    duration: float
+    traces: list[SeqTrace] = field(default_factory=list)
+    loss_events: int = 0
+    depot_peaks: list[float] = field(default_factory=list)
+
+    @property
+    def bandwidth(self) -> float:
+        """Achieved end-to-end bandwidth in bytes/sec."""
+        return self.size / self.duration
+
+    @property
+    def bandwidth_mbit(self) -> float:
+        """Achieved end-to-end bandwidth in Mbit/sec."""
+        return bytes_per_sec_to_mbit_per_sec(self.bandwidth)
+
+
+def choose_dt(paths: list[PathSpec]) -> float:
+    """Pick a step size resolving the fastest RTT in the chain.
+
+    One-twentieth of the smallest RTT resolves slow-start doubling well;
+    the clamp keeps pathological inputs tractable.
+    """
+    dt = min(p.rtt for p in paths) / 20.0
+    return min(max(dt, 1e-4), 0.01)
+
+
+class NetworkSimulator:
+    """Runs direct and depot-relayed transfers over the fluid TCP model.
+
+    Parameters
+    ----------
+    config:
+        TCP parameters applied to every connection.
+    dt:
+        Fixed step size in seconds; ``None`` selects per-transfer via
+        :func:`choose_dt`.
+    seed:
+        Root seed for random loss mode.
+    """
+
+    def __init__(
+        self,
+        config: TcpConfig | None = None,
+        dt: float | None = None,
+        seed: int = 0,
+    ) -> None:
+        if dt is not None:
+            check_positive("dt", dt)
+        self.config = config or TcpConfig()
+        self.dt = dt
+        self._rng = RngStream(seed, "simulator")
+        self._run_counter = 0
+
+    def _next_rng(self) -> RngStream:
+        self._run_counter += 1
+        return self._rng.child(f"run{self._run_counter}")
+
+    def run_direct(
+        self,
+        path: PathSpec,
+        size: int,
+        record_trace: bool = True,
+        max_time: float = 3600.0,
+    ) -> TransferResult:
+        """Transfer ``size`` bytes over a single end-to-end connection."""
+        return self.run_relay(
+            [path], size, record_trace=record_trace, max_time=max_time
+        )
+
+    def run_relay(
+        self,
+        paths: list[PathSpec],
+        size: int,
+        depot_capacities: list[int] | None = None,
+        record_trace: bool = True,
+        max_time: float = 3600.0,
+        configs: list[TcpConfig] | None = None,
+    ) -> TransferResult:
+        """Transfer ``size`` bytes through ``len(paths) - 1`` depots.
+
+        Depot storage defaults to the paper's budget (twice the sum of the
+        adjacent kernel buffers; see
+        :func:`~repro.net.depot_sim.default_depot_capacity`).  Per-sublink
+        TCP parameters may be supplied via ``configs`` (kernels cache
+        ``ssthresh`` per destination).
+        """
+        pipeline = RelayPipeline(
+            paths,
+            size,
+            config=self.config,
+            depot_capacities=depot_capacities,
+            rng=self._next_rng(),
+            record_trace=record_trace,
+            configs=configs,
+        )
+        dt = self.dt if self.dt is not None else choose_dt(paths)
+        duration = pipeline.run(dt, max_time=max_time)
+        traces = (
+            [SeqTrace.from_flow(f) for f in pipeline.flows]
+            if record_trace
+            else []
+        )
+        return TransferResult(
+            size=int(size),
+            duration=duration,
+            traces=traces,
+            loss_events=pipeline.total_loss_events(),
+            depot_peaks=[d.peak_occupancy for d in pipeline.depots],
+        )
+
+    def compare(
+        self,
+        direct_path: PathSpec,
+        relay_paths: list[PathSpec],
+        size: int,
+        iterations: int = 1,
+        **kwargs,
+    ) -> tuple[list[TransferResult], list[TransferResult]]:
+        """Run ``iterations`` of both the direct and relayed transfer.
+
+        Returns ``(direct_results, relay_results)`` — the raw material for
+        the paper's speedup metric (Eq. 1: ratio of average bandwidths).
+        """
+        direct = [
+            self.run_direct(direct_path, size, **kwargs)
+            for _ in range(iterations)
+        ]
+        relayed = [
+            self.run_relay(relay_paths, size, **kwargs)
+            for _ in range(iterations)
+        ]
+        return direct, relayed
+
+
+def speedup(direct: list[TransferResult], relayed: list[TransferResult]) -> float:
+    """The paper's Equation 1: mean scheduled bandwidth / mean direct.
+
+    ``speedup > 1`` means the logistical route won.
+    """
+    if not direct or not relayed:
+        raise ValueError("both result lists must be non-empty")
+    mean_direct = sum(r.bandwidth for r in direct) / len(direct)
+    mean_relay = sum(r.bandwidth for r in relayed) / len(relayed)
+    return mean_relay / mean_direct

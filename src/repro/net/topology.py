@@ -1,0 +1,270 @@
+"""Network path and topology descriptions.
+
+Two levels of description are used:
+
+* :class:`PathSpec` — the end-to-end characteristics of one TCP sublink
+  (RTT, bottleneck bandwidth, loss rate, socket buffers).  This is what the
+  fluid TCP model consumes directly.
+
+* :class:`Topology` — a directed multigraph of named hosts and
+  latency/bandwidth links between them, from which host-pair
+  :class:`PathSpec` objects are derived (RTT is the summed two-way latency,
+  bandwidth the minimum along the route, loss the complement-product).
+  The testbed generators (:mod:`repro.testbed`) build these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.util.units import mbit_per_sec_to_bytes_per_sec
+from repro.util.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+#: Default socket buffer used by the paper's wide-area tests (8 MByte,
+#: configured via ``setsockopt`` on the Linux 2.4 hosts).
+DEFAULT_SOCKET_BUFFER = 8 << 20
+
+#: PlanetLab hosts in the paper were clamped to 64 KByte TCP buffers.
+PLANETLAB_SOCKET_BUFFER = 64 << 10
+
+
+@dataclass(frozen=True)
+class PathSpec:
+    """End-to-end characteristics of one TCP connection's path.
+
+    Parameters
+    ----------
+    rtt:
+        Round-trip time in seconds (e.g. ``0.087`` for UCSB->UF).
+    bandwidth:
+        Bottleneck bandwidth in **bytes per second**.
+    loss_rate:
+        Per-packet drop probability experienced by the connection.
+    send_buffer, recv_buffer:
+        Socket buffer sizes in bytes; the effective flow-control window is
+        their minimum.
+    name:
+        Optional label used in traces and reports (``"UCSB-Denver"``).
+    """
+
+    rtt: float
+    bandwidth: float
+    loss_rate: float = 0.0
+    send_buffer: int = DEFAULT_SOCKET_BUFFER
+    recv_buffer: int = DEFAULT_SOCKET_BUFFER
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        check_positive("rtt", self.rtt)
+        check_positive("bandwidth", self.bandwidth)
+        check_probability("loss_rate", self.loss_rate)
+        check_positive("send_buffer", self.send_buffer)
+        check_positive("recv_buffer", self.recv_buffer)
+
+    @property
+    def one_way_delay(self) -> float:
+        """One-way propagation delay (half the RTT)."""
+        return self.rtt / 2.0
+
+    @property
+    def window_limit(self) -> int:
+        """Flow-control window: min of the two socket buffers, in bytes."""
+        return min(self.send_buffer, self.recv_buffer)
+
+    @property
+    def bdp(self) -> float:
+        """Bandwidth-delay product in bytes."""
+        return self.bandwidth * self.rtt
+
+    @property
+    def window_limited_rate(self) -> float:
+        """Max rate sustainable under the flow-control window (bytes/sec)."""
+        return self.window_limit / self.rtt
+
+    def with_buffers(self, send: int | None = None, recv: int | None = None) -> "PathSpec":
+        """Return a copy with different socket buffer sizes."""
+        return replace(
+            self,
+            send_buffer=self.send_buffer if send is None else send,
+            recv_buffer=self.recv_buffer if recv is None else recv,
+        )
+
+    @classmethod
+    def from_mbit(
+        cls,
+        rtt_ms: float,
+        mbit_per_sec: float,
+        loss_rate: float = 0.0,
+        send_buffer: int = DEFAULT_SOCKET_BUFFER,
+        recv_buffer: int = DEFAULT_SOCKET_BUFFER,
+        name: str = "",
+    ) -> "PathSpec":
+        """Build a spec from an RTT in milliseconds and a rate in Mbit/s."""
+        return cls(
+            rtt=rtt_ms / 1000.0,
+            bandwidth=mbit_per_sec_to_bytes_per_sec(mbit_per_sec),
+            loss_rate=loss_rate,
+            send_buffer=send_buffer,
+            recv_buffer=recv_buffer,
+            name=name,
+        )
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One directed link in a :class:`Topology`.
+
+    Parameters
+    ----------
+    src, dst:
+        Host (or site) names.
+    latency:
+        One-way propagation delay in seconds.
+    bandwidth:
+        Link capacity in bytes per second.
+    loss_rate:
+        Per-packet drop probability on this link.
+    """
+
+    src: str
+    dst: str
+    latency: float
+    bandwidth: float
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_non_negative("latency", self.latency)
+        check_positive("bandwidth", self.bandwidth)
+        check_probability("loss_rate", self.loss_rate)
+        if self.src == self.dst:
+            raise ValueError(f"self-loop link at {self.src!r}")
+
+
+class Topology:
+    """A directed graph of hosts connected by :class:`LinkSpec` edges.
+
+    The graph is *routed*: a route is an explicit list of hosts, and
+    :meth:`path_spec` composes the end-to-end :class:`PathSpec` for it.
+    Routing policy itself lives in the scheduler (:mod:`repro.core`); the
+    topology only answers "what are the characteristics of this route".
+    """
+
+    def __init__(self) -> None:
+        self._links: dict[tuple[str, str], LinkSpec] = {}
+        self._hosts: set[str] = set()
+        self._host_buffers: dict[str, int] = {}
+
+    # -- construction ------------------------------------------------------
+    def add_host(self, name: str, socket_buffer: int = DEFAULT_SOCKET_BUFFER) -> None:
+        """Register a host and its TCP socket buffer size."""
+        check_positive("socket_buffer", socket_buffer)
+        self._hosts.add(name)
+        self._host_buffers[name] = int(socket_buffer)
+
+    def add_link(self, link: LinkSpec) -> None:
+        """Add a directed link; both endpoints are auto-registered."""
+        for host in (link.src, link.dst):
+            if host not in self._hosts:
+                self.add_host(host)
+        self._links[(link.src, link.dst)] = link
+
+    def add_symmetric_link(
+        self,
+        a: str,
+        b: str,
+        latency: float,
+        bandwidth: float,
+        loss_rate: float = 0.0,
+    ) -> None:
+        """Add identical links in both directions between ``a`` and ``b``."""
+        self.add_link(LinkSpec(a, b, latency, bandwidth, loss_rate))
+        self.add_link(LinkSpec(b, a, latency, bandwidth, loss_rate))
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def hosts(self) -> list[str]:
+        """Sorted list of host names."""
+        return sorted(self._hosts)
+
+    @property
+    def links(self) -> list[LinkSpec]:
+        """All links, sorted by (src, dst)."""
+        return [self._links[key] for key in sorted(self._links)]
+
+    def has_link(self, src: str, dst: str) -> bool:
+        """True when a direct link ``src -> dst`` exists."""
+        return (src, dst) in self._links
+
+    def link(self, src: str, dst: str) -> LinkSpec:
+        """The link from ``src`` to ``dst``; raises ``KeyError`` if absent."""
+        return self._links[(src, dst)]
+
+    def socket_buffer(self, host: str) -> int:
+        """The configured socket buffer for ``host``."""
+        return self._host_buffers[host]
+
+    def neighbors(self, host: str) -> list[str]:
+        """Hosts reachable from ``host`` by a single link, sorted."""
+        return sorted(dst for (src, dst) in self._links if src == host)
+
+    def route_links(self, route: list[str]) -> list[LinkSpec]:
+        """The link sequence for an explicit host route.
+
+        Raises
+        ------
+        KeyError
+            If any consecutive pair has no link.
+        ValueError
+            If the route has fewer than two hosts.
+        """
+        if len(route) < 2:
+            raise ValueError(f"route {route!r} needs at least two hosts")
+        return [self.link(a, b) for a, b in zip(route, route[1:])]
+
+    def path_spec(self, route: list[str], name: str = "") -> PathSpec:
+        """Compose the end-to-end :class:`PathSpec` for an explicit route.
+
+        RTT is twice the summed one-way latency, bandwidth the minimum link
+        capacity, and the loss rate composes as
+        ``1 - prod(1 - p_link)``.  The flow-control buffers are those of the
+        route's endpoints.
+        """
+        links = self.route_links(route)
+        latency = sum(link.latency for link in links)
+        bandwidth = min(link.bandwidth for link in links)
+        survive = 1.0
+        for link in links:
+            survive *= 1.0 - link.loss_rate
+        return PathSpec(
+            rtt=2.0 * latency,
+            bandwidth=bandwidth,
+            loss_rate=1.0 - survive,
+            send_buffer=self._host_buffers[route[0]],
+            recv_buffer=self._host_buffers[route[-1]],
+            name=name or "-".join(route),
+        )
+
+    def sublink_specs(self, route: list[str]) -> list[PathSpec]:
+        """Per-hop :class:`PathSpec` objects for a depot-relayed route.
+
+        Each consecutive host pair becomes one TCP sublink whose buffers are
+        those of its own endpoints — exactly how LSL runs TCP connections in
+        series.
+        """
+        return [
+            self.path_spec([a, b], name=f"{a}-{b}")
+            for a, b in zip(route, route[1:])
+        ]
+
+    def __contains__(self, host: str) -> bool:
+        return host in self._hosts
+
+    def __len__(self) -> int:
+        return len(self._hosts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Topology(hosts={len(self._hosts)}, links={len(self._links)})"

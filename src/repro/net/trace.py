@@ -1,0 +1,130 @@
+"""Sequence-number traces and their aggregation.
+
+The paper's Figures 4 and 5 plot the highest *acknowledged* sequence number
+against time, averaged over 10 iterations, for each sublink and for the
+direct connection.  :class:`SeqTrace` is the container; the helpers
+resample traces onto a common grid and average them, mirroring the paper's
+normalisation ("we have normalized the sequence number ... so that the
+relative growth of the TCP window over the various iterations could be
+averaged").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class SeqTrace:
+    """Acknowledged-bytes-versus-time series for one connection.
+
+    Attributes
+    ----------
+    times:
+        Sample instants in seconds, non-decreasing.
+    acked:
+        Cumulative acknowledged bytes at each instant, non-decreasing.
+    name:
+        Label ("UCSB-Denver", "UCSB-UIUC direct", ...).
+    """
+
+    times: np.ndarray
+    acked: np.ndarray
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=float)
+        self.acked = np.asarray(self.acked, dtype=float)
+        if self.times.shape != self.acked.shape:
+            raise ValueError("times and acked must have identical shapes")
+        if self.times.ndim != 1:
+            raise ValueError("traces are one-dimensional")
+        if len(self.times) and np.any(np.diff(self.times) < 0):
+            raise ValueError("times must be non-decreasing")
+
+    @classmethod
+    def from_flow(cls, flow, name: str = "") -> "SeqTrace":
+        """Capture the recorded trace of a :class:`FluidTcpFlow`."""
+        return cls(
+            times=np.asarray(flow.trace_times, dtype=float),
+            acked=np.asarray(flow.trace_acked, dtype=float),
+            name=name or flow.path.name,
+        )
+
+    @property
+    def duration(self) -> float:
+        """Span of the trace in seconds (0 for an empty trace)."""
+        if len(self.times) == 0:
+            return 0.0
+        return float(self.times[-1] - self.times[0])
+
+    @property
+    def final_acked(self) -> float:
+        """Last acknowledged byte count (0 for an empty trace)."""
+        return float(self.acked[-1]) if len(self.acked) else 0.0
+
+    def value_at(self, t: float) -> float:
+        """Acknowledged bytes at time ``t`` (linear interpolation)."""
+        if len(self.times) == 0:
+            return 0.0
+        return float(np.interp(t, self.times, self.acked))
+
+    def slope(self, t0: float, t1: float) -> float:
+        """Average acked-byte growth rate (bytes/sec) over ``[t0, t1]``.
+
+        This is the quantity the paper eyeballs to identify the bottleneck
+        sublink ("the slopes of subflow 1 and subflow 2 are very close
+        together").
+        """
+        if t1 <= t0:
+            raise ValueError("t1 must exceed t0")
+        return (self.value_at(t1) - self.value_at(t0)) / (t1 - t0)
+
+    def time_to_reach(self, nbytes: float) -> float:
+        """First time at which ``acked >= nbytes`` (inf if never)."""
+        idx = np.searchsorted(self.acked, nbytes, side="left")
+        if idx >= len(self.acked):
+            return float("inf")
+        if idx == 0:
+            return float(self.times[0])
+        # interpolate within the straddling segment
+        a0, a1 = self.acked[idx - 1], self.acked[idx]
+        t0, t1 = self.times[idx - 1], self.times[idx]
+        if a1 == a0:
+            return float(t1)
+        frac = (nbytes - a0) / (a1 - a0)
+        return float(t0 + frac * (t1 - t0))
+
+
+def resample_trace(trace: SeqTrace, grid: np.ndarray) -> SeqTrace:
+    """Resample a trace onto an explicit time grid via interpolation.
+
+    Times past the end of the trace hold the final value (the transfer has
+    finished; the curve is flat).
+    """
+    grid = np.asarray(grid, dtype=float)
+    if len(trace.times) == 0:
+        return SeqTrace(times=grid, acked=np.zeros_like(grid), name=trace.name)
+    values = np.interp(grid, trace.times, trace.acked)
+    return SeqTrace(times=grid, acked=values, name=trace.name)
+
+
+def average_traces(traces: list[SeqTrace], n_points: int = 400) -> SeqTrace:
+    """Average several iterations of the same connection onto one curve.
+
+    A common grid spans the longest iteration; each trace is resampled and
+    the acked values are averaged point-wise — the paper's procedure for
+    Figures 4 and 5.
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    t_max = max(t.times[-1] for t in traces if len(t.times))
+    grid = np.linspace(0.0, t_max, n_points)
+    stacked = np.vstack([resample_trace(t, grid).acked for t in traces])
+    return SeqTrace(
+        times=grid,
+        acked=stacked.mean(axis=0),
+        name=traces[0].name,
+    )

@@ -1,0 +1,191 @@
+"""The fully-connected performance matrix and its clique aggregation.
+
+The scheduler's input is "a graph with node to node data transfer time as
+the cost of an edge ... fully connected, as most Internet hosts can talk
+to most other Internet hosts" (Section 4).  Edge cost is ``1/bandwidth``:
+an order-preserving transfer-time-per-byte weight.
+
+Probing every host pair is quadratic and wasteful when "all hosts at a
+single site are connected similarly to all hosts at some other site", so
+— following the paper's reference [34] — :class:`CliqueAggregator` groups
+hosts into site cliques, maintains one NWS forecast stream per site pair
+(plus per-host-pair streams inside a site), and expands the site-level
+forecasts back into the full host-level matrix.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nws.selector import AdaptiveSelector
+from repro.util.validation import check_positive
+
+
+class PerformanceMatrix:
+    """Forecast bandwidth between every ordered pair of hosts.
+
+    Values are bytes/sec; missing entries are ``nan``.  The scheduler
+    consumes :meth:`cost` (= ``1/bandwidth``) as edge weights.
+    """
+
+    def __init__(self, hosts: list[str]) -> None:
+        if len(hosts) != len(set(hosts)):
+            raise ValueError("duplicate host names")
+        if not hosts:
+            raise ValueError("at least one host required")
+        self.hosts = list(hosts)
+        self._index = {h: i for i, h in enumerate(self.hosts)}
+        n = len(hosts)
+        self._bw = np.full((n, n), np.nan)
+        np.fill_diagonal(self._bw, np.inf)  # a host reaches itself freely
+
+    # -- construction ------------------------------------------------------
+    def set_bandwidth(self, src: str, dst: str, value: float) -> None:
+        """Record forecast bandwidth (bytes/sec) for the directed pair."""
+        check_positive("value", value)
+        if src == dst:
+            raise ValueError("diagonal entries are fixed")
+        self._bw[self._index[src], self._index[dst]] = value
+
+    def set_symmetric(self, a: str, b: str, value: float) -> None:
+        """Record the same bandwidth in both directions."""
+        self.set_bandwidth(a, b, value)
+        self.set_bandwidth(b, a, value)
+
+    # -- queries -----------------------------------------------------------
+    def __contains__(self, host: str) -> bool:
+        return host in self._index
+
+    def bandwidth(self, src: str, dst: str) -> float:
+        """Forecast bandwidth in bytes/sec (``nan`` if unknown)."""
+        return float(self._bw[self._index[src], self._index[dst]])
+
+    def cost(self, src: str, dst: str) -> float:
+        """Edge weight: ``1/bandwidth`` (seconds per byte).
+
+        The paper: "our approach is simply to convert measures of
+        bandwidth between hosts to transfer time estimates by considering
+        1/bandwidth as the weight of an edge."
+        """
+        bw = self.bandwidth(src, dst)
+        if math.isnan(bw):
+            return math.inf
+        return 1.0 / bw if bw > 0 else math.inf
+
+    def cost_matrix(self) -> np.ndarray:
+        """Dense cost array aligned with :attr:`hosts` order."""
+        with np.errstate(divide="ignore"):
+            cost = 1.0 / self._bw
+        cost[np.isnan(self._bw)] = np.inf
+        return cost
+
+    def bandwidth_matrix(self) -> np.ndarray:
+        """Copy of the dense bandwidth array."""
+        return self._bw.copy()
+
+    def is_complete(self) -> bool:
+        """True when every off-diagonal entry has a forecast."""
+        off_diag = ~np.eye(len(self.hosts), dtype=bool)
+        return bool(np.all(np.isfinite(self._bw[off_diag])))
+
+    def pairs(self):
+        """Yield every ordered ``(src, dst)`` pair with ``src != dst``."""
+        for src in self.hosts:
+            for dst in self.hosts:
+                if src != dst:
+                    yield src, dst
+
+    def __len__(self) -> int:
+        return len(self.hosts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PerformanceMatrix(hosts={len(self.hosts)})"
+
+
+class CliqueAggregator:
+    """Site-clique NWS aggregation into a host-level matrix.
+
+    Parameters
+    ----------
+    site_of:
+        Mapping from host name to site name.  Hosts at one site are
+        assumed equivalently connected to the outside world.
+    intra_site_bandwidth:
+        Default bandwidth between hosts sharing a site (LAN speed) used
+        when no intra-site probes exist.
+    """
+
+    def __init__(
+        self,
+        site_of: dict[str, str],
+        intra_site_bandwidth: float = 12.5e6,  # 100 Mbit/s LAN
+    ) -> None:
+        if not site_of:
+            raise ValueError("need at least one host")
+        check_positive("intra_site_bandwidth", intra_site_bandwidth)
+        self.site_of = dict(site_of)
+        self.hosts = sorted(site_of)
+        self.intra_site_bandwidth = intra_site_bandwidth
+        self._selectors: dict[tuple[str, str], AdaptiveSelector] = {}
+
+    def _key(self, src_host: str, dst_host: str) -> tuple[str, str]:
+        """Aggregation key: site pair across sites, host pair within."""
+        s_src, s_dst = self.site_of[src_host], self.site_of[dst_host]
+        if s_src == s_dst:
+            return (src_host, dst_host)
+        return (s_src, s_dst)
+
+    def observe(self, src_host: str, dst_host: str, value: float) -> None:
+        """Feed one bandwidth probe (bytes/sec) into the right stream."""
+        check_positive("value", value)
+        key = self._key(src_host, dst_host)
+        selector = self._selectors.get(key)
+        if selector is None:
+            selector = AdaptiveSelector()
+            self._selectors[key] = selector
+        selector.update(value)
+
+    def stream_count(self) -> int:
+        """Number of distinct aggregation streams seen so far."""
+        return len(self._selectors)
+
+    def forecast(self, src_host: str, dst_host: str) -> float:
+        """Forecast bandwidth for a host pair.
+
+        Intra-site pairs without probes fall back to the LAN default;
+        inter-site pairs without probes return ``nan``.
+        """
+        if src_host == dst_host:
+            return math.inf
+        key = self._key(src_host, dst_host)
+        selector = self._selectors.get(key)
+        if selector is not None:
+            return selector.predict()
+        if self.site_of[src_host] == self.site_of[dst_host]:
+            return self.intra_site_bandwidth
+        return math.nan
+
+    def prediction_error(self, src_host: str, dst_host: str) -> float:
+        """Relative forecast error of the pair's stream (``nan`` if none).
+
+        This feeds the paper's suggested automatic ε.
+        """
+        key = self._key(src_host, dst_host)
+        selector = self._selectors.get(key)
+        if selector is None:
+            return math.nan
+        return selector.prediction_error()
+
+    def build_matrix(self) -> PerformanceMatrix:
+        """Expand the site-level forecasts into a host-level matrix."""
+        matrix = PerformanceMatrix(self.hosts)
+        for src in self.hosts:
+            for dst in self.hosts:
+                if src == dst:
+                    continue
+                bw = self.forecast(src, dst)
+                if not math.isnan(bw) and bw > 0:
+                    matrix.set_bandwidth(src, dst, bw)
+        return matrix

@@ -1,0 +1,232 @@
+"""NWS-style sensors: token-passing probe cliques on a simulated clock.
+
+The Network Weather Service organises bandwidth sensors into *cliques*:
+only the member currently holding the clique token probes, so probes
+never collide and perturb each other's measurements.  The performance-
+topology work the paper builds on ([34]) arranges cliques
+hierarchically — one clique per site plus an inter-site clique of
+representatives — which is exactly the aggregation structure
+:class:`~repro.nws.matrix.CliqueAggregator` expands back into a full
+host matrix.
+
+:class:`TokenClique` simulates one clique's probe timeline;
+:class:`SensorNetwork` builds the hierarchical set for a testbed-like
+``site_of`` map and streams every measurement into an aggregator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.util.rng import RngStream
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class ProbeRecord:
+    """One completed probe.
+
+    Attributes
+    ----------
+    timestamp:
+        Simulated completion time in seconds.
+    src, dst:
+        The probed host pair.
+    value:
+        Measured bandwidth in bytes/sec.
+    clique:
+        Name of the clique that scheduled the probe.
+    """
+
+    timestamp: float
+    src: str
+    dst: str
+    value: float
+    clique: str
+
+
+class TokenClique:
+    """One probe clique on a simulated clock.
+
+    The token visits members in order; the holder probes every other
+    member once (one probe takes ``probe_duration`` seconds), then the
+    token moves on after ``token_pass_delay``.
+
+    Parameters
+    ----------
+    name:
+        Clique label (used in records).
+    members:
+        Host names, at least two.
+    measure:
+        ``measure(src, dst) -> float`` ground-truth callback.
+    probe_duration:
+        Seconds consumed per probe.
+    token_pass_delay:
+        Seconds to hand the token to the next member.
+    start_offset:
+        Clock offset before this clique's first probe (staggers cliques).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        members: list[str],
+        measure: Callable[[str, str], float],
+        probe_duration: float = 2.0,
+        token_pass_delay: float = 0.5,
+        start_offset: float = 0.0,
+    ) -> None:
+        if len(members) < 2:
+            raise ValueError(f"clique {name!r} needs at least two members")
+        check_positive("probe_duration", probe_duration)
+        check_non_negative("token_pass_delay", token_pass_delay)
+        check_non_negative("start_offset", start_offset)
+        self.name = name
+        self.members = list(members)
+        self._measure = measure
+        self.probe_duration = probe_duration
+        self.token_pass_delay = token_pass_delay
+        self._clock = start_offset
+        self._holder_index = 0
+
+    @property
+    def clock(self) -> float:
+        """Current simulated time inside this clique."""
+        return self._clock
+
+    @property
+    def token_holder(self) -> str:
+        """The member that will probe next."""
+        return self.members[self._holder_index]
+
+    def round_duration(self) -> float:
+        """Wall-clock length of one full token cycle."""
+        n = len(self.members)
+        return n * ((n - 1) * self.probe_duration + self.token_pass_delay)
+
+    def step(self) -> list[ProbeRecord]:
+        """The current holder probes everyone, then passes the token."""
+        holder = self.token_holder
+        records = []
+        for other in self.members:
+            if other == holder:
+                continue
+            self._clock += self.probe_duration
+            records.append(
+                ProbeRecord(
+                    timestamp=self._clock,
+                    src=holder,
+                    dst=other,
+                    value=self._measure(holder, other),
+                    clique=self.name,
+                )
+            )
+        self._clock += self.token_pass_delay
+        self._holder_index = (self._holder_index + 1) % len(self.members)
+        return records
+
+    def run_until(self, until: float) -> list[ProbeRecord]:
+        """Step whole token-holdings until the clock passes ``until``."""
+        records: list[ProbeRecord] = []
+        while self._clock < until:
+            records.extend(self.step())
+        return records
+
+
+class SensorNetwork:
+    """The hierarchical clique layout of the performance-topology work.
+
+    One intra-site clique per multi-host site (members probe each other
+    over the LAN) plus a single inter-site clique containing one
+    representative per site (members probe each other over the WAN).
+
+    Parameters
+    ----------
+    site_of:
+        Host → site mapping.
+    measure:
+        ``measure(src, dst) -> float`` ground-truth callback.
+    seed:
+        Stagger-offset stream seed.
+    probe_duration, token_pass_delay:
+        Forwarded to every clique.
+    """
+
+    def __init__(
+        self,
+        site_of: dict[str, str],
+        measure: Callable[[str, str], float],
+        seed: int = 0,
+        probe_duration: float = 2.0,
+        token_pass_delay: float = 0.5,
+    ) -> None:
+        if not site_of:
+            raise ValueError("need at least one host")
+        self.site_of = dict(site_of)
+        rng = RngStream(seed, "sensors")
+        sites: dict[str, list[str]] = {}
+        for host in sorted(site_of):
+            sites.setdefault(site_of[host], []).append(host)
+
+        self.cliques: list[TokenClique] = []
+        representatives = [members[0] for _, members in sorted(sites.items())]
+        if len(representatives) >= 2:
+            self.cliques.append(
+                TokenClique(
+                    "inter-site",
+                    representatives,
+                    measure,
+                    probe_duration=probe_duration,
+                    token_pass_delay=token_pass_delay,
+                    start_offset=float(rng.uniform(0, probe_duration)),
+                )
+            )
+        for site, members in sorted(sites.items()):
+            if len(members) >= 2:
+                self.cliques.append(
+                    TokenClique(
+                        f"site:{site}",
+                        members,
+                        measure,
+                        probe_duration=probe_duration,
+                        token_pass_delay=token_pass_delay,
+                        start_offset=float(rng.uniform(0, probe_duration)),
+                    )
+                )
+
+    def run_until(self, until: float) -> list[ProbeRecord]:
+        """Run every clique to ``until``; records sorted by timestamp."""
+        check_positive("until", until)
+        records: list[ProbeRecord] = []
+        for clique in self.cliques:
+            records.extend(clique.run_until(until))
+        records.sort(key=lambda r: r.timestamp)
+        return records
+
+    def feed(self, aggregator, until: float) -> int:
+        """Stream probes into a :class:`~repro.nws.matrix.CliqueAggregator`.
+
+        Returns the number of probes delivered.
+        """
+        records = self.run_until(until)
+        for record in records:
+            aggregator.observe(record.src, record.dst, record.value)
+        return len(records)
+
+    def no_collisions(self, records: list[ProbeRecord]) -> bool:
+        """Audit: within one clique, probe intervals never overlap.
+
+        (The whole point of the token.)
+        """
+        by_clique: dict[str, list[ProbeRecord]] = {}
+        for record in records:
+            by_clique.setdefault(record.clique, []).append(record)
+        for clique_records in by_clique.values():
+            times = sorted(r.timestamp for r in clique_records)
+            for t1, t2 in zip(times, times[1:]):
+                if t2 - t1 < self.cliques[0].probe_duration - 1e-9:
+                    return False
+        return True

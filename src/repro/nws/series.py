@@ -1,0 +1,121 @@
+"""Time-stamped measurement histories.
+
+NWS sensors produce periodic bandwidth/latency probes; forecasters consume
+them in arrival order.  :class:`MeasurementSeries` is a bounded history
+with summary statistics (the variance feeds one of the paper's suggested
+ε heuristics).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One probe result.
+
+    Attributes
+    ----------
+    timestamp:
+        Seconds since the epoch of the experiment.
+    value:
+        The measured quantity (bytes/sec for bandwidth probes).
+    """
+
+    timestamp: float
+    value: float
+
+    def __post_init__(self) -> None:
+        check_non_negative("timestamp", self.timestamp)
+        check_non_negative("value", self.value)
+
+
+class MeasurementSeries:
+    """A bounded, append-only history of measurements for one resource.
+
+    Parameters
+    ----------
+    name:
+        Resource label, conventionally ``"src->dst"`` for network probes.
+    max_length:
+        History bound; the oldest measurements fall off (NWS keeps
+        bounded sensor histories too).
+    """
+
+    def __init__(self, name: str = "", max_length: int = 4096) -> None:
+        check_positive("max_length", max_length)
+        self.name = name
+        self._values: deque[float] = deque(maxlen=max_length)
+        self._timestamps: deque[float] = deque(maxlen=max_length)
+        self._last_timestamp = -np.inf
+
+    def add(self, timestamp: float, value: float) -> None:
+        """Append a measurement; timestamps must be non-decreasing."""
+        m = Measurement(timestamp, value)  # validates
+        if timestamp < self._last_timestamp:
+            raise ValueError(
+                f"timestamp {timestamp} precedes last {self._last_timestamp}"
+            )
+        self._last_timestamp = timestamp
+        self._values.append(m.value)
+        self._timestamps.append(m.timestamp)
+
+    def extend(self, measurements) -> None:
+        """Append an iterable of (timestamp, value) pairs."""
+        for timestamp, value in measurements:
+            self.add(timestamp, value)
+
+    # -- queries -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Measurement values in arrival order."""
+        return np.asarray(self._values, dtype=float)
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """Timestamps in arrival order."""
+        return np.asarray(self._timestamps, dtype=float)
+
+    @property
+    def last(self) -> float:
+        """Most recent value; raises ``ValueError`` when empty."""
+        if not self._values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return self._values[-1]
+
+    def mean(self) -> float:
+        """Mean of the history (``nan`` when empty)."""
+        return float(np.mean(self.values)) if self._values else float("nan")
+
+    def variance(self) -> float:
+        """Population variance (``nan`` with < 2 samples)."""
+        if len(self._values) < 2:
+            return float("nan")
+        return float(np.var(self.values))
+
+    def coefficient_of_variation(self) -> float:
+        """Relative variability ``std/mean`` — an ε candidate the paper
+        names ("variance of the measurement set")."""
+        if len(self._values) < 2:
+            return float("nan")
+        mu = self.mean()
+        if mu == 0:
+            return float("inf")
+        return float(np.std(self.values) / mu)
+
+    def tail(self, n: int) -> np.ndarray:
+        """The most recent ``n`` values (fewer if the history is short)."""
+        check_positive("n", n)
+        return self.values[-n:]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MeasurementSeries({self.name!r}, n={len(self)})"

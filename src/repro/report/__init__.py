@@ -1,0 +1,18 @@
+"""Plain-text rendering of tables and figure series.
+
+The benchmark harness regenerates every table and figure of the paper as
+text: aligned tables (:mod:`~repro.report.tables`) and ASCII line/box
+plots (:mod:`~repro.report.ascii_plot`) that show the same series the
+paper plots.
+"""
+
+from repro.report.tables import TextTable, format_table
+from repro.report.ascii_plot import ascii_line_plot, ascii_box_plot, Series
+
+__all__ = [
+    "TextTable",
+    "format_table",
+    "ascii_line_plot",
+    "ascii_box_plot",
+    "Series",
+]

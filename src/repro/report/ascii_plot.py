@@ -1,0 +1,133 @@
+"""ASCII line and box plots for figure series.
+
+Deliberately minimal: enough to eyeball the shape of a reproduced figure
+in a terminal or a benchmark log.  Exact values always accompany the
+plot in tabular form.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted series: y-values over shared x positions."""
+
+    label: str
+    values: Sequence[float]
+
+
+def _scale(value, lo, hi, steps):
+    if hi == lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return int(round(frac * (steps - 1)))
+
+
+def ascii_line_plot(
+    x_labels: Sequence[str],
+    series: Sequence[Series],
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Render one or more series as an ASCII chart.
+
+    Each series gets a marker character; points at the same cell show
+    the later series' marker.  A y-axis with min/max annotations frames
+    the grid.
+    """
+    if not series or not x_labels:
+        raise ValueError("need at least one series and one x position")
+    for s in series:
+        if len(s.values) != len(x_labels):
+            raise ValueError(
+                f"series {s.label!r} has {len(s.values)} values for "
+                f"{len(x_labels)} x positions"
+            )
+    markers = "*o+x#@%&"
+    all_values = [v for s in series for v in s.values if math.isfinite(v)]
+    if not all_values:
+        raise ValueError("no finite values to plot")
+    lo, hi = min(all_values), max(all_values)
+    if lo == hi:
+        lo, hi = lo - 1.0, hi + 1.0
+
+    col_width = max(len(str(lbl)) for lbl in x_labels) + 1
+    grid = [[" "] * (len(x_labels) * col_width) for _ in range(height)]
+    for si, s in enumerate(series):
+        marker = markers[si % len(markers)]
+        for xi, value in enumerate(s.values):
+            if not math.isfinite(value):
+                continue
+            row = height - 1 - _scale(value, lo, hi, height)
+            grid[row][xi * col_width] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = f"{hi:>8.2f} |"
+        elif i == height - 1:
+            prefix = f"{lo:>8.2f} |"
+        else:
+            prefix = " " * 8 + " |"
+        lines.append(prefix + "".join(row).rstrip())
+    axis = " " * 8 + " +" + "-" * (len(x_labels) * col_width)
+    lines.append(axis)
+    labels = " " * 10 + "".join(
+        str(lbl).ljust(col_width) for lbl in x_labels
+    ).rstrip()
+    lines.append(labels)
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={s.label}" for i, s in enumerate(series)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def ascii_box_plot(
+    labels: Sequence[str],
+    boxes: Sequence[tuple[float, float, float, float, float]],
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Render five-number summaries as horizontal box-and-whisker rows.
+
+    Each box is ``(min, q25, median, q75, max)``; the whisker is drawn
+    with ``-``, the box with ``=``, the median with ``|``.
+    """
+    if len(labels) != len(boxes):
+        raise ValueError("labels and boxes must align")
+    if not boxes:
+        raise ValueError("need at least one box")
+    lo = min(b[0] for b in boxes)
+    hi = max(b[4] for b in boxes)
+    if lo == hi:
+        lo, hi = lo - 1.0, hi + 1.0
+    label_w = max(len(str(l)) for l in labels)
+
+    lines = []
+    if title:
+        lines.append(title)
+    for label, (mn, q25, med, q75, mx) in zip(labels, boxes):
+        row = [" "] * width
+        a, b_, c, d, e = (
+            _scale(v, lo, hi, width) for v in (mn, q25, med, q75, mx)
+        )
+        for i in range(a, b_):
+            row[i] = "-"
+        for i in range(b_, d + 1):
+            row[i] = "="
+        for i in range(d + 1, e + 1):
+            row[i] = "-"
+        row[c] = "|"
+        lines.append(f"{str(label).rjust(label_w)} [{''.join(row)}]")
+    scale_line = (
+        " " * label_w + f"  {lo:<10.2f}" + " " * max(0, width - 22) + f"{hi:>10.2f}"
+    )
+    lines.append(scale_line)
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Aligned plain-text tables."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+class TextTable:
+    """A simple column-aligned table builder.
+
+    >>> t = TextTable(["size", "speedup"])
+    >>> t.add_row(["1MB", 1.06])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    size | speedup
+    -----+--------
+    1MB  | 1.06
+    """
+
+    def __init__(self, headers: Sequence[str]) -> None:
+        if not headers:
+            raise ValueError("at least one column required")
+        self.headers = [str(h) for h in headers]
+        self._rows: list[list[str]] = []
+
+    @staticmethod
+    def _format_cell(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    def add_row(self, row: Sequence[Any]) -> None:
+        """Append a row; must match the header width."""
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self._rows.append([self._format_cell(c) for c in row])
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def render(self) -> str:
+        """The table as aligned text."""
+        widths = [len(h) for h in self.headers]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return " | ".join(
+                cell.ljust(widths[i]) for i, cell in enumerate(cells)
+            ).rstrip()
+
+        sep = "-+-".join("-" * w for w in widths)
+        out = [line(self.headers), sep]
+        out += [line(row) for row in self._rows]
+        return "\n".join(out)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """One-shot helper: headers + rows -> rendered text."""
+    table = TextTable(headers)
+    for row in rows:
+        table.add_row(row)
+    return table.render()

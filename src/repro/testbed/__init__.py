@@ -1,0 +1,66 @@
+"""Experiment harness: synthetic testbeds, workloads, campaigns.
+
+The paper's evaluation ran on two real environments we cannot access:
+
+* **PlanetLab** (Section 4.2): 142 machines at university sites, one to
+  three hosts per site, small TCP buffers (64 KB), virtualisation load
+  and administrative rate caps — regenerated synthetically by
+  :mod:`~repro.testbed.planetlab`;
+* **Abilene** (Figure 11): 10 university hosts plus depots at
+  Internet2's backbone POPs — regenerated from the historical Abilene
+  city map by :mod:`~repro.testbed.abilene`.
+
+:mod:`~repro.testbed.workload` reimplements the paper's pseudo-random
+test generator (2^n MB sizes, random source/sink, random direct-vs-LSL
+choice); :mod:`~repro.testbed.experiment` runs measurement campaigns
+against the analytic transfer models with measurement noise;
+:mod:`~repro.testbed.stats` aggregates results into the per-case speedup
+quantities the paper's figures plot.
+"""
+
+from repro.testbed.sites import Site, SiteCatalog, host_name
+from repro.testbed.planetlab import PlanetLabConfig, generate_planetlab
+from repro.testbed.abilene import (
+    ABILENE_POPS,
+    abilene_testbed,
+    AbileneConfig,
+)
+from repro.testbed.workload import TransferRequest, WorkloadConfig, WorkloadGenerator
+from repro.testbed.experiment import (
+    CampaignConfig,
+    CampaignResult,
+    MeasuredTransfer,
+    run_campaign,
+    run_random_campaign,
+)
+from repro.testbed.stats import (
+    CaseStats,
+    group_cases,
+    speedup_by_size,
+    percentile_of_unity,
+    box_stats,
+)
+
+__all__ = [
+    "Site",
+    "SiteCatalog",
+    "host_name",
+    "PlanetLabConfig",
+    "generate_planetlab",
+    "ABILENE_POPS",
+    "abilene_testbed",
+    "AbileneConfig",
+    "TransferRequest",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "CampaignConfig",
+    "CampaignResult",
+    "MeasuredTransfer",
+    "run_campaign",
+    "run_random_campaign",
+    "CaseStats",
+    "group_cases",
+    "speedup_by_size",
+    "percentile_of_unity",
+    "box_stats",
+]

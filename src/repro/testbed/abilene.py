@@ -1,0 +1,240 @@
+"""The Abilene backbone testbed (the paper's Figure 11 experiment).
+
+"We employed Planetlab hosts at 10 U.S. universities that are connected
+to Abilene.  Rather than use Planetlab nodes as depots, however, we used
+depots running on hosts in the Abilene POPs."
+
+The 2004 Abilene backbone had eleven points of presence; the historical
+link map is reproduced below.  Universities attach to their nearest POP;
+a depot host with large buffers and real forwarding capacity lives at
+every POP.  The shape to reproduce: LSL through core depots turns one
+long small-buffer connection into several short ones, each of which the
+64 KB window can actually fill — median speedup above 1, maxima around
+an order of magnitude.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.net.topology import (
+    DEFAULT_SOCKET_BUFFER,
+    PLANETLAB_SOCKET_BUFFER,
+    Topology,
+)
+from repro.testbed.network import Testbed
+from repro.testbed.sites import Site, SiteCatalog, host_name
+from repro.util.rng import RngStream
+from repro.util.units import mbit_per_sec_to_bytes_per_sec
+from repro.util.validation import check_positive
+
+#: The eleven historical Abilene POP cities.
+ABILENE_POPS: dict[str, Site] = {
+    "seattle": Site("seattle.abilene.net", 47.61, -122.33),
+    "sunnyvale": Site("sunnyvale.abilene.net", 37.37, -122.04),
+    "losangeles": Site("losangeles.abilene.net", 34.05, -118.24),
+    "denver": Site("denver.abilene.net", 39.74, -104.99),
+    "kansascity": Site("kansascity.abilene.net", 39.10, -94.58),
+    "houston": Site("houston.abilene.net", 29.76, -95.37),
+    "indianapolis": Site("indianapolis.abilene.net", 39.77, -86.16),
+    "atlanta": Site("atlanta.abilene.net", 33.75, -84.39),
+    "chicago": Site("chicago.abilene.net", 41.88, -87.63),
+    "newyork": Site("newyork.abilene.net", 40.71, -74.01),
+    "washington": Site("washington.abilene.net", 38.91, -77.04),
+}
+
+#: The historical backbone adjacency.
+ABILENE_LINKS: tuple[tuple[str, str], ...] = (
+    ("seattle", "sunnyvale"),
+    ("seattle", "denver"),
+    ("sunnyvale", "losangeles"),
+    ("sunnyvale", "denver"),
+    ("losangeles", "houston"),
+    ("denver", "kansascity"),
+    ("kansascity", "houston"),
+    ("kansascity", "indianapolis"),
+    ("houston", "atlanta"),
+    ("indianapolis", "chicago"),
+    ("indianapolis", "atlanta"),
+    ("chicago", "newyork"),
+    ("newyork", "washington"),
+    ("washington", "atlanta"),
+)
+
+#: Universities used for the constrained experiment and their POP.
+ABILENE_UNIVERSITIES: tuple[tuple[str, str], ...] = (
+    ("ucsb.edu", "losangeles"),
+    ("washington.edu", "seattle"),
+    ("berkeley.edu", "sunnyvale"),
+    ("colorado.edu", "denver"),
+    ("ku.edu", "kansascity"),
+    ("rice.edu", "houston"),
+    ("iu.edu", "indianapolis"),
+    ("gatech.edu", "atlanta"),
+    ("uiuc.edu", "chicago"),
+    ("columbia.edu", "newyork"),
+)
+
+
+@dataclass(frozen=True)
+class AbileneConfig:
+    """Abilene experiment parameters.
+
+    Parameters
+    ----------
+    backbone_mbit:
+        Effective per-flow capacity of a backbone segment (the OC-192s
+        were never the bottleneck; this is generous).
+    access_mbit:
+        University attachment capacity.
+    backbone_loss:
+        Per-segment loss on the clean core.
+    access_loss:
+        Loss on each campus attachment.
+    host_buffer:
+        PlanetLab end-host TCP buffer (the 64 KB clamp).
+    depot_buffer:
+        Socket buffer of the POP depot hosts (well-tuned, 8 MB).
+    depot_forward_mbit:
+        Forwarding capacity of a POP depot host.
+    access_latency_low, access_latency_high:
+        Uniform range of the campus-to-POP one-way delay in seconds
+        (campus networks sit several milliseconds behind the POP).
+    host_cap_fraction, host_cap_mbit:
+        The endpoints are still PlanetLab nodes: most carry the default
+        10 Mbit/s administrative cap.
+    """
+
+    backbone_mbit: float = 1000.0
+    access_mbit: float = 60.0
+    backbone_loss: float = 1e-6
+    access_loss: float = 5e-5
+    host_buffer: int = PLANETLAB_SOCKET_BUFFER
+    depot_buffer: int = DEFAULT_SOCKET_BUFFER
+    depot_forward_mbit: float = 800.0
+    access_latency_low: float = 0.002
+    access_latency_high: float = 0.010
+    host_cap_fraction: float = 0.55
+    host_cap_mbit: float = 10.0
+
+    def __post_init__(self) -> None:
+        check_positive("backbone_mbit", self.backbone_mbit)
+        check_positive("access_mbit", self.access_mbit)
+        check_positive("host_buffer", self.host_buffer)
+        check_positive("depot_buffer", self.depot_buffer)
+        check_positive("access_latency_low", self.access_latency_low)
+        if self.access_latency_high < self.access_latency_low:
+            raise ValueError("access_latency_high below access_latency_low")
+        if not (0.0 <= self.host_cap_fraction <= 1.0):
+            raise ValueError("host_cap_fraction must be a probability")
+
+
+def _backbone_graph() -> nx.Graph:
+    g = nx.Graph()
+    for a, b in ABILENE_LINKS:
+        latency = ABILENE_POPS[a].one_way_latency(ABILENE_POPS[b])
+        g.add_edge(a, b, latency=latency)
+    return g
+
+
+def abilene_testbed(
+    config: AbileneConfig | None = None, seed: int = 0
+) -> Testbed:
+    """Build the Figure-11 testbed: 10 university hosts + 11 POP depots.
+
+    Gateways are the POPs themselves; inter-site routes follow the
+    backbone's latency-shortest paths.  Every POP hosts one depot
+    machine (``depot.<pop>.abilene.net``) with large buffers; it is the
+    only class of host in :attr:`Testbed.depot_hosts`, so the scheduler
+    may relay through the core but not through other campuses.
+    """
+    config = config or AbileneConfig()
+    rng = RngStream(seed, "abilene")
+    catalog = SiteCatalog()
+    backbone = _backbone_graph()
+
+    topology = Topology()
+    hosts: list[str] = []
+    site_of: dict[str, str] = {}
+    forward_cap: dict[str, float] = {}
+    depot_hosts: list[str] = []
+
+    backbone_bw = mbit_per_sec_to_bytes_per_sec(config.backbone_mbit)
+    access_bw = mbit_per_sec_to_bytes_per_sec(config.access_mbit)
+
+    # POP nodes and backbone links
+    for pop in ABILENE_POPS:
+        topology.add_host(f"pop.{pop}", socket_buffer=config.depot_buffer)
+    for a, b in ABILENE_LINKS:
+        latency = ABILENE_POPS[a].one_way_latency(ABILENE_POPS[b])
+        topology.add_symmetric_link(
+            f"pop.{a}", f"pop.{b}", latency, backbone_bw, config.backbone_loss
+        )
+
+    # depot machines at the POPs (zero-latency attachment to their POP)
+    for pop in ABILENE_POPS:
+        depot = f"depot.{pop}.abilene.net"
+        depot_hosts.append(depot)
+        hosts.append(depot)
+        site_of[depot] = f"{pop}.abilene.net"
+        topology.add_host(depot, socket_buffer=config.depot_buffer)
+        topology.add_symmetric_link(
+            depot, f"pop.{pop}", 0.0002, backbone_bw, 0.0
+        )
+        forward_cap[depot] = mbit_per_sec_to_bytes_per_sec(
+            config.depot_forward_mbit
+        )
+
+    # university hosts attach to their POP
+    uni_rng = rng.child("universities")
+    cap_rng = rng.child("caps")
+    rate_cap: dict[str, float] = {}
+    for domain, pop in ABILENE_UNIVERSITIES:
+        site = catalog.get(domain)
+        host = host_name(0, site)
+        hosts.append(host)
+        site_of[host] = domain
+        topology.add_host(host, socket_buffer=config.host_buffer)
+        latency = site.one_way_latency(ABILENE_POPS[pop]) + uni_rng.uniform(
+            config.access_latency_low, config.access_latency_high
+        )
+        topology.add_symmetric_link(
+            host, f"pop.{pop}", latency, access_bw, config.access_loss
+        )
+        # a campus host can still forward, slowly (not used by default)
+        forward_cap[host] = mbit_per_sec_to_bytes_per_sec(40.0)
+        # the endpoints are PlanetLab nodes: most carry the 10 Mbit cap
+        if cap_rng.random() < config.host_cap_fraction:
+            rate_cap[host] = mbit_per_sec_to_bytes_per_sec(
+                config.host_cap_mbit
+            )
+
+    # gateway routes: latency-shortest backbone paths between site POPs
+    pop_of_site: dict[str, str] = {f"{p}.abilene.net": p for p in ABILENE_POPS}
+    pop_of_site.update({domain: pop for domain, pop in ABILENE_UNIVERSITIES})
+
+    gateway_routes: dict[tuple[str, str], list[str]] = {}
+    sites = sorted(pop_of_site)
+    for src_site in sites:
+        for dst_site in sites:
+            if src_site == dst_site:
+                continue
+            a, b = pop_of_site[src_site], pop_of_site[dst_site]
+            if a == b:
+                gateway_routes[(src_site, dst_site)] = [f"pop.{a}"]
+            else:
+                pops = nx.shortest_path(backbone, a, b, weight="latency")
+                gateway_routes[(src_site, dst_site)] = [f"pop.{p}" for p in pops]
+
+    return Testbed(
+        hosts=sorted(hosts),
+        site_of=site_of,
+        topology=topology,
+        gateway_routes=gateway_routes,
+        forward_cap=forward_cap,
+        rate_cap=rate_cap,
+        depot_hosts=sorted(depot_hosts),
+    )

@@ -1,0 +1,180 @@
+"""Synthetic PlanetLab testbed generation.
+
+Regenerates the environment of Section 4.2: "a large number of
+well-connected sites, although each site has only one to three machines",
+142 machines total, 64 KB TCP buffers, virtualised hosts whose forwarding
+bandwidth suffers under load, and some nodes "explicitly rate-limited
+with respect to their bandwidth utilization".
+
+All randomness flows from one seed; the same seed regenerates the same
+testbed byte for byte.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.net.topology import PLANETLAB_SOCKET_BUFFER, Topology
+from repro.testbed.network import Testbed, gateway_name
+from repro.testbed.sites import SiteCatalog, host_name
+from repro.util.rng import RngStream
+from repro.util.units import mbit_per_sec_to_bytes_per_sec
+from repro.util.validation import check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class PlanetLabConfig:
+    """Knobs of the synthetic PlanetLab.
+
+    Defaults reproduce the paper's environment scale: ~60 sites with 1–3
+    hosts each lands near the paper's 142-host pool.
+
+    Parameters
+    ----------
+    n_sites:
+        University sites to draw from the catalog.
+    min_hosts_per_site, max_hosts_per_site:
+        Uniform host count per site ("each site has only one to three
+        machines").
+    socket_buffer:
+        Per-host TCP buffer (PlanetLab's 64 KB clamp).
+    access_mbit_median, access_mbit_sigma:
+        Lognormal site access capacity in Mbit/s.
+    wan_loss_low, wan_loss_high:
+        Uniform per-link wide-area loss-rate range.
+    lan_latency:
+        One-way delay of the host access hop, seconds.
+    forward_mbit_median, forward_mbit_sigma:
+        Lognormal per-host forwarding capacity (virtualisation).
+    rate_capped_fraction:
+        Fraction of hosts under an administrative cap.
+    rate_cap_mbit:
+        The cap applied to those hosts.
+    """
+
+    n_sites: int = 60
+    min_hosts_per_site: int = 1
+    max_hosts_per_site: int = 3
+    socket_buffer: int = PLANETLAB_SOCKET_BUFFER
+    access_mbit_median: float = 60.0
+    access_mbit_sigma: float = 0.8
+    wan_loss_low: float = 1e-5
+    wan_loss_high: float = 4e-4
+    lan_latency: float = 0.0002
+    forward_mbit_median: float = 40.0
+    forward_mbit_sigma: float = 0.8
+    # PlanetLab's default per-node bandwidth limit in 2004 was 10 Mbit/s;
+    # most sites kept it.  These caps are what stop relaying from helping
+    # on short paths, keeping scheduler coverage near the paper's 26 %.
+    rate_capped_fraction: float = 0.85
+    rate_cap_mbit: float = 10.0
+
+    def __post_init__(self) -> None:
+        check_positive("n_sites", self.n_sites)
+        check_positive("min_hosts_per_site", self.min_hosts_per_site)
+        if self.max_hosts_per_site < self.min_hosts_per_site:
+            raise ValueError("max_hosts_per_site below min_hosts_per_site")
+        check_positive("socket_buffer", self.socket_buffer)
+        check_positive("access_mbit_median", self.access_mbit_median)
+        check_probability("rate_capped_fraction", self.rate_capped_fraction)
+        check_probability("wan_loss_high", self.wan_loss_high)
+        if self.wan_loss_low > self.wan_loss_high:
+            raise ValueError("wan_loss_low above wan_loss_high")
+
+
+def generate_planetlab(
+    config: PlanetLabConfig | None = None, seed: int = 0
+) -> Testbed:
+    """Generate a synthetic PlanetLab :class:`Testbed`.
+
+    Structure: every site gets a gateway node; gateways are fully meshed
+    with geographic latencies, per-pair bandwidth set by the slower
+    site's access capacity (scaled by a random congestion factor), and a
+    random loss rate.  Hosts hang off their gateway over a fast LAN hop.
+    """
+    config = config or PlanetLabConfig()
+    rng = RngStream(seed, "planetlab")
+    catalog = SiteCatalog()
+    sites = catalog.sample(config.n_sites, rng.child("sites"))
+
+    topology = Topology()
+    hosts: list[str] = []
+    site_of: dict[str, str] = {}
+    forward_cap: dict[str, float] = {}
+    rate_cap: dict[str, float] = {}
+
+    # site access capacity (shared by the site's hosts)
+    access_rng = rng.child("access")
+    access_bw = {
+        site.domain: mbit_per_sec_to_bytes_per_sec(
+            config.access_mbit_median
+            * access_rng.lognormal(0.0, config.access_mbit_sigma)
+        )
+        for site in sites
+    }
+
+    host_rng = rng.child("hosts")
+    fwd_rng = rng.child("forward")
+    cap_rng = rng.child("caps")
+    for site in sites:
+        n_hosts = int(
+            host_rng.integers(
+                config.min_hosts_per_site, config.max_hosts_per_site + 1
+            )
+        )
+        gw = gateway_name(site.domain)
+        topology.add_host(gw, socket_buffer=config.socket_buffer)
+        for i in range(n_hosts):
+            host = host_name(i, site)
+            hosts.append(host)
+            site_of[host] = site.domain
+            topology.add_host(host, socket_buffer=config.socket_buffer)
+            # LAN hop: fast, clean, shared access capacity
+            topology.add_symmetric_link(
+                host, gw, config.lan_latency, access_bw[site.domain]
+            )
+            forward_cap[host] = mbit_per_sec_to_bytes_per_sec(
+                config.forward_mbit_median
+                * fwd_rng.lognormal(0.0, config.forward_mbit_sigma)
+            )
+            if cap_rng.random() < config.rate_capped_fraction:
+                rate_cap[host] = mbit_per_sec_to_bytes_per_sec(
+                    config.rate_cap_mbit
+                )
+
+    # wide-area mesh between gateways
+    wan_rng = rng.child("wan")
+    gateway_routes: dict[tuple[str, str], list[str]] = {}
+    for i, a in enumerate(sites):
+        for b in sites[i + 1 :]:
+            latency = a.one_way_latency(b)
+            # pair bandwidth: the slower access side, shaved by a random
+            # congestion factor
+            congestion = wan_rng.uniform(0.5, 1.0)
+            bandwidth = congestion * min(access_bw[a.domain], access_bw[b.domain])
+            loss = wan_rng.uniform(config.wan_loss_low, config.wan_loss_high)
+            topology.add_symmetric_link(
+                gateway_name(a.domain),
+                gateway_name(b.domain),
+                latency,
+                bandwidth,
+                loss_rate=loss,
+            )
+            gateway_routes[(a.domain, b.domain)] = [
+                gateway_name(a.domain),
+                gateway_name(b.domain),
+            ]
+            gateway_routes[(b.domain, a.domain)] = [
+                gateway_name(b.domain),
+                gateway_name(a.domain),
+            ]
+
+    return Testbed(
+        hosts=sorted(hosts),
+        site_of=site_of,
+        topology=topology,
+        gateway_routes=gateway_routes,
+        forward_cap=forward_cap,
+        rate_cap=rate_cap,
+    )

@@ -1,0 +1,92 @@
+"""The Section-3 wide-area configuration (Figures 2–5).
+
+The paper measured two depot-relayed paths on Internet2/Abilene with
+8 MB socket buffers on Linux 2.4:
+
+* UCSB → UF via a depot in **Houston** (RTTs 87 / 68 / 34 ms);
+* UCSB → UIUC via a depot in **Denver** (RTTs 70 / 46 / 45 ms).
+
+RTTs below are the paper's own measurements.  Loss rates are calibrated
+so the steady-state (Mathis) bandwidths land where the paper's traces
+do: the UCSB→UF direct connection moves 64 MB in about 20 s
+(Figure 4) while UCSB→UIUC needs about 60 s (Figure 5) — the UIUC
+route was much lossier despite its shorter RTT, and its Denver→UIUC
+second half is the bottleneck, which is why the depot's 32 MB buffer
+pool fills and produces the Figure-5 kink.
+"""
+
+from __future__ import annotations
+
+from repro.net.topology import DEFAULT_SOCKET_BUFFER, PathSpec
+
+#: The paper's RTT table, in milliseconds (Section 3).
+PAPER_RTTS_MS: dict[str, float] = {
+    "UCSB-UF": 87.0,
+    "UCSB-Houston": 68.0,
+    "Houston-UF": 34.0,
+    "UCSB-UIUC": 70.0,
+    "UCSB-Denver": 46.0,
+    "Denver-UIUC": 45.0,
+}
+
+#: Wire capacity used for every Abilene-era segment (never the
+#: bottleneck at these loss rates).
+WIRE_MBIT = 400.0
+
+#: Depot storage on the Denver/Houston depots: 8 MB kernel buffers for
+#: the receiving and sending connections plus matching user-space
+#: buffers (Section 3: "the depot offers 32 Mbytes of total buffers").
+DEPOT_CAPACITY = 32 << 20
+
+
+def _spec(name: str, loss_rate: float) -> PathSpec:
+    return PathSpec.from_mbit(
+        PAPER_RTTS_MS[name],
+        WIRE_MBIT,
+        loss_rate=loss_rate,
+        send_buffer=DEFAULT_SOCKET_BUFFER,
+        recv_buffer=DEFAULT_SOCKET_BUFFER,
+        name=name,
+    )
+
+
+# UCSB -> UF via Houston: moderately lossy halves, the first (longer)
+# one the bottleneck, so the depot buffer stays shallow (Figure 4).
+# Calibrated to the paper's trace times: 64 MB direct in ~20-25 s,
+# relayed in ~12-15 s.
+UCSB_UF = _spec("UCSB-UF", 2.0e-4)
+UCSB_HOUSTON = _spec("UCSB-Houston", 1.6e-4)
+HOUSTON_UF = _spec("Houston-UF", 8.0e-5)
+
+# UCSB -> UIUC via Denver: the Denver->UIUC half carries almost all the
+# path's loss, making it the bottleneck; the fast first half fills the
+# depot's 32 MB pool (Figure 5's kink).  Calibrated to 64 MB direct in
+# ~60 s and relayed in ~35-40 s.
+UCSB_UIUC = _spec("UCSB-UIUC", 6.5e-4)
+UCSB_DENVER = _spec("UCSB-Denver", 2.0e-5)
+DENVER_UIUC = _spec("Denver-UIUC", 6.3e-4)
+
+
+def uf_relay() -> list[PathSpec]:
+    """The UCSB→Houston→UF sublink chain."""
+    return [UCSB_HOUSTON, HOUSTON_UF]
+
+
+def uiuc_relay() -> list[PathSpec]:
+    """The UCSB→Denver→UIUC sublink chain."""
+    return [UCSB_DENVER, DENVER_UIUC]
+
+
+def tcp_config_for(path: PathSpec):
+    """TCP parameters for transfers on ``path``.
+
+    Linux 2.4 cached ``ssthresh`` per destination, so a repeatedly-used
+    path starts near its sawtooth equilibrium instead of overshooting in
+    slow start; without this the bandwidth-versus-size curves are
+    humped rather than the paper's monotone saturation.
+    """
+    from repro.models.mathis import mathis_window
+    from repro.net.tcp import TcpConfig
+
+    window = mathis_window(1460, path.loss_rate)
+    return TcpConfig(initial_ssthresh=int(window))

@@ -1,0 +1,184 @@
+"""Site catalog: named university sites with coordinates.
+
+The PlanetLab of 2004 was "for the most part located at university
+sites"; hosts carry names like ``ash.ucsb.edu`` whose "site is the last
+two components of their name" (Section 4.1.1).  The catalog below lists
+US university domains with approximate coordinates; great-circle
+distances drive the synthetic latency matrix.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: Host-name prefixes used when synthesising machines at a site
+#: (tree names, like the paper's ash/elm/oak examples).
+HOST_PREFIXES = [
+    "ash", "elm", "oak", "fir", "yew", "pine", "cedar", "maple",
+    "birch", "alder", "aspen", "hazel", "holly", "larch", "rowan",
+    "spruce", "walnut", "willow", "poplar", "linden",
+]
+
+#: speed of light in fibre, km/s
+FIBRE_KM_PER_SEC = 200_000.0
+
+#: real routes are not great circles; typical inflation over geodesic
+ROUTE_INFLATION = 1.8
+
+
+@dataclass(frozen=True)
+class Site:
+    """One university site.
+
+    Attributes
+    ----------
+    domain:
+        The two-component site domain (``ucsb.edu``).
+    lat, lon:
+        Approximate coordinates in degrees.
+    """
+
+    domain: str
+    lat: float
+    lon: float
+
+    def distance_km(self, other: "Site") -> float:
+        """Great-circle distance to another site."""
+        r = 6371.0
+        phi1, phi2 = math.radians(self.lat), math.radians(other.lat)
+        dphi = math.radians(other.lat - self.lat)
+        dlam = math.radians(other.lon - self.lon)
+        a = (
+            math.sin(dphi / 2) ** 2
+            + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2) ** 2
+        )
+        return 2 * r * math.asin(math.sqrt(a))
+
+    def one_way_latency(self, other: "Site") -> float:
+        """Synthetic one-way propagation delay in seconds.
+
+        Fibre speed over an inflated great-circle route, plus a 1 ms
+        floor for local infrastructure.
+        """
+        km = self.distance_km(other) * ROUTE_INFLATION
+        return 0.001 + km / FIBRE_KM_PER_SEC
+
+
+#: Approximate coordinates of US university sites (2004 PlanetLab flavour).
+UNIVERSITY_SITES: tuple[Site, ...] = (
+    Site("ucsb.edu", 34.41, -119.85),
+    Site("uiuc.edu", 40.10, -88.23),
+    Site("ufl.edu", 29.64, -82.35),
+    Site("utk.edu", 35.95, -83.93),
+    Site("mit.edu", 42.36, -71.09),
+    Site("berkeley.edu", 37.87, -122.26),
+    Site("washington.edu", 47.65, -122.31),
+    Site("princeton.edu", 40.34, -74.66),
+    Site("cmu.edu", 40.44, -79.94),
+    Site("utexas.edu", 30.28, -97.74),
+    Site("wisc.edu", 43.08, -89.42),
+    Site("umich.edu", 42.28, -83.74),
+    Site("gatech.edu", 33.78, -84.40),
+    Site("duke.edu", 36.00, -78.94),
+    Site("cornell.edu", 42.45, -76.48),
+    Site("columbia.edu", 40.81, -73.96),
+    Site("stanford.edu", 37.43, -122.17),
+    Site("caltech.edu", 34.14, -118.13),
+    Site("ucsd.edu", 32.88, -117.23),
+    Site("ucla.edu", 34.07, -118.44),
+    Site("uchicago.edu", 41.79, -87.60),
+    Site("northwestern.edu", 42.06, -87.68),
+    Site("purdue.edu", 40.42, -86.92),
+    Site("osu.edu", 40.00, -83.02),
+    Site("psu.edu", 40.80, -77.86),
+    Site("rutgers.edu", 40.50, -74.45),
+    Site("umd.edu", 38.99, -76.94),
+    Site("virginia.edu", 38.04, -78.51),
+    Site("unc.edu", 35.90, -79.05),
+    Site("vanderbilt.edu", 36.14, -86.80),
+    Site("rice.edu", 29.72, -95.40),
+    Site("colorado.edu", 40.01, -105.27),
+    Site("utah.edu", 40.76, -111.85),
+    Site("arizona.edu", 32.23, -110.95),
+    Site("unm.edu", 35.08, -106.62),
+    Site("ku.edu", 38.95, -95.25),
+    Site("umn.edu", 44.97, -93.23),
+    Site("iastate.edu", 42.03, -93.65),
+    Site("missouri.edu", 38.94, -92.33),
+    Site("uoregon.edu", 44.04, -123.07),
+    Site("oregonstate.edu", 44.56, -123.28),
+    Site("byu.edu", 40.25, -111.65),
+    Site("tamu.edu", 30.62, -96.34),
+    Site("ou.edu", 35.21, -97.44),
+    Site("lsu.edu", 30.41, -91.18),
+    Site("fsu.edu", 30.44, -84.30),
+    Site("miami.edu", 25.72, -80.28),
+    Site("uky.edu", 38.03, -84.50),
+    Site("iu.edu", 39.17, -86.52),
+    Site("nd.edu", 41.70, -86.24),
+    Site("pitt.edu", 40.44, -79.96),
+    Site("buffalo.edu", 43.00, -78.79),
+    Site("rochester.edu", 43.13, -77.63),
+    Site("dartmouth.edu", 43.70, -72.29),
+    Site("brown.edu", 41.83, -71.40),
+    Site("yale.edu", 41.32, -72.92),
+    Site("harvard.edu", 42.38, -71.12),
+    Site("bu.edu", 42.35, -71.11),
+    Site("neu.edu", 42.34, -71.09),
+    Site("udel.edu", 39.68, -75.75),
+)
+
+
+class SiteCatalog:
+    """Lookup and sampling over the university site list."""
+
+    def __init__(self, sites: tuple[Site, ...] = UNIVERSITY_SITES) -> None:
+        if not sites:
+            raise ValueError("catalog must not be empty")
+        self._sites = tuple(sites)
+        self._by_domain = {s.domain: s for s in self._sites}
+        if len(self._by_domain) != len(self._sites):
+            raise ValueError("duplicate site domains in catalog")
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    def __iter__(self):
+        return iter(self._sites)
+
+    def get(self, domain: str) -> Site:
+        """Look a site up by domain."""
+        return self._by_domain[domain]
+
+    def __contains__(self, domain: str) -> bool:
+        return domain in self._by_domain
+
+    def sample(self, n: int, rng) -> list[Site]:
+        """Pick ``n`` distinct sites with the given RNG stream."""
+        if n > len(self._sites):
+            raise ValueError(
+                f"cannot sample {n} sites from a catalog of {len(self._sites)}"
+            )
+        idx = rng.choice(len(self._sites), size=n, replace=False)
+        return [self._sites[i] for i in sorted(idx)]
+
+
+def host_name(index: int, site: Site) -> str:
+    """Synthesise a PlanetLab-style host name (``ash.ucsb.edu``).
+
+    Cycles through tree-name prefixes, numbering repeats (``ash2``).
+    """
+    prefix = HOST_PREFIXES[index % len(HOST_PREFIXES)]
+    round_ = index // len(HOST_PREFIXES)
+    if round_:
+        prefix = f"{prefix}{round_ + 1}"
+    return f"{prefix}.{site.domain}"
+
+
+def site_of_host(host: str) -> str:
+    """The site domain of a host name: its last two components."""
+    parts = host.split(".")
+    if len(parts) < 3:
+        raise ValueError(f"host name {host!r} has no site components")
+    return ".".join(parts[-2:])

@@ -1,0 +1,157 @@
+"""Aggregating campaign measurements into the paper's figures.
+
+A *case* is one (source, destination, size) triple.  The paper's speedup
+metric (Equation 1) compares per-case average bandwidths::
+
+    speedup = average scheduled bandwidth / average direct bandwidth
+
+:func:`speedup_by_size` produces the Figure-9 series (mean speedup per
+size), :func:`percentile_of_unity` the Section-4.2 percentile table, and
+:func:`box_stats` the Figure-10/11 box plots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.testbed.experiment import MeasuredTransfer
+
+
+@dataclass(frozen=True)
+class CaseStats:
+    """Aggregated measurements for one (src, dst, size) case.
+
+    Attributes
+    ----------
+    src, dst:
+        The pair.
+    size:
+        Transfer size in bytes.
+    direct_bandwidth:
+        Mean bandwidth of the direct measurements, bytes/sec.
+    lsl_bandwidth:
+        Mean bandwidth of the scheduled measurements, bytes/sec.
+    n_direct, n_lsl:
+        Sample counts behind the means.
+    """
+
+    src: str
+    dst: str
+    size: int
+    direct_bandwidth: float
+    lsl_bandwidth: float
+    n_direct: int
+    n_lsl: int
+
+    @property
+    def speedup(self) -> float:
+        """Equation 1: the per-case speedup ratio."""
+        if self.direct_bandwidth <= 0:
+            return math.inf
+        return self.lsl_bandwidth / self.direct_bandwidth
+
+
+def group_cases(measurements: list[MeasuredTransfer]) -> list[CaseStats]:
+    """Collapse raw measurements into per-case statistics.
+
+    Cases missing either mode (no direct or no scheduled samples) are
+    dropped — the ratio needs both sides.
+    """
+    acc: dict[tuple[str, str, int], dict[bool, list[float]]] = {}
+    for m in measurements:
+        key = (m.src, m.dst, m.size)
+        acc.setdefault(key, {True: [], False: []})[m.use_lsl].append(m.bandwidth)
+    cases = []
+    for (src, dst, size), modes in sorted(acc.items()):
+        if not modes[True] or not modes[False]:
+            continue
+        cases.append(
+            CaseStats(
+                src=src,
+                dst=dst,
+                size=size,
+                direct_bandwidth=float(np.mean(modes[False])),
+                lsl_bandwidth=float(np.mean(modes[True])),
+                n_direct=len(modes[False]),
+                n_lsl=len(modes[True]),
+            )
+        )
+    return cases
+
+
+def speedup_by_size(cases: list[CaseStats]) -> dict[int, float]:
+    """Mean per-case speedup for each transfer size (Figure 9)."""
+    by_size: dict[int, list[float]] = {}
+    for case in cases:
+        by_size.setdefault(case.size, []).append(case.speedup)
+    return {
+        size: float(np.mean(vals)) for size, vals in sorted(by_size.items())
+    }
+
+
+def speedups_for_size(cases: list[CaseStats], size: int) -> np.ndarray:
+    """All per-case speedups at one size, sorted ascending."""
+    vals = np.array([c.speedup for c in cases if c.size == size])
+    vals.sort()
+    return vals
+
+
+def percentile_of_unity(cases: list[CaseStats], size: int) -> float:
+    """The percentile at which speedup crosses 1 (the §4.2 table).
+
+    Equals the percentage of cases at this size whose speedup is at most
+    1 — "the percentile where the speedup becomes greater than 1".
+    Returns ``nan`` when the size has no cases.
+    """
+    vals = speedups_for_size(cases, size)
+    if len(vals) == 0:
+        return math.nan
+    return 100.0 * float(np.count_nonzero(vals <= 1.0)) / len(vals)
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary for a box-and-whisker plot."""
+
+    minimum: float
+    q25: float
+    median: float
+    q75: float
+    maximum: float
+    n: int
+
+    def as_tuple(self) -> tuple[float, float, float, float, float]:
+        """``(min, q25, median, q75, max)`` for plotting."""
+        return (self.minimum, self.q25, self.median, self.q75, self.maximum)
+
+
+def box_stats(cases: list[CaseStats], size: int) -> BoxStats:
+    """Min / quartiles / max of per-case speedups at one size
+    (Figures 10 and 11).
+
+    Raises
+    ------
+    ValueError
+        When the size has no cases.
+    """
+    vals = speedups_for_size(cases, size)
+    if len(vals) == 0:
+        raise ValueError(f"no cases of size {size}")
+    return BoxStats(
+        minimum=float(vals[0]),
+        q25=float(np.percentile(vals, 25)),
+        median=float(np.percentile(vals, 50)),
+        q75=float(np.percentile(vals, 75)),
+        maximum=float(vals[-1]),
+        n=len(vals),
+    )
+
+
+def overall_speedup(cases: list[CaseStats]) -> float:
+    """Mean speedup over every case (the headline number)."""
+    if not cases:
+        return math.nan
+    return float(np.mean([c.speedup for c in cases]))

@@ -1,0 +1,136 @@
+"""The paper's pseudo-random test generator.
+
+Section 4.2: "We implemented a mechanism that requests a depot to
+generate some amount of arbitrary data.  Also, each depot was made to
+spawn a thread that initiated transfers to a random depot.  Thus, in the
+experiments, each host could act as a source, sink or depot.  To test a
+range of sizes ... we choose a random size as 2^n megabytes for
+0 <= n < 7.  The test logic chose direct routing or LSL scheduled
+forwarding randomly."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.rng import RngStream
+from repro.util.units import mb
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class TransferRequest:
+    """One generated transfer.
+
+    Attributes
+    ----------
+    src, dst:
+        Endpoint host names.
+    size:
+        Transfer size in bytes (a power-of-two number of megabytes).
+    use_lsl:
+        Whether the test logic chose scheduled forwarding for this run.
+    """
+
+    src: str
+    dst: str
+    size: int
+    use_lsl: bool
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Workload generator parameters.
+
+    Parameters
+    ----------
+    min_exponent, max_exponent:
+        Sizes are ``2**n`` MB with ``min_exponent <= n < max_exponent``
+        (the paper's ``0 <= n < 7``).
+    lsl_probability:
+        Chance a given request uses scheduled forwarding (the paper
+        "chose direct routing or LSL scheduled forwarding randomly").
+    """
+
+    min_exponent: int = 0
+    max_exponent: int = 7
+    lsl_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.min_exponent < 0:
+            raise ValueError("min_exponent must be non-negative")
+        if self.max_exponent <= self.min_exponent:
+            raise ValueError("max_exponent must exceed min_exponent")
+        if not (0.0 <= self.lsl_probability <= 1.0):
+            raise ValueError("lsl_probability must be a probability")
+
+    @property
+    def sizes(self) -> list[int]:
+        """All distinct sizes the generator can emit, in bytes."""
+        return [mb(2**n) for n in range(self.min_exponent, self.max_exponent)]
+
+
+class WorkloadGenerator:
+    """Generates random transfer requests over a host pool.
+
+    Parameters
+    ----------
+    hosts:
+        Candidate sources and sinks.
+    config:
+        Size/mode distribution.
+    seed:
+        Stream seed; identical seeds replay identical workloads.
+    """
+
+    def __init__(
+        self,
+        hosts: list[str],
+        config: WorkloadConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        if len(hosts) < 2:
+            raise ValueError("need at least two hosts")
+        self.hosts = list(hosts)
+        self.config = config or WorkloadConfig()
+        self._rng = RngStream(seed, "workload")
+
+    def request(self) -> TransferRequest:
+        """One random transfer: random distinct pair, size, and mode."""
+        idx = self._rng.choice(len(self.hosts), size=2, replace=False)
+        n = int(
+            self._rng.integers(
+                self.config.min_exponent, self.config.max_exponent
+            )
+        )
+        return TransferRequest(
+            src=self.hosts[int(idx[0])],
+            dst=self.hosts[int(idx[1])],
+            size=mb(2**n),
+            use_lsl=bool(self._rng.random() < self.config.lsl_probability),
+        )
+
+    def batch(self, n: int) -> list[TransferRequest]:
+        """Generate ``n`` requests."""
+        check_positive("n", n)
+        return [self.request() for _ in range(n)]
+
+    def paired_cases(
+        self, pairs: list[tuple[str, str]], iterations: int = 3
+    ) -> list[TransferRequest]:
+        """Matched direct/LSL measurements for explicit pairs.
+
+        For every pair and every size, emit ``iterations`` direct and
+        ``iterations`` scheduled requests — the balanced design behind
+        the paper's per-case speedup ratio ("For each case in the test
+        set, there are multiple measurements of each size, both direct
+        and scheduled").
+        """
+        check_positive("iterations", iterations)
+        requests = []
+        for src, dst in pairs:
+            for size in self.config.sizes:
+                for _ in range(iterations):
+                    requests.append(TransferRequest(src, dst, size, False))
+                    requests.append(TransferRequest(src, dst, size, True))
+        return requests

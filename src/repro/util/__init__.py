@@ -1,0 +1,51 @@
+"""Shared utilities: unit conversions, seeded RNG streams, validation helpers."""
+
+from repro.util.units import (
+    BITS_PER_BYTE,
+    KB,
+    MB,
+    GB,
+    MBIT,
+    bytes_to_mbit,
+    mbit_to_bytes,
+    bytes_per_sec_to_mbit_per_sec,
+    mbit_per_sec_to_bytes_per_sec,
+    mb,
+    seconds_to_ms,
+    ms_to_seconds,
+    format_bytes,
+    format_rate,
+)
+from repro.util.rng import RngStream, spawn_streams, stable_hash32
+from repro.util.validation import (
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_in_range,
+    ValidationError,
+)
+
+__all__ = [
+    "BITS_PER_BYTE",
+    "KB",
+    "MB",
+    "GB",
+    "MBIT",
+    "bytes_to_mbit",
+    "mbit_to_bytes",
+    "bytes_per_sec_to_mbit_per_sec",
+    "mbit_per_sec_to_bytes_per_sec",
+    "mb",
+    "seconds_to_ms",
+    "ms_to_seconds",
+    "format_bytes",
+    "format_rate",
+    "RngStream",
+    "spawn_streams",
+    "stable_hash32",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in_range",
+    "ValidationError",
+]

@@ -1,0 +1,86 @@
+"""Unit conversions used throughout the reproduction.
+
+The paper mixes units freely: transfer sizes in MBytes (power-of-two mega),
+bandwidths in Mbit/sec (decimal mega, as network people use), times in
+seconds and RTTs in milliseconds.  Centralising the conversions here keeps
+the rest of the code honest about which "mega" it means.
+
+Conventions
+-----------
+* ``MB``/``KB``/``GB`` are binary (2**20 etc.) because the paper's transfer
+  sizes are ``2**n`` megabytes.
+* ``MBIT`` is decimal (10**6 bits) because link speeds are quoted in
+  Mbit/sec.
+* Internally the simulator always works in **bytes** and **seconds**.
+"""
+
+from __future__ import annotations
+
+BITS_PER_BYTE = 8
+
+KB = 1 << 10
+MB = 1 << 20
+GB = 1 << 30
+
+MBIT = 1_000_000  # bits
+
+
+def mb(n: float) -> int:
+    """Return ``n`` binary megabytes expressed in bytes.
+
+    >>> mb(64)
+    67108864
+    """
+    return int(n * MB)
+
+
+def bytes_to_mbit(nbytes: float) -> float:
+    """Convert a byte count to megabits (decimal mega)."""
+    return nbytes * BITS_PER_BYTE / MBIT
+
+
+def mbit_to_bytes(nmbit: float) -> float:
+    """Convert megabits (decimal mega) to bytes."""
+    return nmbit * MBIT / BITS_PER_BYTE
+
+
+def bytes_per_sec_to_mbit_per_sec(rate: float) -> float:
+    """Convert a rate in bytes/sec to Mbit/sec."""
+    return bytes_to_mbit(rate)
+
+
+def mbit_per_sec_to_bytes_per_sec(rate: float) -> float:
+    """Convert a rate in Mbit/sec to bytes/sec."""
+    return mbit_to_bytes(rate)
+
+
+def seconds_to_ms(t: float) -> float:
+    """Convert seconds to milliseconds."""
+    return t * 1000.0
+
+
+def ms_to_seconds(t: float) -> float:
+    """Convert milliseconds to seconds."""
+    return t / 1000.0
+
+
+def format_bytes(nbytes: float) -> str:
+    """Human-readable byte count, binary units.
+
+    >>> format_bytes(67108864)
+    '64.0MB'
+    """
+    n = float(nbytes)
+    for suffix, scale in (("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(n) >= scale:
+            return f"{n / scale:.1f}{suffix}"
+    return f"{int(n)}B"
+
+
+def format_rate(bytes_per_sec: float) -> str:
+    """Human-readable rate in Mbit/sec.
+
+    >>> format_rate(1_250_000)
+    '10.00 Mbit/s'
+    """
+    return f"{bytes_per_sec_to_mbit_per_sec(bytes_per_sec):.2f} Mbit/s"

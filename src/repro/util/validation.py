@@ -1,0 +1,55 @@
+"""Argument-validation helpers.
+
+The simulator layers take many scalar parameters (bandwidths, latencies,
+buffer sizes, probabilities).  Misconfigured values fail *here*, at
+construction time, with a clear message — not three layers down as a NaN.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+class ValidationError(ValueError):
+    """Raised when a configuration parameter is out of its valid domain."""
+
+
+def _fail(name: str, value: Any, requirement: str) -> None:
+    raise ValidationError(f"{name}={value!r} invalid: must be {requirement}")
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0`` and finite; return it."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        _fail(name, value, "a positive number")
+    if not math.isfinite(value) or value <= 0:
+        _fail(name, value, "a finite positive number")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value >= 0`` and finite; return it."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        _fail(name, value, "a non-negative number")
+    if not math.isfinite(value) or value < 0:
+        _fail(name, value, "a finite non-negative number")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``; return it."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        _fail(name, value, "a probability in [0, 1]")
+    if not (0.0 <= value <= 1.0):
+        _fail(name, value, "a probability in [0, 1]")
+    return value
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> float:
+    """Require ``low <= value <= high``; return it."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        _fail(name, value, f"a number in [{low}, {high}]")
+    if not (low <= value <= high):
+        _fail(name, value, f"in [{low}, {high}]")
+    return value

@@ -1,0 +1,198 @@
+"""CLI command tests (invoked through main(), output via capsys)."""
+
+import threading
+
+import pytest
+
+from repro.cli.main import main
+from repro.cli.commands import parse_endpoint, parse_path_spec
+
+
+MATRIX = """\
+src depot 10e6
+depot src 10e6
+depot dst 10e6
+dst depot 10e6
+src dst 1e6
+dst src 1e6
+"""
+
+
+@pytest.fixture
+def matrix_file(tmp_path):
+    path = tmp_path / "matrix.txt"
+    path.write_text(MATRIX)
+    return str(path)
+
+
+class TestParsers:
+    def test_path_spec_two_fields(self):
+        spec = parse_path_spec("87:400")
+        assert spec.rtt == pytest.approx(0.087)
+        assert spec.loss_rate == 0.0
+
+    def test_path_spec_three_fields(self):
+        spec = parse_path_spec("87:400:1e-4")
+        assert spec.loss_rate == pytest.approx(1e-4)
+
+    def test_path_spec_malformed(self):
+        with pytest.raises(ValueError):
+            parse_path_spec("87")
+
+    def test_endpoint(self):
+        assert parse_endpoint("127.0.0.1:9000") == ("127.0.0.1", 9000)
+
+    def test_endpoint_malformed(self):
+        with pytest.raises(ValueError):
+            parse_endpoint("9000")
+
+
+class TestSchedule:
+    def test_routes_printed(self, matrix_file, capsys):
+        rc = main(["schedule", matrix_file, "--source", "src"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "src -> depot -> dst" in out
+
+    def test_single_destination(self, matrix_file, capsys):
+        rc = main(["schedule", matrix_file, "--source", "src", "--dest", "dst"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.count("->") >= 2
+        assert "depot |" not in out.splitlines()[0]
+
+    def test_route_table_mode(self, matrix_file, capsys):
+        rc = main(["schedule", matrix_file, "--source", "src", "--table"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "# route table for src" in out
+        assert "dst\tdepot" in out
+
+    def test_epsilon_flag(self, matrix_file, capsys):
+        # giant epsilon kills the relay
+        rc = main(
+            [
+                "schedule",
+                matrix_file,
+                "--source",
+                "src",
+                "--dest",
+                "dst",
+                "--epsilon",
+                "100",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "src -> dst" in out
+
+    def test_unknown_source_is_error(self, matrix_file, capsys):
+        rc = main(["schedule", matrix_file, "--source", "nowhere"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file_is_error(self, capsys):
+        rc = main(["schedule", "/no/such/file", "--source", "x"])
+        assert rc == 2
+
+
+class TestSimulate:
+    def test_direct_only(self, capsys):
+        rc = main(
+            ["simulate", "--size-mb", "1", "--direct", "40:100:1e-4"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "direct" in out and "Mbit/s" in out
+
+    def test_with_relay(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--size-mb",
+                "4",
+                "--direct",
+                "80:100:2e-4",
+                "--via",
+                "40:100:1e-4",
+                "--via",
+                "40:100:1e-4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "relayed" in out and "speedup" in out
+
+    def test_single_via_is_error(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--size-mb",
+                "1",
+                "--direct",
+                "80:100",
+                "--via",
+                "40:100",
+            ]
+        )
+        assert rc == 2
+
+
+class TestSendAndDepot:
+    def test_send_direct_to_sink(self, tmp_path, capsys):
+        from repro.lsl.socket_transport import SinkServer
+
+        payload = b"cli-payload" * 1000
+        path = tmp_path / "payload.bin"
+        path.write_bytes(payload)
+        with SinkServer() as sink:
+            rc = main(
+                ["send", str(path), "--to", f"127.0.0.1:{sink.port}"]
+            )
+            out = capsys.readouterr().out
+            assert rc == 0
+            session_hex = out.split("session ")[1].split()[0]
+            assert sink.wait_for(session_hex) == payload
+
+    def test_send_via_depot_with_depot_once(self, tmp_path, capsys):
+        from repro.lsl.socket_transport import SinkServer, DepotServer
+
+        payload = b"relayed" * 500
+        path = tmp_path / "payload.bin"
+        path.write_bytes(payload)
+        with SinkServer() as sink, DepotServer() as depot:
+            rc = main(
+                [
+                    "send",
+                    str(path),
+                    "--to",
+                    f"127.0.0.1:{sink.port}",
+                    "--via",
+                    f"127.0.0.1:{depot.port}",
+                ]
+            )
+            out = capsys.readouterr().out
+            assert rc == 0
+            session_hex = out.split("session ")[1].split()[0]
+            assert sink.wait_for(session_hex) == payload
+            assert depot.sessions_forwarded == 1
+
+
+class TestCampaign:
+    def test_planetlab_campaign_prints_stats(self, capsys):
+        rc = main(
+            [
+                "campaign",
+                "--testbed",
+                "planetlab",
+                "--max-cases",
+                "10",
+                "--iterations",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "coverage" in out
+        assert "overall mean speedup" in out
+        assert "size (MB)" in out

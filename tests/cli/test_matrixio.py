@@ -1,0 +1,81 @@
+"""Matrix file parsing tests."""
+
+import math
+
+import pytest
+
+from repro.cli.matrixio import dump_matrix, load_matrix, parse_matrix
+from repro.nws.matrix import PerformanceMatrix
+
+
+GOOD = """\
+# a tiny triangle
+src depot 10e6
+depot src 10e6
+depot dst 10e6   # trailing comment
+dst depot 10e6
+src dst 1e6
+dst src 1e6
+"""
+
+
+class TestParse:
+    def test_parses_entries(self):
+        m = parse_matrix(GOOD)
+        assert m.hosts == ["depot", "dst", "src"]
+        assert m.bandwidth("src", "depot") == 10e6
+        assert m.bandwidth("src", "dst") == 1e6
+        assert m.is_complete()
+
+    def test_comments_and_blanks_ignored(self):
+        m = parse_matrix("\n# comment\na b 5\nb a 5\n\n")
+        assert m.bandwidth("a", "b") == 5
+
+    def test_malformed_line(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_matrix("a b\n")
+
+    def test_non_numeric_bandwidth(self):
+        with pytest.raises(ValueError, match="not a number"):
+            parse_matrix("a b fast\n")
+
+    def test_negative_bandwidth(self):
+        with pytest.raises(ValueError, match="positive"):
+            parse_matrix("a b -5\n")
+
+    def test_self_pair(self):
+        with pytest.raises(ValueError, match="self-pair"):
+            parse_matrix("a a 5\n")
+
+    def test_duplicate_pair(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_matrix("a b 5\na b 6\n")
+
+    def test_empty_file(self):
+        with pytest.raises(ValueError, match="no entries"):
+            parse_matrix("# nothing\n")
+
+
+class TestRoundtrip:
+    def test_dump_then_parse(self):
+        m = parse_matrix(GOOD)
+        again = parse_matrix(dump_matrix(m))
+        assert again.hosts == m.hosts
+        for src, dst in m.pairs():
+            a, b = m.bandwidth(src, dst), again.bandwidth(src, dst)
+            assert (math.isnan(a) and math.isnan(b)) or a == pytest.approx(b)
+
+    def test_dump_skips_unknown(self):
+        m = PerformanceMatrix(["a", "b"])
+        m.set_bandwidth("a", "b", 5.0)
+        text = dump_matrix(m)
+        assert "a b 5" in text
+        assert "b a" not in text
+
+
+class TestLoad:
+    def test_load_from_disk(self, tmp_path):
+        path = tmp_path / "matrix.txt"
+        path.write_text(GOOD)
+        m = load_matrix(str(path))
+        assert m.is_complete()

@@ -1,0 +1,117 @@
+"""Tests for the `repro validate` and `repro pickup` subcommands."""
+
+import time
+
+import pytest
+
+from repro.cli.main import main
+from repro.lsl.routetable import RouteTable
+
+
+class TestValidateCommand:
+    def write_tables(self, tmp_path, entries):
+        paths = []
+        for owner, table in entries.items():
+            path = tmp_path / f"{owner}.rt"
+            path.write_text(RouteTable(owner, table).to_text())
+            paths.append(str(path))
+        return paths
+
+    def test_clean_tables_pass(self, tmp_path, capsys):
+        paths = self.write_tables(
+            tmp_path, {"a": {"c": "b"}, "b": {}, "c": {"a": "b"}}
+        )
+        rc = main(["validate", *paths])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "OK" in out
+        assert "6 pairs" in out
+
+    def test_loop_fails(self, tmp_path, capsys):
+        paths = self.write_tables(
+            tmp_path, {"a": {"c": "b"}, "b": {"c": "a"}, "c": {}}
+        )
+        rc = main(["validate", *paths])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "loop" in out
+
+    def test_stretch_flag(self, tmp_path, capsys):
+        paths = self.write_tables(
+            tmp_path,
+            {"a": {"d": "b"}, "b": {"d": "c"}, "c": {}, "d": {}},
+        )
+        rc = main(["validate", "--max-stretch", "2", *paths])
+        assert rc == 1
+        assert "stretch" in capsys.readouterr().out
+
+    def test_missing_file_is_error(self, capsys):
+        rc = main(["validate", "/no/such/table"])
+        assert rc == 2
+
+
+class TestPickupCommand:
+    def test_roundtrip(self, tmp_path, capsys):
+        from repro.lsl.header import SessionHeader, new_session_id
+        from repro.lsl.socket_transport import DepotServer, send_session
+
+        payload = b"parked-data" * 100
+        with DepotServer() as depot:
+            header = SessionHeader(
+                session_id=new_session_id(),
+                src_ip="127.0.0.1",
+                dst_ip=depot.host,
+                src_port=0,
+                dst_port=depot.port,
+            )
+            send_session(payload, header, depot.address)
+            deadline = time.monotonic() + 10
+            while header.hex_id not in depot.held:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+
+            out_file = tmp_path / "fetched.bin"
+            rc = main(
+                [
+                    "pickup",
+                    "--depot",
+                    f"127.0.0.1:{depot.port}",
+                    "--session",
+                    header.hex_id,
+                    "--out",
+                    str(out_file),
+                ]
+            )
+            assert rc == 0
+            assert out_file.read_bytes() == payload
+
+    def test_bad_session_id_format(self, capsys):
+        rc = main(
+            [
+                "pickup",
+                "--depot",
+                "127.0.0.1:1",
+                "--session",
+                "zz",
+                "--out",
+                "/tmp/x",
+            ]
+        )
+        assert rc == 2
+
+    def test_unknown_session_is_error(self, tmp_path, capsys):
+        from repro.lsl.socket_transport import DepotServer
+
+        with DepotServer() as depot:
+            rc = main(
+                [
+                    "pickup",
+                    "--depot",
+                    f"127.0.0.1:{depot.port}",
+                    "--session",
+                    "00" * 16,
+                    "--out",
+                    str(tmp_path / "x"),
+                ]
+            )
+            assert rc == 2

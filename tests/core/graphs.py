@@ -1,0 +1,84 @@
+"""Shared graph fixtures for core tests."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+
+class DictGraph:
+    """A tiny CostGraph backed by an explicit edge-cost dict."""
+
+    def __init__(self, hosts, costs):
+        self.hosts = list(hosts)
+        self._costs = dict(costs)
+
+    def cost(self, src, dst):
+        if src == dst:
+            return 0.0
+        return self._costs.get((src, dst), math.inf)
+
+
+def symmetric(costs):
+    """Expand an undirected cost dict into both directions."""
+    out = {}
+    for (a, b), c in costs.items():
+        out[(a, b)] = c
+        out[(b, a)] = c
+    return out
+
+
+def brute_force_minimax(graph: DictGraph, src: str, dst: str) -> float:
+    """Minimum over all simple paths of the maximum edge cost."""
+    best = math.inf
+    others = [h for h in graph.hosts if h not in (src, dst)]
+    for r in range(len(others) + 1):
+        for middle in itertools.permutations(others, r):
+            path = [src, *middle, dst]
+            cost = max(
+                graph.cost(a, b) for a, b in zip(path, path[1:])
+            )
+            best = min(best, cost)
+    return best
+
+
+def figure6_graph() -> DictGraph:
+    """The paper's Figures 6-8 scenario.
+
+    Hosts at three sites (ucsb.edu, utk.edu, uiuc.edu).  Edge costs are
+    arranged so the strict MMP to bell.uiuc.edu prefers a marginally
+    cheaper detour through opus.uiuc.edu (cost 5.1 direct vs 5.0 via the
+    site peer) that ε = 0.1 collapses.
+    """
+    hosts = [
+        "ash.ucsb.edu",
+        "elm.ucsb.edu",
+        "cetus.utk.edu",
+        "dsi.utk.edu",
+        "bell.uiuc.edu",
+        "opus.uiuc.edu",
+    ]
+    costs = symmetric(
+        {
+            # intra-site LANs are fast
+            ("ash.ucsb.edu", "elm.ucsb.edu"): 1.0,
+            ("cetus.utk.edu", "dsi.utk.edu"): 1.0,
+            ("bell.uiuc.edu", "opus.uiuc.edu"): 1.0,
+            # ucsb <-> utk
+            ("ash.ucsb.edu", "cetus.utk.edu"): 4.0,
+            ("ash.ucsb.edu", "dsi.utk.edu"): 4.1,
+            ("elm.ucsb.edu", "cetus.utk.edu"): 4.1,
+            ("elm.ucsb.edu", "dsi.utk.edu"): 4.2,
+            # ucsb <-> uiuc: bell slightly worse than opus from ash
+            ("ash.ucsb.edu", "bell.uiuc.edu"): 5.1,
+            ("ash.ucsb.edu", "opus.uiuc.edu"): 5.0,
+            ("elm.ucsb.edu", "bell.uiuc.edu"): 5.2,
+            ("elm.ucsb.edu", "opus.uiuc.edu"): 5.1,
+            # utk <-> uiuc
+            ("cetus.utk.edu", "bell.uiuc.edu"): 6.0,
+            ("cetus.utk.edu", "opus.uiuc.edu"): 6.1,
+            ("dsi.utk.edu", "bell.uiuc.edu"): 6.1,
+            ("dsi.utk.edu", "opus.uiuc.edu"): 6.2,
+        }
+    )
+    return DictGraph(hosts, costs)

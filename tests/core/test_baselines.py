@@ -1,0 +1,107 @@
+"""Baseline algorithm tests."""
+
+import math
+
+import pytest
+
+from repro.core.baselines import (
+    dijkstra_tree,
+    direct_route,
+    parallel_socket_bandwidth,
+    widest_path_tree,
+)
+from repro.core.minimax import build_mmp_tree
+from repro.models.transfer_time import effective_bandwidth
+from repro.net.topology import PathSpec
+from repro.util.units import mb
+
+from tests.core.graphs import DictGraph, figure6_graph, symmetric
+
+
+class TestDirectRoute:
+    def test_two_hosts(self):
+        assert direct_route("a", "b") == ["a", "b"]
+
+    def test_same_host_rejected(self):
+        with pytest.raises(ValueError):
+            direct_route("a", "a")
+
+
+class TestDijkstra:
+    def test_additive_costs(self):
+        g = DictGraph(
+            ["a", "b", "c"],
+            symmetric({("a", "b"): 3.0, ("b", "c"): 3.0, ("a", "c"): 5.0}),
+        )
+        t = dijkstra_tree(g, "a")
+        # additive prefers the 5.0 direct edge over 3+3
+        assert t.path_to("c") == ["a", "c"]
+        assert t.cost_to("c") == 5.0
+
+    def test_disagrees_with_minimax_where_it_should(self):
+        g = DictGraph(
+            ["a", "b", "c"],
+            symmetric({("a", "b"): 3.0, ("b", "c"): 3.0, ("a", "c"): 5.0}),
+        )
+        mmp = build_mmp_tree(g, "a")
+        sp = dijkstra_tree(g, "a")
+        assert mmp.path_to("c") != sp.path_to("c")
+
+    def test_agrees_on_chains(self):
+        g = DictGraph(
+            ["a", "b", "c"],
+            symmetric({("a", "b"): 1.0, ("b", "c"): 1.0, ("a", "c"): 10.0}),
+        )
+        assert dijkstra_tree(g, "a").path_to("c") == build_mmp_tree(
+            g, "a"
+        ).path_to("c")
+
+    def test_unknown_start_raises(self):
+        with pytest.raises(KeyError):
+            dijkstra_tree(figure6_graph(), "nope")
+
+    def test_unreachable_absent(self):
+        g = DictGraph(["a", "b", "x"], symmetric({("a", "b"): 1.0}))
+        t = dijkstra_tree(g, "a")
+        assert not t.reached("x")
+
+
+class TestWidestPath:
+    def test_identical_to_minimax_on_reciprocal_weights(self):
+        """Maximising min-bandwidth == minimising max(1/bandwidth)."""
+        g = figure6_graph()
+        for eps in (0.0, 0.1):
+            mmp = build_mmp_tree(g, "ash.ucsb.edu", epsilon=eps)
+            wide = widest_path_tree(g, "ash.ucsb.edu", epsilon=eps)
+            assert mmp.parent == wide.parent
+            assert mmp.cost == wide.cost
+
+
+class TestParallelSockets:
+    PATH = PathSpec.from_mbit(87, 400, loss_rate=1e-4)
+
+    def test_one_socket_matches_single_connection(self):
+        bw1 = parallel_socket_bandwidth(self.PATH, mb(16), 1)
+        assert bw1 == pytest.approx(effective_bandwidth(self.PATH, mb(16)))
+
+    def test_striping_helps_window_limited_paths(self):
+        """PSockets' own use case: small buffers, long path."""
+        path = PathSpec.from_mbit(
+            87, 400, send_buffer=64 << 10, recv_buffer=64 << 10
+        )
+        bw1 = parallel_socket_bandwidth(path, mb(16), 1)
+        bw8 = parallel_socket_bandwidth(path, mb(16), 8)
+        assert bw8 > 3 * bw1
+
+    def test_wire_caps_striping(self):
+        path = PathSpec.from_mbit(20, 10)  # slow wire, tiny BDP
+        bw1 = parallel_socket_bandwidth(path, mb(8), 1)
+        bw16 = parallel_socket_bandwidth(path, mb(8), 16)
+        assert bw16 <= path.bandwidth * 1.01
+        assert bw16 < 2 * bw1
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            parallel_socket_bandwidth(self.PATH, mb(1), 0)
+        with pytest.raises(ValueError):
+            parallel_socket_bandwidth(self.PATH, 0, 2)

@@ -1,0 +1,98 @@
+"""ε policy tests."""
+
+import math
+
+import pytest
+
+from repro.core.epsilon import (
+    FixedEpsilon,
+    NwsErrorEpsilon,
+    RelativeEpsilon,
+    VarianceEpsilon,
+)
+from repro.nws.matrix import CliqueAggregator
+from repro.nws.series import MeasurementSeries
+from repro.util.rng import RngStream
+
+
+class TestFixedEpsilon:
+    def test_returns_value(self):
+        assert FixedEpsilon(0.05).value() == 0.05
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FixedEpsilon(-0.1)
+
+    def test_zero_allowed(self):
+        assert FixedEpsilon(0.0).value() == 0.0
+
+
+class TestRelativeEpsilon:
+    def test_defaults_to_papers_ten_percent(self):
+        assert RelativeEpsilon().value() == 0.1
+        assert RelativeEpsilon.PAPER_VALUE == 0.1
+
+    def test_overridable(self):
+        assert RelativeEpsilon(0.2).value() == 0.2
+
+
+SITES = {"a.x.edu": "x.edu", "b.y.edu": "y.edu"}
+
+
+class TestNwsErrorEpsilon:
+    def test_floor_when_no_streams(self):
+        agg = CliqueAggregator(SITES)
+        assert NwsErrorEpsilon(agg, floor=0.02).value() == 0.02
+
+    def test_stable_stream_gives_floor(self):
+        agg = CliqueAggregator(SITES)
+        for _ in range(50):
+            agg.observe("a.x.edu", "b.y.edu", 5e6)
+        assert NwsErrorEpsilon(agg, floor=0.01).value() == 0.01
+
+    def test_noisy_stream_raises_epsilon(self):
+        rng = RngStream(3)
+        agg = CliqueAggregator(SITES)
+        for _ in range(200):
+            agg.observe("a.x.edu", "b.y.edu", max(1.0, 5e6 + rng.normal(0, 2e6)))
+        eps = NwsErrorEpsilon(agg, floor=0.01).value()
+        assert eps > 0.05
+
+    def test_ceiling_clamps(self):
+        rng = RngStream(4)
+        agg = CliqueAggregator(SITES)
+        for _ in range(100):
+            agg.observe("a.x.edu", "b.y.edu", rng.lognormal(15, 2.0))
+        assert NwsErrorEpsilon(agg, ceiling=0.3).value() <= 0.3
+
+    def test_invalid_bounds_rejected(self):
+        agg = CliqueAggregator(SITES)
+        with pytest.raises(ValueError):
+            NwsErrorEpsilon(agg, floor=0.5, ceiling=0.1)
+
+
+class TestVarianceEpsilon:
+    def test_floor_when_empty(self):
+        assert VarianceEpsilon(MeasurementSeries(), floor=0.02).value() == 0.02
+
+    def test_constant_series_gives_floor(self):
+        s = MeasurementSeries()
+        s.extend([(t, 100.0) for t in range(20)])
+        assert VarianceEpsilon(s, floor=0.01).value() == 0.01
+
+    def test_tracks_coefficient_of_variation(self):
+        s = MeasurementSeries()
+        s.extend([(0, 80.0), (1, 120.0), (2, 80.0), (3, 120.0)])
+        eps = VarianceEpsilon(s, floor=0.0, ceiling=1.0).value()
+        assert eps == pytest.approx(s.coefficient_of_variation())
+
+    def test_ceiling_clamps(self):
+        s = MeasurementSeries()
+        s.extend([(0, 1.0), (1, 1000.0), (2, 1.0)])
+        assert VarianceEpsilon(s, ceiling=0.4).value() == 0.4
+
+    def test_zero_mean_series_gives_floor_or_ceiling(self):
+        s = MeasurementSeries()
+        s.extend([(0, 0.0), (1, 0.0)])
+        # cov is inf -> not finite -> floor
+        assert VarianceEpsilon(s, floor=0.03).value() == 0.03

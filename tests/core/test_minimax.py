@@ -1,0 +1,233 @@
+"""Minimax tree algorithm tests: optimality, ε edge equivalence,
+the paper's Figure 7 -> 8 scenario."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.minimax import MinimaxTree, build_mmp_tree
+from repro.core.paths import path_cost
+
+from tests.core.graphs import (
+    DictGraph,
+    brute_force_minimax,
+    figure6_graph,
+    symmetric,
+)
+
+
+def simple_chain() -> DictGraph:
+    return DictGraph(
+        ["a", "b", "c"],
+        symmetric({("a", "b"): 1.0, ("b", "c"): 2.0, ("a", "c"): 5.0}),
+    )
+
+
+class TestBasics:
+    def test_root_is_own_parent(self):
+        t = build_mmp_tree(simple_chain(), "a")
+        assert t.parent["a"] == "a"
+        assert t.cost["a"] == 0.0
+
+    def test_unknown_start_raises(self):
+        with pytest.raises(KeyError):
+            build_mmp_tree(simple_chain(), "zzz")
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            build_mmp_tree(simple_chain(), "a", epsilon=-0.1)
+
+    def test_all_nodes_reached_in_connected_graph(self):
+        t = build_mmp_tree(simple_chain(), "a")
+        assert len(t) == 3
+
+    def test_unreachable_node_absent(self):
+        g = DictGraph(["a", "b", "island"], symmetric({("a", "b"): 1.0}))
+        t = build_mmp_tree(g, "a")
+        assert not t.reached("island")
+        assert t.cost_to("island") == math.inf
+        with pytest.raises(KeyError):
+            t.path_to("island")
+
+    def test_path_to_self(self):
+        t = build_mmp_tree(simple_chain(), "a")
+        assert t.path_to("a") == ["a"]
+        assert t.next_hop("a") == "a"
+
+
+class TestMinimaxObjective:
+    def test_prefers_relay_over_heavy_direct_edge(self):
+        # a->c direct is 5; a->b->c has max edge 2
+        t = build_mmp_tree(simple_chain(), "a")
+        assert t.path_to("c") == ["a", "b", "c"]
+        assert t.cost_to("c") == 2.0
+
+    def test_differs_from_shortest_path(self):
+        # additive: a->c direct = 5 vs a->b->c = 3+3=6 -> SP prefers direct;
+        # minimax: max(3,3)=3 < 5 -> MMP prefers relay.
+        g = DictGraph(
+            ["a", "b", "c"],
+            symmetric({("a", "b"): 3.0, ("b", "c"): 3.0, ("a", "c"): 5.0}),
+        )
+        t = build_mmp_tree(g, "a")
+        assert t.path_to("c") == ["a", "b", "c"]
+
+    def test_cost_equals_heaviest_edge_on_chosen_path(self):
+        g = figure6_graph()
+        t = build_mmp_tree(g, "ash.ucsb.edu")
+        for dest in g.hosts:
+            if dest == "ash.ucsb.edu":
+                continue
+            assert t.cost_to(dest) == pytest.approx(
+                path_cost(g, t.path_to(dest))
+            )
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=40, deadline=None)
+    def test_optimal_vs_brute_force_random_graphs(self, seed):
+        """ε = 0 must be exactly optimal on random small graphs."""
+        import random
+
+        rng = random.Random(seed)
+        n = rng.randint(3, 6)
+        hosts = [f"h{i}" for i in range(n)]
+        costs = {}
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    costs[(hosts[i], hosts[j])] = rng.uniform(1, 100)
+        g = DictGraph(hosts, costs)
+        t = build_mmp_tree(g, hosts[0], epsilon=0.0)
+        for dest in hosts[1:]:
+            assert t.cost_to(dest) == pytest.approx(
+                brute_force_minimax(g, hosts[0], dest)
+            )
+
+
+class TestEdgeEquivalence:
+    def test_figure7_strict_tree_takes_marginal_detour(self):
+        """ε = 0: the strictly cheaper route to bell.uiuc.edu goes through
+        its site peer opus.uiuc.edu (5.0 then LAN 1.0 beats direct 5.1)."""
+        g = figure6_graph()
+        t = build_mmp_tree(g, "ash.ucsb.edu", epsilon=0.0)
+        assert t.path_to("bell.uiuc.edu") == [
+            "ash.ucsb.edu",
+            "opus.uiuc.edu",
+            "bell.uiuc.edu",
+        ]
+
+    def test_figure8_epsilon_collapses_detour(self):
+        """ε = 0.1: 5.0 is not 10 % better than 5.1, so the direct edge
+        survives — the paper's Figure 8 tree."""
+        g = figure6_graph()
+        t = build_mmp_tree(g, "ash.ucsb.edu", epsilon=0.1)
+        assert t.path_to("bell.uiuc.edu") == ["ash.ucsb.edu", "bell.uiuc.edu"]
+
+    def test_epsilon_never_worse_than_factor(self):
+        """Every ε-tree path cost is within (1+ε) per relaxation of the
+        optimum; in practice check a generous global bound."""
+        import random
+
+        rng = random.Random(7)
+        hosts = [f"h{i}" for i in range(8)]
+        costs = {
+            (a, b): rng.uniform(1, 100)
+            for a in hosts
+            for b in hosts
+            if a != b
+        }
+        g = DictGraph(hosts, costs)
+        eps = 0.1
+        exact = build_mmp_tree(g, "h0", epsilon=0.0)
+        damped = build_mmp_tree(g, "h0", epsilon=eps)
+        for dest in hosts[1:]:
+            got = path_cost(g, damped.path_to(dest))
+            opt = exact.cost_to(dest)
+            assert got <= opt * (1 + eps) ** len(hosts) + 1e-9
+
+    def test_epsilon_reduces_or_preserves_tree_depth(self):
+        """Edge equivalence 'serves to dampen adding unnecessary edges':
+        total relayed destinations cannot grow with ε on this graph."""
+        g = figure6_graph()
+        t0 = build_mmp_tree(g, "ash.ucsb.edu", epsilon=0.0)
+        t1 = build_mmp_tree(g, "ash.ucsb.edu", epsilon=0.1)
+        depth0 = sum(len(t0.path_to(d)) for d in g.hosts)
+        depth1 = sum(len(t1.path_to(d)) for d in g.hosts)
+        assert depth1 <= depth0
+
+    def test_huge_epsilon_yields_star(self):
+        """With ε large enough nothing beats a direct edge: the tree is a
+        star around the root."""
+        g = figure6_graph()
+        t = build_mmp_tree(g, "ash.ucsb.edu", epsilon=100.0)
+        for dest in g.hosts:
+            if dest != "ash.ucsb.edu":
+                assert t.path_to(dest) == ["ash.ucsb.edu", dest]
+
+    def test_genuinely_better_routes_survive_epsilon(self):
+        """ε must not kill large improvements — only marginal ones."""
+        t = build_mmp_tree(simple_chain(), "a", epsilon=0.1)
+        assert t.path_to("c") == ["a", "b", "c"]  # 2.0 vs 5.0 is >> 10%
+
+
+class TestRelayNodeRestriction:
+    def chain(self):
+        return DictGraph(
+            ["a", "b", "c"],
+            symmetric({("a", "b"): 1.0, ("b", "c"): 1.0, ("a", "c"): 10.0}),
+        )
+
+    def test_unrestricted_uses_midpoint(self):
+        t = build_mmp_tree(self.chain(), "a")
+        assert t.path_to("c") == ["a", "b", "c"]
+
+    def test_forbidden_relay_forces_direct(self):
+        t = build_mmp_tree(self.chain(), "a", relay_nodes=set())
+        assert t.path_to("c") == ["a", "c"]
+        assert t.cost_to("c") == 10.0
+
+    def test_allowed_relay_still_used(self):
+        t = build_mmp_tree(self.chain(), "a", relay_nodes={"b"})
+        assert t.path_to("c") == ["a", "b", "c"]
+
+    def test_start_node_always_forwards(self):
+        # the start is never a "relay"; restriction must not orphan it
+        t = build_mmp_tree(self.chain(), "a", relay_nodes=set())
+        assert t.reached("b") and t.reached("c")
+
+    def test_restricted_cost_never_better(self):
+        g = figure6_graph()
+        free = build_mmp_tree(g, "ash.ucsb.edu")
+        caged = build_mmp_tree(
+            g, "ash.ucsb.edu", relay_nodes={"elm.ucsb.edu"}
+        )
+        for dest in g.hosts:
+            if dest == "ash.ucsb.edu":
+                continue
+            assert caged.cost_to(dest) >= free.cost_to(dest) - 1e-12
+
+
+class TestDampedCostConsistency:
+    def test_stored_cost_equals_path_cost_with_epsilon(self):
+        """Appendix A stores relax_cost, which must equal the heaviest
+        edge on the adopted path even when epsilon prunes candidates."""
+        g = figure6_graph()
+        t = build_mmp_tree(g, "ash.ucsb.edu", epsilon=0.1)
+        for dest in g.hosts:
+            if dest == "ash.ucsb.edu":
+                continue
+            assert t.cost_to(dest) == pytest.approx(
+                path_cost(g, t.path_to(dest))
+            )
+
+
+class TestNextHop:
+    def test_next_hop_matches_path(self):
+        g = figure6_graph()
+        t = build_mmp_tree(g, "ash.ucsb.edu", epsilon=0.0)
+        for dest in g.hosts:
+            if dest == "ash.ucsb.edu":
+                continue
+            assert t.next_hop(dest) == t.path_to(dest)[1]

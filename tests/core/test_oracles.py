@@ -1,0 +1,88 @@
+"""Independent-oracle cross-checks against networkx.
+
+Our Dijkstra baseline and the minimax tree are verified against
+networkx's well-tested graph algorithms on random instances — a
+different implementation, a different author, the same answers.
+"""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core.baselines import dijkstra_tree
+from repro.core.minimax import build_mmp_tree
+
+from tests.core.graphs import DictGraph
+
+
+def random_graph(seed: int, n: int = 8, density: float = 0.7):
+    rng = random.Random(seed)
+    hosts = [f"h{i}" for i in range(n)]
+    costs = {}
+    for a in hosts:
+        for b in hosts:
+            if a != b and rng.random() < density:
+                costs[(a, b)] = rng.uniform(1, 100)
+    return DictGraph(hosts, costs), costs
+
+
+def to_networkx(hosts, costs) -> nx.DiGraph:
+    g = nx.DiGraph()
+    g.add_nodes_from(hosts)
+    for (a, b), c in costs.items():
+        g.add_edge(a, b, weight=c)
+    return g
+
+
+class TestDijkstraOracle:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_costs_match_networkx(self, seed):
+        graph, costs = random_graph(seed)
+        nxg = to_networkx(graph.hosts, costs)
+        ours = dijkstra_tree(graph, "h0")
+        lengths = nx.single_source_dijkstra_path_length(nxg, "h0")
+        for host in graph.hosts:
+            if host == "h0":
+                continue
+            if host in lengths:
+                assert ours.cost_to(host) == pytest.approx(lengths[host])
+            else:
+                assert not ours.reached(host)
+
+
+class TestMinimaxOracle:
+    @staticmethod
+    def networkx_minimax(nxg: nx.DiGraph, source: str, dest: str) -> float:
+        """Minimax cost via binary search over edge thresholds: the
+        smallest edge weight w such that the subgraph of edges <= w
+        still connects source to dest."""
+        weights = sorted({d["weight"] for _, _, d in nxg.edges(data=True)})
+        best = math.inf
+        for w in weights:
+            sub = nx.DiGraph(
+                (a, b)
+                for a, b, d in nxg.edges(data=True)
+                if d["weight"] <= w
+            )
+            if sub.has_node(source) and sub.has_node(dest) and nx.has_path(
+                sub, source, dest
+            ):
+                best = w
+                break
+        return best
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_minimax_costs_match_threshold_oracle(self, seed):
+        graph, costs = random_graph(seed, n=7)
+        nxg = to_networkx(graph.hosts, costs)
+        tree = build_mmp_tree(graph, "h0", epsilon=0.0)
+        for host in graph.hosts:
+            if host == "h0":
+                continue
+            oracle = self.networkx_minimax(nxg, "h0", host)
+            if math.isfinite(oracle):
+                assert tree.cost_to(host) == pytest.approx(oracle)
+            else:
+                assert not tree.reached(host)

@@ -1,0 +1,125 @@
+"""Path extraction and tree statistics tests."""
+
+import math
+
+import pytest
+
+from repro.core.minimax import build_mmp_tree
+from repro.core.paths import (
+    depot_usage,
+    extract_path,
+    max_tree_cost_bound,
+    path_additive_cost,
+    path_cost,
+    relayed_fraction,
+    tree_depths,
+    tree_edges,
+)
+
+from tests.core.graphs import DictGraph, figure6_graph, symmetric
+
+
+@pytest.fixture
+def chain_graph():
+    return DictGraph(
+        ["a", "b", "c", "d"],
+        symmetric(
+            {
+                ("a", "b"): 1.0,
+                ("b", "c"): 2.0,
+                ("c", "d"): 3.0,
+                ("a", "c"): 10.0,
+                ("a", "d"): 10.0,
+                ("b", "d"): 10.0,
+            }
+        ),
+    )
+
+
+class TestPathCost:
+    def test_max_edge(self, chain_graph):
+        assert path_cost(chain_graph, ["a", "b", "c", "d"]) == 3.0
+
+    def test_additive(self, chain_graph):
+        assert path_additive_cost(chain_graph, ["a", "b", "c", "d"]) == 6.0
+
+    def test_short_path_rejected(self, chain_graph):
+        with pytest.raises(ValueError):
+            path_cost(chain_graph, ["a"])
+        with pytest.raises(ValueError):
+            path_additive_cost(chain_graph, ["a"])
+
+    def test_missing_edge_is_inf(self):
+        g = DictGraph(["a", "b", "c"], symmetric({("a", "b"): 1.0}))
+        assert path_cost(g, ["a", "b", "c"]) == math.inf
+
+
+class TestExtractPath:
+    def test_matches_tree_method(self, chain_graph):
+        t = build_mmp_tree(chain_graph, "a")
+        assert extract_path(t, "d") == t.path_to("d")
+
+
+class TestTreeEdges:
+    def test_edge_count_is_n_minus_one(self, chain_graph):
+        t = build_mmp_tree(chain_graph, "a")
+        assert len(tree_edges(t)) == 3
+
+    def test_edges_are_parent_child(self, chain_graph):
+        t = build_mmp_tree(chain_graph, "a")
+        for parent, child in tree_edges(t):
+            assert t.parent[child] == parent
+
+    def test_sorted_output(self, chain_graph):
+        t = build_mmp_tree(chain_graph, "a")
+        edges = tree_edges(t)
+        assert edges == sorted(edges)
+
+
+class TestTreeDepths:
+    def test_chain_depths(self, chain_graph):
+        t = build_mmp_tree(chain_graph, "a")
+        d = tree_depths(t)
+        assert d["a"] == 0
+        assert d["b"] == 1
+        assert d["c"] == 2
+        assert d["d"] == 3
+
+
+class TestDepotUsage:
+    def test_chain_intermediates_counted(self, chain_graph):
+        t = build_mmp_tree(chain_graph, "a")
+        usage = depot_usage(t)
+        # b relays for c and d; c relays for d
+        assert usage["b"] == 2
+        assert usage["c"] == 1
+        assert "d" not in usage
+
+    def test_star_tree_no_depots(self):
+        g = figure6_graph()
+        t = build_mmp_tree(g, "ash.ucsb.edu", epsilon=100.0)
+        assert depot_usage(t) == {}
+
+
+class TestRelayedFraction:
+    def test_chain_fraction(self, chain_graph):
+        t = build_mmp_tree(chain_graph, "a")
+        # destinations b(direct), c(relayed), d(relayed) -> 2/3
+        assert relayed_fraction(t) == pytest.approx(2 / 3)
+
+    def test_star_is_zero(self):
+        g = figure6_graph()
+        t = build_mmp_tree(g, "ash.ucsb.edu", epsilon=100.0)
+        assert relayed_fraction(t) == 0.0
+
+
+class TestCostBound:
+    def test_exact_tree_bound_is_one(self, chain_graph):
+        t = build_mmp_tree(chain_graph, "a", epsilon=0.0)
+        assert max_tree_cost_bound(chain_graph, t) == pytest.approx(1.0)
+
+    def test_damped_tree_bound_moderate(self):
+        g = figure6_graph()
+        t = build_mmp_tree(g, "ash.ucsb.edu", epsilon=0.1)
+        bound = max_tree_cost_bound(g, t)
+        assert 1.0 <= bound <= 1.1 + 1e-9

@@ -1,0 +1,205 @@
+"""Depot engine tests: admission, buffering, forwarding decisions."""
+
+import pytest
+
+from repro.lsl.depot import (
+    AdmissionError,
+    Depot,
+    DepotConfig,
+    SessionState,
+)
+from repro.lsl.header import SessionHeader, new_session_id
+from repro.lsl.options import LooseSourceRoute
+from repro.lsl.routetable import RouteTable
+
+
+def make_header(dst_ip="10.0.0.9", dst_port=7000, options=()):
+    return SessionHeader(
+        session_id=new_session_id(),
+        src_ip="10.0.0.1",
+        dst_ip=dst_ip,
+        src_port=5000,
+        dst_port=dst_port,
+        options=tuple(options),
+    )
+
+
+def make_depot(**cfg) -> Depot:
+    defaults = dict(name="depot1", capacity=1 << 20, max_sessions=4)
+    defaults.update(cfg)
+    return Depot(DepotConfig(**defaults))
+
+
+class TestConfig:
+    def test_default_capacity_is_papers_32mb(self):
+        assert DepotConfig(name="d").capacity == 32 << 20
+
+    def test_invalid_headroom_rejected(self):
+        with pytest.raises(ValueError):
+            DepotConfig(name="d", admission_headroom=1.0)
+
+
+class TestAdmission:
+    def test_admit_returns_final_decision_without_routing(self):
+        d = make_depot()
+        h = make_header()
+        decision = d.admit(h)
+        assert decision.is_final
+        assert decision.next_hop == ("10.0.0.9", 7000)
+
+    def test_session_ceiling_refuses(self):
+        d = make_depot(max_sessions=1)
+        d.admit(make_header())
+        with pytest.raises(AdmissionError, match="ceiling"):
+            d.admit(make_header())
+        assert d.refused == 1
+
+    def test_duplicate_session_refused(self):
+        d = make_depot()
+        h = make_header()
+        d.admit(h)
+        with pytest.raises(AdmissionError, match="already"):
+            d.admit(h)
+
+    def test_load_refusal(self):
+        d = make_depot(capacity=1000, admission_headroom=0.5)
+        h1 = make_header()
+        d.admit(h1)
+        d.write(h1.session_id, b"x" * 600)  # over half full
+        with pytest.raises(AdmissionError, match="load"):
+            d.admit(make_header())
+
+    def test_closed_sessions_free_the_ceiling(self):
+        d = make_depot(max_sessions=1)
+        h = make_header()
+        d.admit(h)
+        d.finish_write(h.session_id)
+        assert d.state(h.session_id) is SessionState.CLOSED
+        d.admit(make_header())  # should not raise
+
+
+class TestForwardingDecision:
+    def test_lsrr_advanced(self):
+        lsrr = LooseSourceRoute(hops=(("10.0.0.5", 7100), ("10.0.0.6", 7200)))
+        h = make_header(options=[lsrr])
+        d = make_depot()
+        decision = d.admit(h)
+        assert not decision.is_final
+        assert decision.next_hop == ("10.0.0.5", 7100)
+        out_lsrr = decision.header.option(LooseSourceRoute)
+        assert out_lsrr.hops == (("10.0.0.6", 7200),)
+
+    def test_exhausted_lsrr_goes_to_destination(self):
+        h = make_header(options=[LooseSourceRoute(hops=())])
+        decision = make_depot().admit(h)
+        assert decision.is_final
+        assert decision.next_hop == ("10.0.0.9", 7000)
+
+    def test_route_table_consulted_without_lsrr(self):
+        table = RouteTable("depot1", {"10.0.0.9": "10.0.0.5"})
+        d = Depot(DepotConfig(name="depot1"), route_table=table)
+        decision = d.admit(make_header())
+        assert not decision.is_final
+        assert decision.next_hop == ("10.0.0.5", 7000)
+
+    def test_route_table_default_is_direct(self):
+        table = RouteTable("depot1", {})
+        d = Depot(DepotConfig(name="depot1"), route_table=table)
+        decision = d.admit(make_header())
+        assert decision.is_final
+
+    def test_hold_for_pickup(self):
+        d = make_depot()
+        decision = d.admit(make_header(), hold_for_pickup=True)
+        assert decision.next_hop is None
+
+
+class TestDataPath:
+    def test_write_read_roundtrip(self):
+        d = make_depot()
+        h = make_header()
+        d.admit(h)
+        assert d.write(h.session_id, b"hello world") == 11
+        assert d.available(h.session_id) == 11
+        assert d.read(h.session_id, 5) == b"hello"
+        assert d.read(h.session_id, 100) == b" world"
+        assert d.available(h.session_id) == 0
+
+    def test_unknown_session_raises(self):
+        d = make_depot()
+        with pytest.raises(KeyError):
+            d.write(b"\x00" * 16, b"x")
+        with pytest.raises(KeyError):
+            d.read(b"\x00" * 16, 1)
+
+    def test_partial_write_on_full_pool(self):
+        d = make_depot(capacity=10)
+        h = make_header()
+        d.admit(h)
+        assert d.write(h.session_id, b"0123456789abcdef") == 10
+        assert d.write(h.session_id, b"zz") == 0  # completely full
+        d.read(h.session_id, 4)
+        assert d.write(h.session_id, b"zzzzzz") == 4  # space freed
+
+    def test_pool_shared_between_sessions(self):
+        d = make_depot(capacity=10)
+        h1, h2 = make_header(), make_header()
+        d.admit(h1)
+        d.admit(h2)
+        assert d.write(h1.session_id, b"123456") == 6
+        assert d.write(h2.session_id, b"123456") == 4  # only 4 left
+
+    def test_write_after_finish_rejected(self):
+        d = make_depot()
+        h = make_header()
+        d.admit(h)
+        d.finish_write(h.session_id)
+        with pytest.raises(ValueError, match="not allowed"):
+            d.write(h.session_id, b"late")
+
+    def test_byte_order_preserved_across_chunking(self):
+        d = make_depot()
+        h = make_header()
+        d.admit(h)
+        payload = bytes(range(256)) * 10
+        d.write(h.session_id, payload)
+        out = bytearray()
+        while d.available(h.session_id):
+            out += d.read(h.session_id, 37)  # awkward chunk size
+        assert bytes(out) == payload
+
+
+class TestLifecycle:
+    def test_draining_then_closed(self):
+        d = make_depot()
+        h = make_header()
+        d.admit(h)
+        d.write(h.session_id, b"data")
+        d.finish_write(h.session_id)
+        assert d.state(h.session_id) is SessionState.DRAINING
+        d.read(h.session_id, 100)
+        assert d.state(h.session_id) is SessionState.CLOSED
+
+    def test_immediate_close_when_empty(self):
+        d = make_depot()
+        h = make_header()
+        d.admit(h)
+        d.finish_write(h.session_id)
+        assert d.state(h.session_id) is SessionState.CLOSED
+
+    def test_evict_forgets(self):
+        d = make_depot()
+        h = make_header()
+        d.admit(h)
+        d.evict(h.session_id)
+        with pytest.raises(KeyError):
+            d.available(h.session_id)
+
+    def test_stats_accumulate(self):
+        d = make_depot()
+        h = make_header()
+        d.admit(h)
+        d.write(h.session_id, b"x" * 100)
+        d.read(h.session_id, 100)
+        assert d.total_through == 100
+        assert d.peak_usage == 100

@@ -1,0 +1,128 @@
+"""Fuzzing the LSL wire format.
+
+A depot parses headers from untrusted peers; whatever bytes arrive, the
+decoder must either return a valid header or raise ``ValueError`` —
+never an IndexError, struct.error, or other uncontrolled exception.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsl.header import FIXED_HEADER_SIZE, SessionHeader, new_session_id
+from repro.lsl.options import (
+    LooseSourceRoute,
+    MulticastTreeOption,
+    PaddingOption,
+    decode_options,
+    encode_options,
+)
+
+
+class TestHeaderFuzz:
+    @given(st.binary(max_size=200))
+    @settings(max_examples=300)
+    def test_decode_raises_only_value_error(self, data):
+        try:
+            header, consumed = SessionHeader.decode(data)
+        except ValueError:
+            return
+        # on success the decode must be internally consistent
+        assert consumed <= len(data)
+        assert len(header.session_id) == 16
+
+    @given(st.binary(min_size=FIXED_HEADER_SIZE, max_size=120))
+    @settings(max_examples=300)
+    def test_mutated_valid_header(self, tail):
+        """Start from a valid header, append arbitrary bytes: either the
+        options parse or decoding fails cleanly."""
+        base = SessionHeader(
+            session_id=new_session_id(),
+            src_ip="10.0.0.1",
+            dst_ip="10.0.0.2",
+            src_port=1,
+            dst_port=2,
+        ).encode()
+        # stretch hlen to claim the tail as options
+        hlen = len(base) + len(tail)
+        if hlen > 0xFFFF:
+            return
+        mutated = bytearray(base + tail)
+        mutated[4:6] = hlen.to_bytes(2, "big")
+        try:
+            SessionHeader.decode(bytes(mutated))
+        except ValueError:
+            pass
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.integers(min_value=0, max_value=0xFFFF),
+    )
+    def test_corrupted_length_fields(self, fake_hlen, fake_version):
+        wire = bytearray(
+            SessionHeader(
+                session_id=new_session_id(),
+                src_ip="1.2.3.4",
+                dst_ip="5.6.7.8",
+                src_port=9,
+                dst_port=10,
+            ).encode()
+        )
+        wire[0:2] = fake_version.to_bytes(2, "big")
+        wire[4:6] = fake_hlen.to_bytes(2, "big")
+        try:
+            SessionHeader.decode(bytes(wire))
+        except ValueError:
+            pass
+
+
+class TestOptionFuzz:
+    @given(st.binary(max_size=150))
+    @settings(max_examples=300)
+    def test_decode_options_raises_only_value_error(self, data):
+        try:
+            options = decode_options(data)
+        except ValueError:
+            return
+        # successful parses must re-encode to the same bytes
+        assert encode_options(options) == data
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.builds(
+                    PaddingOption, st.integers(min_value=0, max_value=20)
+                ),
+                st.builds(
+                    LooseSourceRoute,
+                    st.lists(
+                        st.tuples(
+                            st.just("10.0.0.1"),
+                            st.integers(min_value=0, max_value=0xFFFF),
+                        ),
+                        max_size=5,
+                    ).map(tuple),
+                ),
+            ),
+            max_size=6,
+        )
+    )
+    def test_valid_options_always_roundtrip(self, options):
+        assert decode_options(encode_options(options)) == options
+
+    @given(st.binary(min_size=1, max_size=60), st.integers(0, 59))
+    @settings(max_examples=200)
+    def test_bitflip_in_valid_stream(self, payload, position):
+        """Flip one byte in a valid option stream; parsing either still
+        succeeds or fails with ValueError."""
+        wire = bytearray(
+            encode_options(
+                [LooseSourceRoute(hops=(("10.0.0.9", 99),)), PaddingOption(4)]
+            )
+        )
+        pos = position % len(wire)
+        wire[pos] ^= payload[0]
+        try:
+            decode_options(bytes(wire))
+        except ValueError:
+            pass

@@ -1,0 +1,152 @@
+"""Session header wire-format tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lsl.header import (
+    FIXED_HEADER_SIZE,
+    LSL_VERSION,
+    SessionHeader,
+    SessionType,
+    new_session_id,
+)
+from repro.lsl.options import LooseSourceRoute, PaddingOption
+
+
+def make_header(**overrides) -> SessionHeader:
+    base = dict(
+        session_id=bytes(range(16)),
+        src_ip="10.0.0.1",
+        dst_ip="10.0.0.2",
+        src_port=5000,
+        dst_port=6000,
+    )
+    base.update(overrides)
+    return SessionHeader(**base)
+
+
+class TestConstruction:
+    def test_session_id_must_be_128_bits(self):
+        with pytest.raises(ValueError):
+            make_header(session_id=b"short")
+
+    def test_ports_16_bit(self):
+        with pytest.raises(ValueError):
+            make_header(src_port=70000)
+        with pytest.raises(ValueError):
+            make_header(dst_port=-1)
+
+    def test_invalid_ip_rejected(self):
+        with pytest.raises(Exception):
+            make_header(src_ip="not-an-ip")
+
+    def test_new_session_id_is_random_128_bit(self):
+        a, b = new_session_id(), new_session_id()
+        assert len(a) == len(b) == 16
+        assert a != b
+
+    def test_hex_id(self):
+        h = make_header(session_id=b"\x00" * 15 + b"\xff")
+        assert h.hex_id == "00" * 15 + "ff"
+
+
+class TestCodec:
+    def test_fixed_size_is_34_bytes(self):
+        assert FIXED_HEADER_SIZE == 34
+
+    def test_roundtrip_no_options(self):
+        h = make_header()
+        decoded, consumed = SessionHeader.decode(h.encode())
+        assert decoded == h
+        assert consumed == FIXED_HEADER_SIZE
+
+    def test_roundtrip_with_options(self):
+        h = make_header(
+            options=(
+                LooseSourceRoute(hops=(("192.168.1.1", 4000),)),
+                PaddingOption(length=3),
+            )
+        )
+        decoded, consumed = SessionHeader.decode(h.encode())
+        assert decoded == h
+        assert consumed == len(h.encode())
+
+    def test_decode_ignores_trailing_payload(self):
+        h = make_header()
+        wire = h.encode() + b"PAYLOAD"
+        decoded, consumed = SessionHeader.decode(wire)
+        assert decoded == h
+        assert wire[consumed:] == b"PAYLOAD"
+
+    def test_truncated_fixed_part_rejected(self):
+        h = make_header()
+        with pytest.raises(ValueError, match="truncated"):
+            SessionHeader.decode(h.encode()[:10])
+
+    def test_truncated_options_rejected(self):
+        h = make_header(options=(PaddingOption(length=10),))
+        with pytest.raises(ValueError, match="truncated"):
+            SessionHeader.decode(h.encode()[:-3])
+
+    def test_version_mismatch_rejected(self):
+        wire = bytearray(make_header().encode())
+        wire[0:2] = (99).to_bytes(2, "big")
+        with pytest.raises(ValueError, match="version"):
+            SessionHeader.decode(bytes(wire))
+
+    def test_unknown_type_rejected(self):
+        wire = bytearray(make_header().encode())
+        wire[2:4] = (999).to_bytes(2, "big")
+        with pytest.raises(ValueError, match="type"):
+            SessionHeader.decode(bytes(wire))
+
+    def test_bogus_hlen_rejected(self):
+        wire = bytearray(make_header().encode())
+        wire[4:6] = (5).to_bytes(2, "big")  # below fixed size
+        with pytest.raises(ValueError, match="length"):
+            SessionHeader.decode(bytes(wire))
+
+    @given(
+        session_id=st.binary(min_size=16, max_size=16),
+        src_port=st.integers(min_value=0, max_value=0xFFFF),
+        dst_port=st.integers(min_value=0, max_value=0xFFFF),
+        octets=st.lists(
+            st.integers(min_value=0, max_value=255), min_size=8, max_size=8
+        ),
+        stype=st.sampled_from(list(SessionType)),
+    )
+    def test_roundtrip_property(self, session_id, src_port, dst_port, octets, stype):
+        src = ".".join(map(str, octets[:4]))
+        dst = ".".join(map(str, octets[4:]))
+        h = SessionHeader(
+            session_id=session_id,
+            src_ip=src,
+            dst_ip=dst,
+            src_port=src_port,
+            dst_port=dst_port,
+            session_type=stype,
+        )
+        decoded, _ = SessionHeader.decode(h.encode())
+        assert decoded == h
+
+
+class TestHelpers:
+    def test_option_lookup(self):
+        lsrr = LooseSourceRoute(hops=(("1.2.3.4", 1),))
+        h = make_header(options=(PaddingOption(1), lsrr))
+        assert h.option(LooseSourceRoute) is lsrr
+        assert make_header().option(LooseSourceRoute) is None
+
+    def test_with_options_preserves_identity_fields(self):
+        h = make_header()
+        h2 = h.with_options((PaddingOption(2),))
+        assert h2.session_id == h.session_id
+        assert h2.dst_ip == h.dst_ip
+        assert len(h2.options) == 1
+        assert h.options == ()  # original untouched
+
+    def test_types_encode_distinctly(self):
+        p2p = make_header(session_type=SessionType.POINT_TO_POINT).encode()
+        mc = make_header(session_type=SessionType.MULTICAST).encode()
+        assert p2p != mc

@@ -1,0 +1,113 @@
+"""Multicast staging tree tests."""
+
+import pytest
+
+from repro.lsl.depot import Depot, DepotConfig
+from repro.lsl.multicast import StagingTree, simulate_staging, staging_time_model
+from repro.lsl.options import MulticastTreeOption
+from repro.net.topology import PathSpec
+
+
+ROOT = ("10.0.0.1", 9000)
+LEFT = ("10.0.0.2", 9000)
+RIGHT = ("10.0.0.3", 9000)
+DEEP = ("10.0.0.4", 9000)
+
+
+def simple_tree() -> StagingTree:
+    return StagingTree.from_parent_map(
+        ROOT, {ROOT: [LEFT, RIGHT], LEFT: [DEEP]}
+    )
+
+
+class TestStagingTree:
+    def test_from_parent_map_structure(self):
+        t = simple_tree()
+        assert t.root == ROOT
+        assert len(t) == 4
+        assert t.children_of(0) == [1, 2]
+
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            StagingTree.from_parent_map(ROOT, {ROOT: [LEFT, LEFT]})
+
+    def test_option_roundtrip(self):
+        t = simple_tree()
+        restored = StagingTree.from_option(
+            MulticastTreeOption(nodes=t.to_option().nodes)
+        )
+        assert restored.nodes == t.nodes
+
+    def test_leaves(self):
+        t = simple_tree()
+        leaf_addrs = {t.address_of(i) for i in t.leaves()}
+        assert leaf_addrs == {RIGHT, DEEP}
+
+    def test_path_to(self):
+        t = simple_tree()
+        deep_idx = next(
+            i for i in range(len(t)) if t.address_of(i) == DEEP
+        )
+        path = [t.address_of(i) for i in t.path_to(deep_idx)]
+        assert path == [ROOT, LEFT, DEEP]
+
+
+class TestSimulateStaging:
+    def make_depots(self, capacity=1 << 20):
+        return {
+            addr: Depot(DepotConfig(name=str(addr), capacity=capacity))
+            for addr in (ROOT, LEFT, RIGHT, DEEP)
+        }
+
+    def test_every_node_receives_full_payload(self):
+        payload = bytes(range(256)) * 500
+        received = simulate_staging(simple_tree(), self.make_depots(), payload)
+        assert set(received) == {ROOT, LEFT, RIGHT, DEEP}
+        for copy in received.values():
+            assert copy == payload
+
+    def test_small_pools_still_replicate(self):
+        payload = b"m" * 200_000
+        received = simulate_staging(
+            simple_tree(), self.make_depots(capacity=8_000), payload
+        )
+        assert all(copy == payload for copy in received.values())
+
+    def test_missing_depot_raises(self):
+        depots = self.make_depots()
+        del depots[DEEP]
+        with pytest.raises(KeyError):
+            simulate_staging(simple_tree(), depots, b"x")
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_staging(simple_tree(), self.make_depots(), b"")
+
+
+class TestStagingTimeModel:
+    def path_spec_of(self, a, b):
+        return PathSpec.from_mbit(40, 100)
+
+    def test_single_branch_matches_relay_model(self):
+        from repro.models.relay import relay_transfer_time
+
+        t = StagingTree.from_parent_map(ROOT, {ROOT: [LEFT]})
+        size = 4 << 20
+        expected = relay_transfer_time(
+            [self.path_spec_of(ROOT, LEFT)], size
+        )
+        assert staging_time_model(t, self.path_spec_of, size) == pytest.approx(
+            expected
+        )
+
+    def test_deepest_branch_dominates(self):
+        shallow = StagingTree.from_parent_map(ROOT, {ROOT: [LEFT, RIGHT]})
+        deep = simple_tree()
+        size = 4 << 20
+        assert staging_time_model(
+            deep, self.path_spec_of, size
+        ) > staging_time_model(shallow, self.path_spec_of, size)
+
+    def test_root_only_tree_is_instant(self):
+        t = StagingTree.from_parent_map(ROOT, {})
+        assert staging_time_model(t, self.path_spec_of, 1 << 20) == 0.0

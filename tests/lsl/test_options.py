@@ -1,0 +1,161 @@
+"""TLV option codec tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lsl.options import (
+    LooseSourceRoute,
+    MulticastTreeOption,
+    PaddingOption,
+    decode_options,
+    encode_options,
+)
+
+
+class TestPadding:
+    def test_roundtrip(self):
+        opts = decode_options(encode_options([PaddingOption(5)]))
+        assert opts == [PaddingOption(5)]
+
+    def test_zero_length(self):
+        opts = decode_options(encode_options([PaddingOption(0)]))
+        assert opts == [PaddingOption(0)]
+
+    def test_nonzero_padding_rejected(self):
+        wire = bytearray(encode_options([PaddingOption(3)]))
+        wire[-1] = 0xFF
+        with pytest.raises(ValueError, match="zero"):
+            decode_options(bytes(wire))
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            PaddingOption(-1)
+
+
+class TestLooseSourceRoute:
+    def test_roundtrip(self):
+        lsrr = LooseSourceRoute(
+            hops=(("10.0.0.1", 9000), ("10.0.0.2", 9001))
+        )
+        out = decode_options(encode_options([lsrr]))
+        assert out == [lsrr]
+
+    def test_empty_route(self):
+        lsrr = LooseSourceRoute(hops=())
+        assert decode_options(encode_options([lsrr])) == [lsrr]
+
+    def test_advance_pops_front(self):
+        lsrr = LooseSourceRoute(hops=(("1.1.1.1", 1), ("2.2.2.2", 2)))
+        hop, rest = lsrr.advance()
+        assert hop == ("1.1.1.1", 1)
+        assert rest.hops == (("2.2.2.2", 2),)
+
+    def test_advance_exhausted(self):
+        lsrr = LooseSourceRoute(hops=())
+        hop, rest = lsrr.advance()
+        assert hop is None
+        assert rest is lsrr
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(ValueError):
+            LooseSourceRoute(hops=(("1.1.1.1", 99999),))
+
+    def test_bad_ip_rejected(self):
+        with pytest.raises(Exception):
+            LooseSourceRoute(hops=(("nope", 1),))
+
+    def test_misaligned_value_rejected(self):
+        wire = bytearray(
+            encode_options([LooseSourceRoute(hops=(("1.1.1.1", 1),))])
+        )
+        # shorten the value by one byte, fix up the length field
+        wire = wire[:-1]
+        wire[1:3] = (5).to_bytes(2, "big")
+        with pytest.raises(ValueError, match="multiple"):
+            decode_options(bytes(wire))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.lists(
+                    st.integers(min_value=0, max_value=255),
+                    min_size=4,
+                    max_size=4,
+                ),
+                st.integers(min_value=0, max_value=0xFFFF),
+            ),
+            max_size=10,
+        )
+    )
+    def test_roundtrip_property(self, raw_hops):
+        hops = tuple(
+            (".".join(map(str, octets)), port) for octets, port in raw_hops
+        )
+        lsrr = LooseSourceRoute(hops=hops)
+        assert decode_options(encode_options([lsrr])) == [lsrr]
+
+
+class TestMulticastTree:
+    def tree(self):
+        return MulticastTreeOption(
+            nodes=(
+                (-1, "10.0.0.1", 1000),
+                (0, "10.0.0.2", 1001),
+                (0, "10.0.0.3", 1002),
+                (1, "10.0.0.4", 1003),
+            )
+        )
+
+    def test_roundtrip(self):
+        t = self.tree()
+        assert decode_options(encode_options([t])) == [t]
+
+    def test_children_of(self):
+        t = self.tree()
+        assert t.children_of(0) == [1, 2]
+        assert t.children_of(1) == [3]
+        assert t.children_of(3) == []
+
+    def test_root_must_come_first(self):
+        with pytest.raises(ValueError):
+            MulticastTreeOption(nodes=((0, "1.1.1.1", 1),))
+
+    def test_second_root_rejected(self):
+        with pytest.raises(ValueError):
+            MulticastTreeOption(
+                nodes=((-1, "1.1.1.1", 1), (-1, "2.2.2.2", 2))
+            )
+
+    def test_forward_reference_rejected(self):
+        with pytest.raises(ValueError):
+            MulticastTreeOption(
+                nodes=((-1, "1.1.1.1", 1), (2, "2.2.2.2", 2), (0, "3.3.3.3", 3))
+            )
+
+
+class TestMultipleOptions:
+    def test_order_preserved(self):
+        opts = [
+            PaddingOption(2),
+            LooseSourceRoute(hops=(("9.9.9.9", 9),)),
+            PaddingOption(0),
+        ]
+        assert decode_options(encode_options(opts)) == opts
+
+    def test_unknown_kind_rejected(self):
+        wire = bytes([200, 0, 0])  # kind 200, zero length
+        with pytest.raises(ValueError, match="unknown"):
+            decode_options(wire)
+
+    def test_truncated_tl_rejected(self):
+        with pytest.raises(ValueError, match="truncated"):
+            decode_options(b"\x01")
+
+    def test_truncated_value_rejected(self):
+        wire = bytes([0, 0, 10]) + b"\x00" * 3  # claims 10, has 3
+        with pytest.raises(ValueError, match="truncated"):
+            decode_options(wire)
+
+    def test_empty_wire_is_no_options(self):
+        assert decode_options(b"") == []

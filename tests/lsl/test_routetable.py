@@ -1,0 +1,98 @@
+"""Route table tests."""
+
+import pytest
+
+from repro.core.scheduler import LogisticalScheduler
+from repro.lsl.routetable import RouteTable
+
+from tests.core.graphs import DictGraph, symmetric
+
+
+class TestBasics:
+    def test_empty_owner_rejected(self):
+        with pytest.raises(ValueError):
+            RouteTable("")
+
+    def test_default_route_is_destination(self):
+        t = RouteTable("depot1")
+        assert t.next_hop("far-host") == "far-host"
+        assert not t.is_relayed("far-host")
+
+    def test_set_and_lookup(self):
+        t = RouteTable("depot1")
+        t.set("dst", "depot2")
+        assert t.next_hop("dst") == "depot2"
+        assert t.is_relayed("dst")
+        assert "dst" in t and len(t) == 1
+
+    def test_route_to_self_rejected(self):
+        t = RouteTable("depot1")
+        with pytest.raises(ValueError):
+            t.set("depot1", "x")
+
+    def test_next_hop_to_self_rejected(self):
+        t = RouteTable("depot1")
+        with pytest.raises(ValueError):
+            t.set("dst", "depot1")
+
+    def test_lookup_at_destination_rejected(self):
+        t = RouteTable("depot1")
+        with pytest.raises(ValueError):
+            t.next_hop("depot1")
+
+    def test_remove(self):
+        t = RouteTable("d", {"a": "b"})
+        t.remove("a")
+        assert "a" not in t
+        with pytest.raises(KeyError):
+            t.remove("a")
+
+    def test_replace_all_atomic_on_failure(self):
+        t = RouteTable("d", {"a": "b"})
+        with pytest.raises(ValueError):
+            t.replace_all({"x": "d"})  # invalid: next hop is owner
+        assert t.next_hop("a") == "b"  # old table intact
+
+    def test_replace_all_swaps(self):
+        t = RouteTable("d", {"a": "b"})
+        t.replace_all({"c": "e"})
+        assert "a" not in t and t.next_hop("c") == "e"
+
+    def test_iteration_sorted(self):
+        t = RouteTable("d", {"z": "h1", "a": "h2"})
+        assert list(t) == [("a", "h2"), ("z", "h1")]
+
+
+class TestSerialisation:
+    def test_text_roundtrip(self):
+        t = RouteTable("depot1", {"dstA": "hop1", "dstB": "hop2"})
+        restored = RouteTable.from_text(t.to_text())
+        assert restored.owner == "depot1"
+        assert list(restored) == list(t)
+
+    def test_missing_owner_header_rejected(self):
+        with pytest.raises(ValueError, match="owner"):
+            RouteTable.from_text("a\tb\n")
+
+    def test_malformed_line_rejected(self):
+        text = "# route table for d\nbroken line without tab\n"
+        with pytest.raises(ValueError, match="expected"):
+            RouteTable.from_text(text)
+
+    def test_blank_lines_ignored(self):
+        text = "# route table for d\n\na\tb\n\n"
+        t = RouteTable.from_text(text)
+        assert t.next_hop("a") == "b"
+
+
+class TestFromScheduler:
+    def test_only_relayed_destinations_stored(self):
+        g = DictGraph(
+            ["a", "b", "c"],
+            symmetric({("a", "b"): 1.0, ("b", "c"): 1.0, ("a", "c"): 10.0}),
+        )
+        scheduler = LogisticalScheduler(g, epsilon=0.0)
+        t = RouteTable.from_scheduler(scheduler, "a")
+        assert t.next_hop("c") == "b"  # relayed
+        assert "b" not in t  # direct pairs use the default route
+        assert t.next_hop("b") == "b"

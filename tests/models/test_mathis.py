@@ -1,0 +1,68 @@
+"""Mathis model tests."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.models.mathis import MATHIS_C, mathis_rate, mathis_window
+from repro.util.validation import ValidationError
+
+
+class TestMathisRate:
+    def test_formula(self):
+        # C * 1460 / (0.1 * sqrt(1e-4)) = C * 1460 / 0.001
+        expected = MATHIS_C * 1460 / 0.001
+        assert mathis_rate(1460, 0.1, 1e-4) == pytest.approx(expected)
+
+    def test_zero_loss_unbounded(self):
+        assert mathis_rate(1460, 0.1, 0.0) == math.inf
+
+    def test_inverse_rtt(self):
+        r1 = mathis_rate(1460, 0.05, 1e-4)
+        r2 = mathis_rate(1460, 0.10, 1e-4)
+        assert r1 == pytest.approx(2 * r2)
+
+    def test_inverse_sqrt_loss(self):
+        r1 = mathis_rate(1460, 0.1, 1e-4)
+        r2 = mathis_rate(1460, 0.1, 4e-4)
+        assert r1 == pytest.approx(2 * r2)
+
+    def test_halving_the_path_doubles_each_half(self):
+        """The steady-state root of the logistical effect: a depot at the
+        midpoint lets each half run twice as fast (same loss per half
+        would further help; here loss splits evenly)."""
+        whole = mathis_rate(1460, 0.08, 1e-4)
+        half = mathis_rate(1460, 0.04, 1e-4)
+        assert half == pytest.approx(2 * whole)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValidationError):
+            mathis_rate(0, 0.1, 1e-4)
+        with pytest.raises(ValidationError):
+            mathis_rate(1460, 0, 1e-4)
+        with pytest.raises(ValidationError):
+            mathis_rate(1460, 0.1, 2.0)
+
+    @given(
+        st.floats(min_value=1e-3, max_value=1.0),
+        st.floats(min_value=1e-6, max_value=0.1),
+    )
+    def test_positive_for_valid_domain(self, rtt, p):
+        assert mathis_rate(1460, rtt, p) > 0
+
+
+class TestMathisWindow:
+    def test_rate_times_rtt_equals_mean_window(self):
+        rtt, p = 0.1, 1e-4
+        rate = mathis_rate(1460, rtt, p)
+        window = mathis_window(1460, p)
+        assert window == pytest.approx(rate * rtt, rel=1e-9)
+
+    def test_zero_loss_unbounded(self):
+        assert mathis_window(1460, 0.0) == math.inf
+
+    def test_window_independent_of_rtt(self):
+        # only loss sets the sawtooth amplitude
+        assert mathis_window(1460, 1e-3) == mathis_window(1460, 1e-3)

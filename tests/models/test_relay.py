@@ -1,0 +1,133 @@
+"""Relay (series-TCP) analytic model tests and fluid cross-validation."""
+
+import math
+
+import pytest
+
+from repro.models.relay import (
+    pipeline_fill_time,
+    relay_effective_bandwidth,
+    relay_transfer_time,
+)
+from repro.models.transfer_time import steady_state_rate, transfer_time
+from repro.net.simulator import NetworkSimulator
+from repro.net.topology import PathSpec
+from repro.util.units import mb
+
+
+UP = PathSpec.from_mbit(46, 200, loss_rate=5e-5, name="ucsb-denver")
+DOWN = PathSpec.from_mbit(45, 200, loss_rate=5e-5, name="denver-uiuc")
+DIRECT = PathSpec.from_mbit(91, 200, loss_rate=1e-4, name="ucsb-uiuc")
+
+
+class TestRelayTransferTime:
+    def test_single_path_matches_direct_model(self):
+        assert relay_transfer_time([DIRECT], mb(8)) == pytest.approx(
+            transfer_time(DIRECT, mb(8))
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            relay_transfer_time([], mb(1))
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            relay_transfer_time([UP, DOWN], 0)
+
+    def test_bottleneck_dominates_large_transfers(self):
+        slow = PathSpec.from_mbit(40, 10, name="slow")
+        fast = PathSpec.from_mbit(40, 100, name="fast")
+        t = relay_transfer_time([fast, slow], mb(32))
+        rate = mb(32) / t
+        assert rate == pytest.approx(steady_state_rate(slow), rel=0.15)
+
+    def test_bottleneck_position_does_not_matter_much(self):
+        slow = PathSpec.from_mbit(40, 10, name="slow")
+        fast = PathSpec.from_mbit(40, 100, name="fast")
+        t1 = relay_transfer_time([fast, slow], mb(32))
+        t2 = relay_transfer_time([slow, fast], mb(32))
+        assert t1 == pytest.approx(t2, rel=0.05)
+
+    def test_relay_beats_direct_on_long_lossy_path(self):
+        """The logistical effect in the analytic model."""
+        t_direct = transfer_time(DIRECT, mb(64))
+        t_relay = relay_transfer_time([UP, DOWN], mb(64))
+        assert t_relay < t_direct
+
+    def test_relay_loses_on_short_clean_path(self):
+        """Depots are pure overhead when the direct path is already
+        fast — the cases the paper says the scheduler must avoid."""
+        direct = PathSpec.from_mbit(10, 100, name="short")
+        a = PathSpec.from_mbit(8, 100, name="a")
+        b = PathSpec.from_mbit(8, 100, name="b")
+        assert relay_transfer_time([a, b], mb(1)) > transfer_time(direct, mb(1))
+
+    def test_more_hops_more_startup(self):
+        hop = PathSpec.from_mbit(20, 100)
+        t2 = relay_transfer_time([hop, hop], mb(1))
+        t4 = relay_transfer_time([hop, hop, hop, hop], mb(1))
+        assert t4 > t2
+
+
+class TestRelayBandwidth:
+    def test_bandwidth_definition(self):
+        t = relay_transfer_time([UP, DOWN], mb(8))
+        assert relay_effective_bandwidth([UP, DOWN], mb(8)) == pytest.approx(
+            mb(8) / t
+        )
+
+    def test_grows_with_size(self):
+        bws = [relay_effective_bandwidth([UP, DOWN], mb(2**n)) for n in range(8)]
+        assert bws == sorted(bws)
+
+
+class TestPipelineFillTime:
+    def test_never_fills_when_downstream_faster(self):
+        up = PathSpec.from_mbit(40, 10)
+        down = PathSpec.from_mbit(40, 100)
+        t, b = pipeline_fill_time(up, down, 32 << 20)
+        assert t == math.inf and b == math.inf
+
+    def test_fills_when_upstream_faster(self):
+        up = PathSpec.from_mbit(46, 200)
+        down = PathSpec.from_mbit(45, 20)
+        t, b = pipeline_fill_time(up, down, 32 << 20)
+        assert math.isfinite(t) and t > 0
+
+    def test_kink_location_near_capacity_for_large_ratio(self):
+        """Figure 5: with upstream >> downstream the slope change sits
+        essentially at the depot capacity (32 MB)."""
+        up = PathSpec.from_mbit(46, 400)
+        down = PathSpec.from_mbit(45, 20)
+        _, b = pipeline_fill_time(up, down, 32 << 20)
+        assert b == pytest.approx(32 << 20, rel=0.10)
+
+    def test_fill_time_scales_with_capacity(self):
+        up = PathSpec.from_mbit(46, 200)
+        down = PathSpec.from_mbit(45, 20)
+        t1, _ = pipeline_fill_time(up, down, 16 << 20)
+        t2, _ = pipeline_fill_time(up, down, 32 << 20)
+        assert t2 == pytest.approx(2 * t1)
+
+
+class TestCrossValidationWithFluidSimulator:
+    @pytest.mark.parametrize("size_mb", [4, 16, 64])
+    def test_two_hop_relay(self, size_mb):
+        analytic = relay_transfer_time([UP, DOWN], mb(size_mb))
+        simulated = (
+            NetworkSimulator(seed=3)
+            .run_relay([UP, DOWN], mb(size_mb), record_trace=False)
+            .duration
+        )
+        assert analytic == pytest.approx(simulated, rel=0.35)
+
+    def test_slow_downstream_relay(self):
+        up = PathSpec.from_mbit(46, 100, loss_rate=3e-5)
+        down = PathSpec.from_mbit(45, 20, loss_rate=3e-5)
+        analytic = relay_transfer_time([up, down], mb(16))
+        simulated = (
+            NetworkSimulator(seed=3)
+            .run_relay([up, down], mb(16), record_trace=False)
+            .duration
+        )
+        assert analytic == pytest.approx(simulated, rel=0.3)

@@ -1,0 +1,171 @@
+"""Transfer-time model tests, including cross-validation with the fluid
+simulator."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.transfer_time import (
+    TransferModel,
+    effective_bandwidth,
+    steady_state_rate,
+    transfer_model,
+    transfer_time,
+)
+from repro.net.simulator import NetworkSimulator
+from repro.net.tcp import TcpConfig
+from repro.net.topology import PathSpec
+from repro.util.units import mb
+
+
+class TestSteadyStateRate:
+    def test_wire_limited(self):
+        p = PathSpec(rtt=0.01, bandwidth=1e6)  # tiny BDP, no loss
+        assert steady_state_rate(p) == 1e6
+
+    def test_window_limited(self):
+        p = PathSpec(
+            rtt=0.1, bandwidth=1e9, send_buffer=64 << 10, recv_buffer=64 << 10
+        )
+        assert steady_state_rate(p) == pytest.approx((64 << 10) / 0.1)
+
+    def test_loss_limited(self):
+        p = PathSpec(rtt=0.1, bandwidth=1e9, loss_rate=1e-3)
+        from repro.models.mathis import mathis_rate
+
+        assert steady_state_rate(p) == pytest.approx(mathis_rate(1460, 0.1, 1e-3))
+
+    def test_min_of_three(self):
+        p = PathSpec(rtt=0.1, bandwidth=1e9, loss_rate=1e-6)
+        assert steady_state_rate(p) <= p.bandwidth
+        assert steady_state_rate(p) <= p.window_limit / p.rtt
+
+
+class TestTransferModel:
+    def test_total_is_sum_of_parts(self):
+        p = PathSpec(rtt=0.05, bandwidth=1e7)
+        m = transfer_model(p, mb(4))
+        assert m.total == pytest.approx(
+            m.handshake + m.ramp_time + m.steady_time + m.tail
+        )
+
+    def test_handshake_is_one_rtt(self):
+        p = PathSpec(rtt=0.05, bandwidth=1e7)
+        assert transfer_model(p, mb(1)).handshake == pytest.approx(0.05)
+
+    def test_tail_is_half_rtt(self):
+        p = PathSpec(rtt=0.05, bandwidth=1e7)
+        assert transfer_model(p, mb(1)).tail == pytest.approx(0.025)
+
+    def test_tiny_transfer_all_in_slow_start(self):
+        p = PathSpec(rtt=0.05, bandwidth=1e8)
+        m = transfer_model(p, 2920)  # exactly the initial window
+        assert m.steady_time == 0.0
+        assert m.ramp_bytes == 2920
+
+    def test_large_transfer_mostly_steady(self):
+        p = PathSpec(rtt=0.05, bandwidth=1e7)
+        m = transfer_model(p, mb(64))
+        assert m.steady_time > m.ramp_time
+
+    def test_slow_start_ramp_duration(self):
+        # window-limited path: target window 64 KB from W0 = 2 MSS;
+        # continuous doubling takes rtt * log2(65536/2920) ~ 4.49 rounds
+        import math
+
+        p = PathSpec(
+            rtt=0.1, bandwidth=1e9, send_buffer=64 << 10, recv_buffer=64 << 10
+        )
+        m = transfer_model(p, mb(8))
+        assert m.ramp_time == pytest.approx(0.1 * math.log2(65536 / 2920))
+
+    def test_rejects_zero_size(self):
+        p = PathSpec(rtt=0.05, bandwidth=1e7)
+        with pytest.raises(ValueError):
+            transfer_time(p, 0)
+
+
+class TestEffectiveBandwidth:
+    def test_grows_with_size(self):
+        """The Figure 2/3 shape: observed bandwidth rises with transfer
+        size as the handshake and ramp amortise.  A cached ssthresh (as
+        Linux keeps per destination) prevents the slow-start overshoot
+        that would otherwise dent the curve after the first loss."""
+        from repro.models.mathis import mathis_window
+
+        p = PathSpec(rtt=0.087, bandwidth=5e7, loss_rate=1e-4)
+        cfg = TcpConfig(initial_ssthresh=int(mathis_window(1460, 1e-4)))
+        bws = [effective_bandwidth(p, mb(2**n), cfg) for n in range(8)]
+        # near-monotone: the AIMD sawtooth may dent the curve a few
+        # percent right after a loss, never more
+        for b1, b2 in zip(bws, bws[1:]):
+            assert b2 >= 0.9 * b1
+        # and it must genuinely grow overall before saturating
+        assert bws[-1] > 2 * bws[0]
+
+    def test_saturates_at_steady_rate(self):
+        from repro.models.mathis import mathis_window
+
+        p = PathSpec(rtt=0.087, bandwidth=5e7, loss_rate=1e-4)
+        cfg = TcpConfig(initial_ssthresh=int(mathis_window(1460, 1e-4)))
+        bw = effective_bandwidth(p, mb(512), cfg)
+        assert bw == pytest.approx(steady_state_rate(p, cfg), rel=0.15)
+
+    def test_shorter_rtt_higher_bandwidth_any_size(self):
+        short = PathSpec(rtt=0.03, bandwidth=5e7, loss_rate=1e-4)
+        long = PathSpec(rtt=0.12, bandwidth=5e7, loss_rate=1e-4)
+        for n in (0, 3, 6):
+            assert effective_bandwidth(short, mb(2**n)) > effective_bandwidth(
+                long, mb(2**n)
+            )
+
+    @given(st.integers(min_value=0, max_value=7))
+    @settings(max_examples=8, deadline=None)
+    def test_time_monotone_in_size(self, n):
+        p = PathSpec(rtt=0.07, bandwidth=5e7, loss_rate=1e-4)
+        assert transfer_time(p, mb(2**n)) < transfer_time(p, mb(2 ** (n + 1)))
+
+
+class TestCrossValidationWithFluidSimulator:
+    """The analytic model must agree with the fluid simulator, because
+    the campaign benchmarks use the former while the trace benchmarks
+    use the latter."""
+
+    @pytest.mark.parametrize("size_mb", [1, 4, 16, 64])
+    def test_window_limited_path(self, size_mb):
+        p = PathSpec(
+            rtt=0.07,
+            bandwidth=12.5e6,
+            send_buffer=1 << 20,
+            recv_buffer=1 << 20,
+        )
+        analytic = transfer_time(p, mb(size_mb))
+        simulated = (
+            NetworkSimulator(seed=1)
+            .run_direct(p, mb(size_mb), record_trace=False)
+            .duration
+        )
+        assert analytic == pytest.approx(simulated, rel=0.25)
+
+    @pytest.mark.parametrize("size_mb", [4, 16, 64])
+    def test_loss_limited_path(self, size_mb):
+        p = PathSpec(rtt=0.087, bandwidth=50e6, loss_rate=1e-4)
+        analytic = transfer_time(p, mb(size_mb))
+        simulated = (
+            NetworkSimulator(seed=1)
+            .run_direct(p, mb(size_mb), record_trace=False)
+            .duration
+        )
+        assert analytic == pytest.approx(simulated, rel=0.35)
+
+    def test_wire_limited_path(self):
+        p = PathSpec(rtt=0.02, bandwidth=2.5e6)
+        analytic = transfer_time(p, mb(8))
+        simulated = (
+            NetworkSimulator(seed=1)
+            .run_direct(p, mb(8), record_trace=False)
+            .duration
+        )
+        assert analytic == pytest.approx(simulated, rel=0.1)

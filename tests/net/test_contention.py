@@ -1,0 +1,153 @@
+"""Shared-link contention tests."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.contention import (
+    ContendedScenario,
+    SharedLink,
+    TransferOutcome,
+    jain_index,
+)
+from repro.net.topology import PathSpec
+from repro.util.units import mb
+
+
+class TestSharedLink:
+    def test_single_flow_gets_all(self):
+        link = SharedLink(1e6)
+        assert link.allocate([500.0], 0.001) == [500.0]
+
+    def test_capacity_caps_total(self):
+        link = SharedLink(1e6)
+        grants = link.allocate([1e9, 1e9], 0.001)
+        assert sum(grants) == pytest.approx(1000.0)
+        assert grants[0] == pytest.approx(grants[1])
+
+    def test_small_desire_fully_satisfied(self):
+        link = SharedLink(1e6)
+        grants = link.allocate([100.0, 1e9], 0.001)
+        assert grants[0] == pytest.approx(100.0)
+        assert grants[1] == pytest.approx(900.0)
+
+    def test_zero_desires(self):
+        link = SharedLink(1e6)
+        assert link.allocate([0.0, 0.0], 0.001) == [0.0, 0.0]
+
+    def test_total_carried_accumulates(self):
+        link = SharedLink(1e6)
+        link.allocate([400.0], 0.001)
+        link.allocate([700.0, 700.0], 0.001)
+        assert link.total_carried == pytest.approx(400.0 + 1000.0)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SharedLink(0)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=8)
+    )
+    def test_waterfill_invariants(self, desires):
+        link = SharedLink(1e6)
+        grants = link.allocate(desires, 0.001)
+        budget = 1e6 * 0.001
+        # never exceed the budget nor any desire
+        assert sum(grants) <= budget + 1e-6
+        for g, d in zip(grants, desires):
+            assert g <= d + 1e-9
+        # work-conserving: leftover only if everyone is satisfied
+        if sum(grants) < budget - 1e-6:
+            for g, d in zip(grants, desires):
+                assert g == pytest.approx(d)
+
+
+class TestJainIndex:
+    def test_even_is_one(self):
+        assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_hog_is_one_over_n(self):
+        assert jain_index([1.0, 0.0, 0.0]) == pytest.approx(1 / 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+
+    def test_all_zero(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+
+class TestContendedScenario:
+    PATH = PathSpec.from_mbit(60, 50, loss_rate=1e-4)
+
+    def test_requires_transfers(self):
+        with pytest.raises(ValueError):
+            ContendedScenario().run()
+
+    def test_shared_slot_count_validated(self):
+        sc = ContendedScenario()
+        with pytest.raises(ValueError):
+            sc.add_transfer("x", [self.PATH], mb(1), shared=[None, None])
+
+    def test_single_uncontended_matches_private_run(self):
+        from repro.net.simulator import NetworkSimulator
+
+        sc = ContendedScenario(dt=0.002)
+        sc.add_transfer("solo", [self.PATH], mb(4))
+        outcome = sc.run()[0]
+        private = NetworkSimulator(dt=0.002).run_direct(
+            self.PATH, mb(4), record_trace=False
+        )
+        assert outcome.duration == pytest.approx(private.duration, rel=0.05)
+
+    def test_identical_flows_share_evenly(self):
+        link = SharedLink(6.25e6)
+        sc = ContendedScenario()
+        for label in ("A", "B"):
+            sc.add_transfer(label, [self.PATH], mb(4), shared=[link])
+        out = sc.run()
+        bws = [o.bandwidth for o in out]
+        assert jain_index(bws) > 0.98
+
+    def test_two_flows_slower_than_one(self):
+        link1 = SharedLink(6.25e6)
+        solo = ContendedScenario()
+        solo.add_transfer("solo", [self.PATH], mb(4), shared=[link1])
+        t_solo = solo.run()[0].duration
+
+        link2 = SharedLink(6.25e6)
+        pair = ContendedScenario()
+        pair.add_transfer("A", [self.PATH], mb(4), shared=[link2])
+        pair.add_transfer("B", [self.PATH], mb(4), shared=[link2])
+        t_pair = max(o.duration for o in pair.run())
+        assert t_pair > 1.5 * t_solo
+
+    def test_short_rtt_flow_wins_under_contention(self):
+        """The textbook TCP RTT bias, which a relayed sublink inherits."""
+        link = SharedLink(6.25e6)
+        short = PathSpec.from_mbit(20, 50, loss_rate=1e-4)
+        long = PathSpec.from_mbit(120, 50, loss_rate=1e-4)
+        sc = ContendedScenario()
+        sc.add_transfer("short", [short], mb(8), shared=[link])
+        sc.add_transfer("long", [long], mb(8), shared=[link])
+        out = {o.label: o for o in sc.run()}
+        assert out["short"].bandwidth > 1.3 * out["long"].bandwidth
+
+    def test_relay_with_private_first_hop(self):
+        link = SharedLink(6.25e6)
+        a = PathSpec.from_mbit(30, 50, loss_rate=5e-5)
+        b = PathSpec.from_mbit(30, 50, loss_rate=5e-5)
+        sc = ContendedScenario()
+        sc.add_transfer("relayed", [a, b], mb(4), shared=[None, link])
+        sc.add_transfer("direct", [self.PATH], mb(4), shared=[link])
+        out = sc.run()
+        assert all(math.isfinite(o.duration) for o in out)
+
+    def test_timeout_reports_stuck_labels(self):
+        slow = PathSpec.from_mbit(60, 0.1)  # 100 kbit/s
+        sc = ContendedScenario()
+        sc.add_transfer("stuck", [slow], mb(8))
+        with pytest.raises(RuntimeError, match="stuck"):
+            sc.run(max_time=1.0)

@@ -1,0 +1,196 @@
+"""Depot buffer and relay pipeline tests."""
+
+import pytest
+
+from repro.net.depot_sim import DepotBuffer, RelayPipeline, default_depot_capacity
+from repro.net.tcp import TcpConfig
+from repro.net.topology import PathSpec
+from repro.util.units import mb
+
+
+class TestDepotBuffer:
+    def test_starts_empty(self):
+        d = DepotBuffer(1000)
+        assert d.occupancy == 0
+        assert d.free_space == 1000
+
+    def test_reserve_commit_cycle(self):
+        d = DepotBuffer(1000)
+        d.reserve(400)
+        assert d.free_space == 600
+        assert d.occupancy == 0  # not yet arrived
+        d.commit(400)
+        assert d.occupancy == 400
+        assert d.free_space == 600
+
+    def test_take_frees_space(self):
+        d = DepotBuffer(1000)
+        d.reserve(400)
+        d.commit(400)
+        d.take(150)
+        assert d.occupancy == 250
+        assert d.free_space == 750
+
+    def test_over_reserve_raises(self):
+        d = DepotBuffer(100)
+        d.reserve(60)
+        with pytest.raises(ValueError):
+            d.reserve(50)
+
+    def test_over_take_raises(self):
+        d = DepotBuffer(100)
+        d.reserve(50)
+        d.commit(50)
+        with pytest.raises(ValueError):
+            d.take(51)
+
+    def test_peak_occupancy_tracked(self):
+        d = DepotBuffer(1000)
+        d.reserve(800)
+        d.commit(800)
+        d.take(700)
+        assert d.peak_occupancy == 800
+
+    def test_total_through_accumulates(self):
+        d = DepotBuffer(1000)
+        for _ in range(3):
+            d.reserve(100)
+            d.commit(100)
+            d.take(100)
+        assert d.total_through == 300
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DepotBuffer(0)
+
+
+class TestDefaultDepotCapacity:
+    def test_matches_papers_32mb(self):
+        # 8 MB kernel recv + 8 MB kernel send + matching user buffers
+        incoming = PathSpec(rtt=0.05, bandwidth=1e7)
+        outgoing = PathSpec(rtt=0.05, bandwidth=1e7)
+        assert default_depot_capacity(incoming, outgoing) == 32 << 20
+
+    def test_uses_relevant_sides(self):
+        incoming = PathSpec(rtt=0.05, bandwidth=1e7, recv_buffer=1 << 20)
+        outgoing = PathSpec(rtt=0.05, bandwidth=1e7, send_buffer=2 << 20)
+        assert default_depot_capacity(incoming, outgoing) == 2 * (3 << 20)
+
+
+def fast_slow_paths():
+    """Upstream much faster than downstream: the Figure-5 configuration."""
+    up = PathSpec.from_mbit(46, 200, name="ucsb-denver")
+    down = PathSpec.from_mbit(45, 20, name="denver-uiuc")
+    return up, down
+
+
+class TestRelayPipeline:
+    def test_single_path_is_direct(self):
+        p = PathSpec(rtt=0.02, bandwidth=1e7)
+        pipe = RelayPipeline([p], mb(1))
+        t = pipe.run(0.001)
+        assert pipe.complete
+        assert t > 0
+        assert pipe.depots == []
+
+    def test_two_hop_conserves_bytes(self):
+        up, down = fast_slow_paths()
+        pipe = RelayPipeline([up, down], mb(2))
+        pipe.run(0.002)
+        assert pipe.sink.received == pytest.approx(mb(2), abs=2)
+        assert pipe.source.available == pytest.approx(0, abs=1e-6)
+
+    def test_depot_count_matches_paths(self):
+        p = PathSpec(rtt=0.02, bandwidth=1e7)
+        pipe = RelayPipeline([p, p, p], mb(1))
+        assert len(pipe.depots) == 2
+        assert len(pipe.flows) == 3
+
+    def test_capacity_count_validated(self):
+        p = PathSpec(rtt=0.02, bandwidth=1e7)
+        with pytest.raises(ValueError):
+            RelayPipeline([p, p], mb(1), depot_capacities=[1 << 20, 1 << 20])
+
+    def test_empty_paths_rejected(self):
+        with pytest.raises(ValueError):
+            RelayPipeline([], mb(1))
+
+    def test_buffer_never_exceeds_capacity(self):
+        up, down = fast_slow_paths()
+        cap = 4 << 20
+        pipe = RelayPipeline([up, down], mb(16), depot_capacities=[cap])
+        now, dt = 0.0, 0.002
+        while not pipe.complete:
+            now += dt
+            pipe.step(now, dt)
+            depot = pipe.depots[0]
+            assert depot.occupancy <= cap + 1e-6
+            assert depot.occupancy + depot._reserved <= cap + 1e-6
+            assert now < 300
+
+    def test_fast_upstream_fills_small_buffer(self):
+        up, down = fast_slow_paths()
+        cap = 2 << 20
+        pipe = RelayPipeline([up, down], mb(16), depot_capacities=[cap])
+        pipe.run(0.002)
+        # upstream is 10x faster; the pool must have filled
+        assert pipe.depots[0].peak_occupancy >= 0.8 * cap
+
+    def test_slow_upstream_keeps_buffer_shallow(self):
+        up = PathSpec.from_mbit(46, 20, name="slowup")
+        down = PathSpec.from_mbit(45, 200, name="fastdown")
+        pipe = RelayPipeline([up, down], mb(8))
+        pipe.run(0.002)
+        # downstream drains as fast as data arrives
+        assert pipe.depots[0].peak_occupancy < (4 << 20)
+
+    def test_end_to_end_rate_set_by_slowest_sublink(self):
+        up, down = fast_slow_paths()
+        pipe = RelayPipeline([up, down], mb(16))
+        t = pipe.run(0.002)
+        rate = mb(16) / t
+        # within 25% of the slow wire (20 Mbit/s = 2.5e6 B/s)
+        assert rate == pytest.approx(2.5e6, rel=0.25)
+
+    def test_timeout_raises_runtime_error(self):
+        p = PathSpec(rtt=0.05, bandwidth=1e4)  # 10 KB/s
+        pipe = RelayPipeline([p], mb(1))
+        with pytest.raises(RuntimeError):
+            pipe.run(0.01, max_time=1.0)
+
+    def test_loss_events_summed(self):
+        p = PathSpec(rtt=0.02, bandwidth=1e7, loss_rate=5e-4)
+        pipe = RelayPipeline([p, p], mb(4))
+        pipe.run(0.001)
+        assert pipe.total_loss_events() == sum(
+            f.state.loss_events for f in pipe.flows
+        )
+        assert pipe.total_loss_events() > 0
+
+
+class TestPipelining:
+    def test_relay_beats_store_and_forward(self):
+        """Pipelined relay must finish well before sequential hop-by-hop."""
+        a = PathSpec.from_mbit(40, 50)
+        b = PathSpec.from_mbit(40, 50)
+        size = mb(8)
+        pipe = RelayPipeline([a, b], size)
+        t_pipelined = pipe.run(0.002)
+        # sequential: full transfer on hop 1, then full transfer on hop 2
+        t_hop1 = RelayPipeline([a], size).run(0.002)
+        t_hop2 = RelayPipeline([b], size).run(0.002)
+        assert t_pipelined < 0.8 * (t_hop1 + t_hop2)
+
+    def test_downstream_starts_when_data_arrives(self):
+        up, down = fast_slow_paths()
+        pipe = RelayPipeline([up, down], mb(4))
+        now, dt = 0.0, 0.002
+        downstream_started_at = None
+        while not pipe.complete and now < 60:
+            now += dt
+            pipe.step(now, dt)
+            if downstream_started_at is None and pipe.flows[1].sent > 0:
+                downstream_started_at = now
+        # downstream must begin long before the upstream finishes
+        assert downstream_started_at is not None
+        assert downstream_started_at < 1.0

@@ -1,0 +1,98 @@
+"""Trace export/import tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.export import (
+    load_traces,
+    save_traces,
+    trace_from_csv,
+    trace_to_csv,
+)
+from repro.net.trace import SeqTrace
+
+
+def ramp(name="UCSB-Denver", n=20):
+    t = np.linspace(0, 10, n)
+    return SeqTrace(times=t, acked=1e6 * t, name=name)
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip_exact(self):
+        tr = ramp()
+        back = trace_from_csv(trace_to_csv(tr))
+        assert back.name == tr.name
+        assert np.allclose(back.times, tr.times)
+        assert np.allclose(back.acked, tr.acked)
+
+    def test_header_present(self):
+        text = trace_to_csv(ramp())
+        lines = text.splitlines()
+        assert lines[0] == "# trace: UCSB-Denver"
+        assert lines[1] == "time_s,acked_bytes"
+
+    def test_empty_trace(self):
+        tr = SeqTrace(times=np.array([]), acked=np.array([]), name="empty")
+        back = trace_from_csv(trace_to_csv(tr))
+        assert len(back.times) == 0 and back.name == "empty"
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ValueError, match="header"):
+            trace_from_csv("1.0,2.0\n")
+
+    def test_malformed_row_rejected(self):
+        text = "# trace: x\ntime_s,acked_bytes\n1.0\n"
+        with pytest.raises(ValueError, match="two columns"):
+            trace_from_csv(text)
+
+    def test_non_numeric_rejected(self):
+        text = "# trace: x\ntime_s,acked_bytes\none,two\n"
+        with pytest.raises(ValueError, match="non-numeric"):
+            trace_from_csv(text)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=1e9, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_roundtrip_property(self, values):
+        acked = np.sort(np.array(values))
+        times = np.arange(len(acked), dtype=float)
+        tr = SeqTrace(times=times, acked=acked, name="prop")
+        back = trace_from_csv(trace_to_csv(tr))
+        assert np.allclose(back.acked, acked, rtol=1e-6)
+
+
+class TestFileRoundtrip:
+    def test_save_load_multiple(self, tmp_path):
+        traces = [ramp("first"), ramp("second", n=5)]
+        path = str(tmp_path / "traces.csv")
+        save_traces(traces, path)
+        back = load_traces(path)
+        assert [t.name for t in back] == ["first", "second"]
+        assert len(back[1].times) == 5
+
+    def test_real_simulator_traces_roundtrip(self, tmp_path):
+        from repro.net.simulator import NetworkSimulator
+        from repro.net.topology import PathSpec
+        from repro.util.units import mb
+
+        sim = NetworkSimulator(seed=1)
+        r = sim.run_relay(
+            [
+                PathSpec.from_mbit(40, 100, name="hop1"),
+                PathSpec.from_mbit(40, 100, name="hop2"),
+            ],
+            mb(1),
+        )
+        path = str(tmp_path / "relay.csv")
+        save_traces(r.traces, path)
+        back = load_traces(path)
+        assert [t.name for t in back] == ["hop1", "hop2"]
+        assert back[0].final_acked == pytest.approx(
+            r.traces[0].final_acked, rel=1e-6
+        )

@@ -1,0 +1,84 @@
+"""Multi-depot (3+ sublink) relay tests on the fluid simulator."""
+
+import pytest
+
+from repro.models.relay import relay_transfer_time
+from repro.net.simulator import NetworkSimulator
+from repro.net.topology import PathSpec
+from repro.util.units import mb
+
+
+def hops(n, rtt_ms=30, mbit=100, loss=5e-5):
+    return [
+        PathSpec.from_mbit(rtt_ms, mbit, loss_rate=loss, name=f"hop{i}")
+        for i in range(n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return NetworkSimulator(seed=13)
+
+
+class TestThreeHops:
+    def test_conservation_through_two_depots(self, sim):
+        r = sim.run_relay(hops(3), mb(4))
+        assert len(r.traces) == 3
+        assert len(r.depot_peaks) == 2
+        for tr in r.traces:
+            assert tr.final_acked == pytest.approx(mb(4), rel=0.01)
+
+    def test_long_chain_still_beats_long_direct(self, sim):
+        """Four 30ms hops against one 120ms path with the summed loss:
+        the chain wins at bulk sizes despite serial handshakes."""
+        direct = PathSpec.from_mbit(120, 100, loss_rate=2e-4)
+        d = sim.run_direct(direct, mb(32), record_trace=False)
+        r = sim.run_relay(hops(4), mb(32), record_trace=False)
+        assert r.duration < d.duration
+
+    def test_small_transfer_speedup_bounded_by_rtt_ratio(self, sim):
+        """For ramp-dominated (small) transfers, splitting a 120 ms path
+        into 30 ms hops can at best compress time by the RTT ratio; the
+        serial handshakes keep the chain strictly below that bound."""
+        direct = PathSpec.from_mbit(120, 100, loss_rate=2e-4)
+        d = sim.run_direct(direct, mb(0.25), record_trace=False)
+        r = sim.run_relay(hops(4), mb(0.25), record_trace=False)
+        rtt_ratio = 120 / 30
+        assert 1.0 < d.duration / r.duration < rtt_ratio
+
+    def test_middle_bottleneck_dominates(self, sim):
+        """Whichever hop is slow sets the pace; its neighbours' buffers
+        absorb the difference."""
+        chain = hops(3)
+        chain[1] = PathSpec.from_mbit(30, 10, name="slow-middle")
+        r = sim.run_relay(chain, mb(8), record_trace=False)
+        rate = mb(8) / r.duration
+        assert rate == pytest.approx(1.25e6, rel=0.35)  # ~10 Mbit/s
+
+    def test_upstream_buffer_fills_before_slow_middle(self, sim):
+        chain = hops(3)
+        chain[1] = PathSpec.from_mbit(30, 10, name="slow-middle")
+        r = sim.run_relay(chain, mb(32), depot_capacities=[2 << 20, 2 << 20])
+        # the depot feeding the slow hop backs up; the one after it stays
+        # shallow
+        assert r.depot_peaks[0] > 0.9 * (2 << 20)
+        assert r.depot_peaks[1] < 0.5 * (2 << 20)
+
+    def test_sublink_start_times_are_serial(self, sim):
+        """Flow i+1 cannot have sent anything before flow i's handshake
+        plus one-way delay (the session header travels with the data)."""
+        r = sim.run_relay(hops(3), mb(1))
+        first_sent = []
+        for tr in r.traces:
+            nonzero = tr.times[tr.acked > 0]
+            first_sent.append(nonzero[0] if len(nonzero) else float("inf"))
+        assert first_sent[0] < first_sent[1] < first_sent[2]
+
+
+class TestAnalyticAgreement:
+    @pytest.mark.parametrize("n_hops", [2, 3, 4])
+    def test_chain_time_matches_model(self, sim, n_hops):
+        chain = hops(n_hops)
+        simulated = sim.run_relay(chain, mb(16), record_trace=False).duration
+        analytic = relay_transfer_time(chain, mb(16))
+        assert analytic == pytest.approx(simulated, rel=0.35)

@@ -1,0 +1,102 @@
+"""Property-based tests over the fluid substrate: conservation,
+monotonicity, and ordering invariants on randomly generated chains."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.relay import relay_transfer_time
+from repro.models.transfer_time import transfer_time
+from repro.net.depot_sim import RelayPipeline
+from repro.net.topology import PathSpec
+from repro.util.units import mb
+
+
+path_specs = st.builds(
+    PathSpec.from_mbit,
+    rtt_ms=st.floats(min_value=5, max_value=150),
+    mbit_per_sec=st.floats(min_value=5, max_value=500),
+    loss_rate=st.sampled_from([0.0, 1e-5, 1e-4, 5e-4]),
+)
+
+chains = st.lists(path_specs, min_size=1, max_size=4)
+
+
+class TestFluidConservation:
+    @given(chain=chains, size_mb=st.sampled_from([0.25, 1, 4]))
+    @settings(max_examples=25, deadline=None)
+    def test_every_byte_reaches_the_sink(self, chain, size_mb):
+        size = mb(size_mb)
+        pipeline = RelayPipeline(chain, size, record_trace=False)
+        duration = pipeline.run(dt=0.005, max_time=3000.0)
+        assert duration > 0
+        assert pipeline.sink.received == pytest.approx(size, abs=1.0)
+        assert pipeline.source.available == pytest.approx(0.0, abs=1e-6)
+        # no depot retains data after completion drains
+        for flow in pipeline.flows:
+            assert flow.sent == pytest.approx(size, abs=1.0)
+
+    @given(chain=chains)
+    @settings(max_examples=15, deadline=None)
+    def test_depots_never_exceed_capacity(self, chain):
+        if len(chain) < 2:
+            return
+        caps = [1 << 20] * (len(chain) - 1)
+        pipeline = RelayPipeline(
+            chain, mb(2), depot_capacities=caps, record_trace=False
+        )
+        now, dt = 0.0, 0.005
+        while not pipeline.complete and now < 3000:
+            now += dt
+            pipeline.step(now, dt)
+            for depot in pipeline.depots:
+                assert depot.occupancy + depot._reserved <= (1 << 20) + 1e-6
+
+
+class TestAnalyticInvariants:
+    @given(path=path_specs, size_mb=st.sampled_from([1, 8, 64]))
+    @settings(max_examples=40, deadline=None)
+    def test_transfer_time_positive_and_bounded_below(self, path, size_mb):
+        size = mb(size_mb)
+        t = transfer_time(path, size)
+        # never faster than wire + handshake + tail
+        floor = path.rtt + size / path.bandwidth + path.one_way_delay
+        assert t >= floor - 1e-9
+        assert math.isfinite(t)
+
+    @given(path=path_specs)
+    @settings(max_examples=30, deadline=None)
+    def test_time_monotone_in_size(self, path):
+        sizes = [mb(1), mb(4), mb(16)]
+        times = [transfer_time(path, s) for s in sizes]
+        assert times == sorted(times)
+
+    @given(chain=chains, size_mb=st.sampled_from([1, 16]))
+    @settings(max_examples=30, deadline=None)
+    def test_relay_time_at_least_bottleneck_wire_time(self, chain, size_mb):
+        size = mb(size_mb)
+        t = relay_transfer_time(chain, size)
+        slowest_wire = min(p.bandwidth for p in chain)
+        assert t >= size / slowest_wire - 1e-9
+
+    @given(path=path_specs, size_mb=st.sampled_from([1, 16]))
+    @settings(max_examples=30, deadline=None)
+    def test_single_hop_relay_equals_direct(self, path, size_mb):
+        size = mb(size_mb)
+        assert relay_transfer_time([path], size) == pytest.approx(
+            transfer_time(path, size)
+        )
+
+    @given(path=path_specs)
+    @settings(max_examples=30, deadline=None)
+    def test_more_loss_never_faster(self, path):
+        lossier = PathSpec(
+            rtt=path.rtt,
+            bandwidth=path.bandwidth,
+            loss_rate=min(1.0, path.loss_rate * 4 + 1e-4),
+            send_buffer=path.send_buffer,
+            recv_buffer=path.recv_buffer,
+        )
+        assert transfer_time(lossier, mb(16)) >= transfer_time(path, mb(16)) - 1e-9

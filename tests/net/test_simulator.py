@@ -1,0 +1,149 @@
+"""Integration tests for the transfer runner — including the paper's
+qualitative claims about the logistical effect."""
+
+import pytest
+
+from repro.net.simulator import NetworkSimulator, TransferResult, choose_dt, speedup
+from repro.net.tcp import TcpConfig
+from repro.net.topology import PathSpec
+from repro.util.units import mb
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return NetworkSimulator(seed=7)
+
+
+# Paths modelled on the paper's Section 3 testbed (RTTs from its table).
+UCSB_UF = PathSpec.from_mbit(87, 400, loss_rate=1e-4, name="UCSB-UF")
+UCSB_HOUSTON = PathSpec.from_mbit(68, 400, loss_rate=7e-5, name="UCSB-Houston")
+HOUSTON_UF = PathSpec.from_mbit(34, 400, loss_rate=3e-5, name="Houston-UF")
+
+
+class TestChooseDt:
+    def test_scales_with_min_rtt(self):
+        fast = PathSpec(rtt=0.02, bandwidth=1e7)
+        slow = PathSpec(rtt=0.2, bandwidth=1e7)
+        assert choose_dt([fast, slow]) == pytest.approx(0.001)
+
+    def test_clamped_low(self):
+        p = PathSpec(rtt=1e-4, bandwidth=1e7)
+        assert choose_dt([p]) == 1e-4
+
+    def test_clamped_high(self):
+        p = PathSpec(rtt=10.0, bandwidth=1e7)
+        assert choose_dt([p]) == 0.01
+
+
+class TestTransferResult:
+    def test_bandwidth_derived(self):
+        r = TransferResult(size=1_000_000, duration=2.0)
+        assert r.bandwidth == 500_000
+        assert r.bandwidth_mbit == pytest.approx(4.0)
+
+
+class TestRunDirect:
+    def test_returns_single_trace(self, sim):
+        r = sim.run_direct(UCSB_UF, mb(1))
+        assert len(r.traces) == 1
+        assert r.traces[0].final_acked == pytest.approx(mb(1), rel=0.01)
+
+    def test_no_trace_when_disabled(self, sim):
+        r = sim.run_direct(UCSB_UF, mb(1), record_trace=False)
+        assert r.traces == []
+
+    def test_duration_positive_and_sane(self, sim):
+        r = sim.run_direct(UCSB_UF, mb(1))
+        # at least the handshake plus wire time
+        assert r.duration > UCSB_UF.rtt
+        assert r.duration < 60
+
+
+class TestRunRelay:
+    def test_two_traces_for_one_depot(self, sim):
+        r = sim.run_relay([UCSB_HOUSTON, HOUSTON_UF], mb(1))
+        assert len(r.traces) == 2
+        assert len(r.depot_peaks) == 1
+
+    def test_sublink_traces_conserve_bytes(self, sim):
+        r = sim.run_relay([UCSB_HOUSTON, HOUSTON_UF], mb(2))
+        for tr in r.traces:
+            assert tr.final_acked == pytest.approx(mb(2), rel=0.01)
+
+    def test_custom_depot_capacity_respected(self, sim):
+        r = sim.run_relay(
+            [UCSB_HOUSTON, HOUSTON_UF], mb(8), depot_capacities=[1 << 20]
+        )
+        assert r.depot_peaks[0] <= (1 << 20) + 1e-6
+
+
+class TestLogisticalEffect:
+    """The paper's core empirical claims, as simulator invariants."""
+
+    def test_segmented_path_beats_direct_at_large_sizes(self, sim):
+        d = sim.run_direct(UCSB_UF, mb(64), record_trace=False)
+        r = sim.run_relay([UCSB_HOUSTON, HOUSTON_UF], mb(64), record_trace=False)
+        assert r.bandwidth > d.bandwidth
+
+    def test_speedup_grows_then_saturates(self, sim):
+        """Bandwidth grows with transfer size toward a steady state
+        (Figures 2 and 3: 'the largest transfers ... are effectively the
+        steady state')."""
+        bws = [
+            sim.run_direct(UCSB_UF, mb(s), record_trace=False).bandwidth
+            for s in (1, 4, 16, 64)
+        ]
+        assert bws == sorted(bws)
+
+    def test_lsl_reaches_high_bandwidth_at_smaller_sizes(self, sim):
+        """'connections segmented by the depot reach higher bandwidths
+        with smaller transfer sizes'"""
+        d16 = sim.run_direct(UCSB_UF, mb(16), record_trace=False)
+        r16 = sim.run_relay(
+            [UCSB_HOUSTON, HOUSTON_UF], mb(16), record_trace=False
+        )
+        assert r16.bandwidth > d16.bandwidth
+
+    def test_rtt_inverse_throughput(self, sim):
+        """TCP performance varies inversely with RTT (steady state)."""
+        short = PathSpec.from_mbit(30, 400, loss_rate=1e-4)
+        long = PathSpec.from_mbit(120, 400, loss_rate=1e-4)
+        b_short = sim.run_direct(short, mb(32), record_trace=False).bandwidth
+        b_long = sim.run_direct(long, mb(32), record_trace=False).bandwidth
+        assert b_short > 1.5 * b_long
+
+
+class TestCompareAndSpeedup:
+    def test_compare_shapes(self, sim):
+        d, r = sim.compare(
+            UCSB_UF,
+            [UCSB_HOUSTON, HOUSTON_UF],
+            mb(1),
+            iterations=3,
+            record_trace=False,
+        )
+        assert len(d) == 3 and len(r) == 3
+
+    def test_speedup_definition(self):
+        d = [TransferResult(size=100, duration=2.0)]  # 50 B/s
+        r = [TransferResult(size=100, duration=1.0)]  # 100 B/s
+        assert speedup(d, r) == pytest.approx(2.0)
+
+    def test_speedup_empty_raises(self):
+        with pytest.raises(ValueError):
+            speedup([], [TransferResult(size=1, duration=1.0)])
+
+    def test_deterministic_loss_reproducible(self):
+        a = NetworkSimulator(seed=5).run_direct(UCSB_UF, mb(4), record_trace=False)
+        b = NetworkSimulator(seed=5).run_direct(UCSB_UF, mb(4), record_trace=False)
+        assert a.duration == b.duration
+
+    def test_random_loss_reproducible_by_seed(self):
+        cfg = TcpConfig(loss_mode="random")
+        a = NetworkSimulator(config=cfg, seed=5).run_direct(
+            UCSB_UF, mb(4), record_trace=False
+        )
+        b = NetworkSimulator(config=cfg, seed=5).run_direct(
+            UCSB_UF, mb(4), record_trace=False
+        )
+        assert a.duration == b.duration

@@ -1,0 +1,198 @@
+"""TCP congestion-control model tests."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.tcp import DEFAULT_MSS, TcpConfig, TcpState
+from repro.util.rng import RngStream
+
+
+class TestTcpConfig:
+    def test_defaults(self):
+        c = TcpConfig()
+        assert c.mss == DEFAULT_MSS == 1460
+        assert c.initial_cwnd_segments == 2
+        assert c.initial_ssthresh is None
+        assert c.loss_mode == "deterministic"
+
+    def test_rejects_bad_loss_mode(self):
+        with pytest.raises(ValueError):
+            TcpConfig(loss_mode="chaotic")
+
+    def test_rejects_zero_mss(self):
+        with pytest.raises(ValueError):
+            TcpConfig(mss=0)
+
+
+class TestSlowStart:
+    def test_starts_in_slow_start(self):
+        s = TcpState(TcpConfig())
+        assert s.in_slow_start
+        assert s.cwnd == 2 * DEFAULT_MSS
+
+    def test_window_doubles_per_window_acked(self):
+        # Acknowledging one full window in slow start doubles cwnd.
+        s = TcpState(TcpConfig())
+        w0 = s.cwnd
+        s.on_ack(w0)
+        assert s.cwnd == pytest.approx(2 * w0)
+
+    def test_exponential_over_rounds(self):
+        s = TcpState(TcpConfig())
+        w0 = s.cwnd
+        for _ in range(5):
+            s.on_ack(s.cwnd)
+        assert s.cwnd == pytest.approx(w0 * 2**5)
+
+    def test_ssthresh_ends_slow_start(self):
+        s = TcpState(TcpConfig(initial_ssthresh=10 * DEFAULT_MSS))
+        # cwnd 2 -> 4 -> 8 -> clamped to 10 MSS exactly at the threshold
+        s.on_ack(s.cwnd)
+        s.on_ack(s.cwnd)
+        s.on_ack(s.cwnd)
+        assert s.cwnd == pytest.approx(10 * DEFAULT_MSS)
+        assert not s.in_slow_start
+        # thereafter growth is linear, ~1 MSS per window acked
+        w = s.cwnd
+        s.on_ack(w)
+        assert s.cwnd == pytest.approx(w + DEFAULT_MSS, rel=0.05)
+
+    def test_zero_ack_no_growth(self):
+        s = TcpState(TcpConfig())
+        w0 = s.cwnd
+        s.on_ack(0)
+        assert s.cwnd == w0
+
+
+class TestCongestionAvoidance:
+    def make_ca_state(self, cwnd_segments=100):
+        s = TcpState(TcpConfig(initial_ssthresh=DEFAULT_MSS))
+        s.cwnd = float(cwnd_segments * DEFAULT_MSS)
+        s.ssthresh = DEFAULT_MSS  # below cwnd -> CA
+        return s
+
+    def test_linear_one_mss_per_rtt(self):
+        # acking one full window (one RTT's worth) grows cwnd by ~1 MSS
+        s = self.make_ca_state(100)
+        w0 = s.cwnd
+        s.on_ack(w0)
+        assert s.cwnd == pytest.approx(w0 + DEFAULT_MSS, rel=0.02)
+
+    def test_growth_rate_independent_of_chunking(self):
+        # many small acks ~ one big ack
+        s1 = self.make_ca_state(50)
+        s2 = self.make_ca_state(50)
+        total = s1.cwnd
+        s1.on_ack(total)
+        for _ in range(100):
+            s2.on_ack(total / 100)
+        assert s1.cwnd == pytest.approx(s2.cwnd, rel=1e-3)
+
+
+class TestLossDeterministic:
+    def test_no_loss_when_rate_zero(self):
+        s = TcpState(TcpConfig(), loss_rate=0.0)
+        assert not s.on_send(1e9)
+        assert s.loss_events == 0
+
+    def test_loss_fires_at_spacing(self):
+        p = 0.01  # one loss per 100 packets
+        s = TcpState(TcpConfig(), loss_rate=p)
+        sent_packets_per_call = 10
+        fired = 0
+        for _ in range(30):
+            if s.on_send(sent_packets_per_call * DEFAULT_MSS):
+                fired += 1
+        # 300 packets at spacing 100 -> 3 events
+        assert fired == 3
+        assert s.loss_events == 3
+
+    def test_loss_halves_window(self):
+        s = TcpState(TcpConfig(), loss_rate=1.0)  # every packet
+        s.cwnd = 100 * DEFAULT_MSS
+        s.ssthresh = DEFAULT_MSS
+        s.on_send(DEFAULT_MSS)
+        assert s.cwnd == pytest.approx(50 * DEFAULT_MSS)
+        assert s.ssthresh == pytest.approx(50 * DEFAULT_MSS)
+
+    def test_window_floor_two_mss(self):
+        s = TcpState(TcpConfig(), loss_rate=1.0)
+        s.cwnd = DEFAULT_MSS
+        s.on_send(DEFAULT_MSS)
+        assert s.cwnd >= 2 * DEFAULT_MSS
+
+    def test_loss_exits_slow_start(self):
+        s = TcpState(TcpConfig(), loss_rate=1.0)
+        assert s.in_slow_start
+        s.cwnd = 64 * DEFAULT_MSS
+        s.on_send(DEFAULT_MSS)
+        assert not s.in_slow_start
+
+
+class TestLossRandom:
+    def test_requires_rng(self):
+        s = TcpState(TcpConfig(loss_mode="random"), loss_rate=0.5)
+        with pytest.raises(AssertionError):
+            s.on_send(DEFAULT_MSS)
+
+    def test_reproducible_with_seed(self):
+        def run(seed):
+            s = TcpState(
+                TcpConfig(loss_mode="random"),
+                loss_rate=0.05,
+                rng=RngStream(seed),
+            )
+            return [s.on_send(DEFAULT_MSS) for _ in range(200)]
+
+        assert run(3) == run(3)
+
+    def test_rate_statistically_sane(self):
+        s = TcpState(
+            TcpConfig(loss_mode="random"), loss_rate=0.02, rng=RngStream(11)
+        )
+        n = 20_000
+        fired = sum(s.on_send(DEFAULT_MSS) for _ in range(n))
+        assert fired / n == pytest.approx(0.02, rel=0.25)
+
+
+class TestEffectiveWindow:
+    def test_min_of_cwnd_and_rwnd(self):
+        s = TcpState(TcpConfig())
+        s.cwnd = 1e6
+        assert s.effective_window(5e5) == 5e5
+        assert s.effective_window(2e6) == 1e6
+
+    @given(
+        st.floats(min_value=1, max_value=1e9),
+        st.floats(min_value=1, max_value=1e9),
+    )
+    def test_never_exceeds_either(self, cwnd, rwnd):
+        s = TcpState(TcpConfig())
+        s.cwnd = cwnd
+        w = s.effective_window(rwnd)
+        assert w <= cwnd and w <= rwnd
+
+
+class TestInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["ack", "send"]),
+                st.floats(min_value=1.0, max_value=1e6),
+            ),
+            max_size=60,
+        )
+    )
+    def test_cwnd_stays_positive_and_finite_under_any_schedule(self, ops):
+        s = TcpState(TcpConfig(), loss_rate=0.01)
+        for kind, amount in ops:
+            if kind == "ack":
+                s.on_ack(amount)
+            else:
+                s.on_send(amount)
+            assert s.cwnd >= 2 * DEFAULT_MSS or s.in_slow_start
+            assert s.cwnd > 0
+            assert math.isfinite(s.cwnd)

@@ -1,0 +1,175 @@
+"""Topology and path-spec tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.topology import (
+    DEFAULT_SOCKET_BUFFER,
+    PLANETLAB_SOCKET_BUFFER,
+    LinkSpec,
+    PathSpec,
+    Topology,
+)
+from repro.util.validation import ValidationError
+
+
+class TestPathSpec:
+    def test_from_mbit_converts(self):
+        p = PathSpec.from_mbit(87, 100)
+        assert p.rtt == pytest.approx(0.087)
+        assert p.bandwidth == pytest.approx(12.5e6)
+
+    def test_one_way_delay(self):
+        p = PathSpec.from_mbit(100, 10)
+        assert p.one_way_delay == pytest.approx(0.05)
+
+    def test_window_limit_is_min_buffer(self):
+        p = PathSpec.from_mbit(10, 10, send_buffer=1 << 20, recv_buffer=1 << 19)
+        assert p.window_limit == 1 << 19
+
+    def test_bdp(self):
+        p = PathSpec(rtt=0.1, bandwidth=1e6)
+        assert p.bdp == pytest.approx(1e5)
+
+    def test_window_limited_rate(self):
+        p = PathSpec(rtt=0.1, bandwidth=1e9, send_buffer=1 << 20, recv_buffer=1 << 20)
+        assert p.window_limited_rate == pytest.approx((1 << 20) / 0.1)
+
+    def test_default_buffers_are_papers_8mb(self):
+        p = PathSpec(rtt=0.05, bandwidth=1e6)
+        assert p.send_buffer == 8 << 20
+        assert DEFAULT_SOCKET_BUFFER == 8 << 20
+        assert PLANETLAB_SOCKET_BUFFER == 64 << 10
+
+    def test_with_buffers(self):
+        p = PathSpec(rtt=0.05, bandwidth=1e6)
+        q = p.with_buffers(send=1024)
+        assert q.send_buffer == 1024
+        assert q.recv_buffer == p.recv_buffer
+        assert p.send_buffer == DEFAULT_SOCKET_BUFFER  # original untouched
+
+    def test_rejects_bad_rtt(self):
+        with pytest.raises(ValidationError):
+            PathSpec(rtt=0, bandwidth=1e6)
+
+    def test_rejects_bad_loss(self):
+        with pytest.raises(ValidationError):
+            PathSpec(rtt=0.1, bandwidth=1e6, loss_rate=1.5)
+
+    def test_frozen(self):
+        p = PathSpec(rtt=0.1, bandwidth=1e6)
+        with pytest.raises(AttributeError):
+            p.rtt = 0.2
+
+
+class TestLinkSpec:
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            LinkSpec("a", "a", 0.01, 1e6)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValidationError):
+            LinkSpec("a", "b", -0.01, 1e6)
+
+    def test_zero_latency_allowed(self):
+        # LAN hop inside a site
+        LinkSpec("a", "b", 0.0, 1e6)
+
+
+def small_topology() -> Topology:
+    topo = Topology()
+    topo.add_symmetric_link("ucsb", "denver", 0.023, 50e6)
+    topo.add_symmetric_link("denver", "uiuc", 0.0225, 40e6)
+    topo.add_symmetric_link("ucsb", "uiuc", 0.035, 30e6)
+    return topo
+
+
+class TestTopology:
+    def test_hosts_registered_by_links(self):
+        topo = small_topology()
+        assert topo.hosts == ["denver", "ucsb", "uiuc"]
+
+    def test_contains_and_len(self):
+        topo = small_topology()
+        assert "ucsb" in topo
+        assert "nowhere" not in topo
+        assert len(topo) == 3
+
+    def test_symmetric_links_both_directions(self):
+        topo = small_topology()
+        assert topo.has_link("ucsb", "denver")
+        assert topo.has_link("denver", "ucsb")
+
+    def test_neighbors_sorted(self):
+        topo = small_topology()
+        assert topo.neighbors("ucsb") == ["denver", "uiuc"]
+
+    def test_route_links_missing_edge_raises(self):
+        topo = Topology()
+        topo.add_symmetric_link("a", "b", 0.01, 1e6)
+        topo.add_host("c")
+        with pytest.raises(KeyError):
+            topo.route_links(["a", "c"])
+
+    def test_route_too_short_raises(self):
+        topo = small_topology()
+        with pytest.raises(ValueError):
+            topo.route_links(["ucsb"])
+
+    def test_path_spec_direct(self):
+        topo = small_topology()
+        p = topo.path_spec(["ucsb", "uiuc"])
+        assert p.rtt == pytest.approx(0.07)
+        assert p.bandwidth == pytest.approx(30e6)
+
+    def test_path_spec_relayed_rtt_sums(self):
+        topo = small_topology()
+        p = topo.path_spec(["ucsb", "denver", "uiuc"])
+        assert p.rtt == pytest.approx(2 * (0.023 + 0.0225))
+        assert p.bandwidth == pytest.approx(40e6)  # min of the two
+
+    def test_path_spec_loss_composes(self):
+        topo = Topology()
+        topo.add_link(LinkSpec("a", "b", 0.01, 1e6, loss_rate=0.1))
+        topo.add_link(LinkSpec("b", "c", 0.01, 1e6, loss_rate=0.2))
+        p = topo.path_spec(["a", "b", "c"])
+        assert p.loss_rate == pytest.approx(1 - 0.9 * 0.8)
+
+    def test_path_spec_uses_endpoint_buffers(self):
+        topo = Topology()
+        topo.add_host("small", socket_buffer=64 << 10)
+        topo.add_host("big", socket_buffer=8 << 20)
+        topo.add_symmetric_link("small", "big", 0.01, 1e6)
+        p = topo.path_spec(["small", "big"])
+        assert p.send_buffer == 64 << 10
+        assert p.recv_buffer == 8 << 20
+
+    def test_sublink_specs_per_hop(self):
+        topo = small_topology()
+        subs = topo.sublink_specs(["ucsb", "denver", "uiuc"])
+        assert len(subs) == 2
+        assert subs[0].name == "ucsb-denver"
+        assert subs[0].rtt == pytest.approx(0.046)
+        assert subs[1].rtt == pytest.approx(0.045)
+
+    def test_path_spec_name_defaults_to_route(self):
+        topo = small_topology()
+        p = topo.path_spec(["ucsb", "denver", "uiuc"])
+        assert p.name == "ucsb-denver-uiuc"
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.001, max_value=0.1),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_relay_rtt_equals_sum_of_sublink_rtts(self, latencies):
+        topo = Topology()
+        hosts = [f"h{i}" for i in range(len(latencies) + 1)]
+        for (a, b), lat in zip(zip(hosts, hosts[1:]), latencies):
+            topo.add_symmetric_link(a, b, lat, 1e6)
+        direct = topo.path_spec(hosts)
+        subs = topo.sublink_specs(hosts)
+        assert direct.rtt == pytest.approx(sum(s.rtt for s in subs))

@@ -1,0 +1,118 @@
+"""Sequence-trace container and aggregation tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.trace import SeqTrace, average_traces, resample_trace
+
+
+def ramp_trace(rate=1000.0, t_end=10.0, n=101, name="ramp"):
+    t = np.linspace(0, t_end, n)
+    return SeqTrace(times=t, acked=rate * t, name=name)
+
+
+class TestSeqTrace:
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            SeqTrace(times=np.arange(3.0), acked=np.arange(4.0))
+
+    def test_rejects_decreasing_times(self):
+        with pytest.raises(ValueError):
+            SeqTrace(times=np.array([0.0, 2.0, 1.0]), acked=np.zeros(3))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            SeqTrace(times=np.zeros((2, 2)), acked=np.zeros((2, 2)))
+
+    def test_duration(self):
+        assert ramp_trace(t_end=10).duration == pytest.approx(10.0)
+
+    def test_empty_trace_duration_zero(self):
+        t = SeqTrace(times=np.array([]), acked=np.array([]))
+        assert t.duration == 0.0
+        assert t.final_acked == 0.0
+        assert t.value_at(1.0) == 0.0
+
+    def test_final_acked(self):
+        assert ramp_trace(rate=100, t_end=10).final_acked == pytest.approx(1000)
+
+    def test_value_at_interpolates(self):
+        tr = ramp_trace(rate=1000)
+        assert tr.value_at(2.5) == pytest.approx(2500)
+
+    def test_slope_constant_ramp(self):
+        tr = ramp_trace(rate=1000)
+        assert tr.slope(1.0, 9.0) == pytest.approx(1000)
+
+    def test_slope_invalid_interval(self):
+        with pytest.raises(ValueError):
+            ramp_trace().slope(5.0, 5.0)
+
+    def test_time_to_reach(self):
+        tr = ramp_trace(rate=1000)
+        assert tr.time_to_reach(5000) == pytest.approx(5.0)
+
+    def test_time_to_reach_never(self):
+        tr = ramp_trace(rate=1000, t_end=10)
+        assert tr.time_to_reach(1e9) == float("inf")
+
+    def test_time_to_reach_interpolates_plateau(self):
+        tr = SeqTrace(
+            times=np.array([0.0, 1.0, 2.0, 3.0]),
+            acked=np.array([0.0, 100.0, 100.0, 300.0]),
+        )
+        assert tr.time_to_reach(200) == pytest.approx(2.5)
+
+
+class TestResample:
+    def test_grid_values_match_interpolation(self):
+        tr = ramp_trace(rate=10)
+        grid = np.array([0.5, 1.5, 7.25])
+        out = resample_trace(tr, grid)
+        assert np.allclose(out.acked, 10 * grid)
+
+    def test_beyond_end_holds_final(self):
+        tr = ramp_trace(rate=10, t_end=10)
+        out = resample_trace(tr, np.array([12.0, 20.0]))
+        assert np.allclose(out.acked, 100.0)
+
+    def test_empty_trace_resamples_to_zeros(self):
+        tr = SeqTrace(times=np.array([]), acked=np.array([]))
+        out = resample_trace(tr, np.linspace(0, 1, 5))
+        assert np.all(out.acked == 0)
+
+    def test_name_preserved(self):
+        out = resample_trace(ramp_trace(name="x"), np.linspace(0, 1, 3))
+        assert out.name == "x"
+
+
+class TestAverage:
+    def test_average_of_identical_is_identity(self):
+        tr = ramp_trace(rate=10)
+        avg = average_traces([tr, tr, tr])
+        assert np.allclose(avg.acked, 10 * avg.times)
+
+    def test_average_of_two_ramps(self):
+        a = ramp_trace(rate=10)
+        b = ramp_trace(rate=30)
+        avg = average_traces([a, b])
+        assert np.allclose(avg.acked, 20 * avg.times)
+
+    def test_shorter_iteration_padded_with_final_value(self):
+        a = ramp_trace(rate=10, t_end=10)  # ends at 100
+        b = ramp_trace(rate=10, t_end=20)  # ends at 200
+        avg = average_traces([a, b], n_points=201)
+        # at t=20: a holds 100, b is 200 -> mean 150
+        assert avg.value_at(20.0) == pytest.approx(150.0, rel=0.02)
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            average_traces([])
+
+    @given(st.integers(min_value=2, max_value=6))
+    def test_average_monotone_when_inputs_monotone(self, k):
+        traces = [ramp_trace(rate=100 * (i + 1)) for i in range(k)]
+        avg = average_traces(traces)
+        assert np.all(np.diff(avg.acked) >= -1e-9)

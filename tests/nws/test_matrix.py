@@ -1,0 +1,158 @@
+"""Performance matrix and clique aggregation tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nws.matrix import CliqueAggregator, PerformanceMatrix
+
+
+class TestPerformanceMatrix:
+    def test_duplicate_hosts_rejected(self):
+        with pytest.raises(ValueError):
+            PerformanceMatrix(["a", "a"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PerformanceMatrix([])
+
+    def test_diagonal_is_free(self):
+        m = PerformanceMatrix(["a", "b"])
+        assert m.bandwidth("a", "a") == math.inf
+        assert m.cost("a", "a") == 0.0
+
+    def test_set_get(self):
+        m = PerformanceMatrix(["a", "b"])
+        m.set_bandwidth("a", "b", 1e6)
+        assert m.bandwidth("a", "b") == 1e6
+        assert math.isnan(m.bandwidth("b", "a"))
+
+    def test_cost_is_reciprocal(self):
+        m = PerformanceMatrix(["a", "b"])
+        m.set_bandwidth("a", "b", 4e6)
+        assert m.cost("a", "b") == pytest.approx(2.5e-7)
+
+    def test_unknown_cost_is_inf(self):
+        m = PerformanceMatrix(["a", "b"])
+        assert m.cost("a", "b") == math.inf
+
+    def test_order_preserved(self):
+        """The paper only needs an order-preserving metric: faster
+        bandwidth must mean strictly lower cost."""
+        m = PerformanceMatrix(["a", "b", "c"])
+        m.set_bandwidth("a", "b", 1e6)
+        m.set_bandwidth("a", "c", 2e6)
+        assert m.cost("a", "c") < m.cost("a", "b")
+
+    def test_set_symmetric(self):
+        m = PerformanceMatrix(["a", "b"])
+        m.set_symmetric("a", "b", 3e6)
+        assert m.bandwidth("a", "b") == m.bandwidth("b", "a") == 3e6
+
+    def test_diagonal_cannot_be_set(self):
+        m = PerformanceMatrix(["a", "b"])
+        with pytest.raises(ValueError):
+            m.set_bandwidth("a", "a", 1.0)
+
+    def test_cost_matrix_dense(self):
+        m = PerformanceMatrix(["a", "b"])
+        m.set_symmetric("a", "b", 2.0)
+        c = m.cost_matrix()
+        assert c.shape == (2, 2)
+        assert c[0, 1] == pytest.approx(0.5)
+        assert c[0, 0] == 0.0
+
+    def test_is_complete(self):
+        m = PerformanceMatrix(["a", "b", "c"])
+        assert not m.is_complete()
+        for src, dst in m.pairs():
+            m.set_bandwidth(src, dst, 1e6)
+        assert m.is_complete()
+
+    def test_pairs_count(self):
+        m = PerformanceMatrix(["a", "b", "c"])
+        assert len(list(m.pairs())) == 6
+
+    def test_contains(self):
+        m = PerformanceMatrix(["a"])
+        assert "a" in m and "z" not in m
+
+
+SITES = {
+    "ash.ucsb.edu": "ucsb.edu",
+    "oak.ucsb.edu": "ucsb.edu",
+    "bell.uiuc.edu": "uiuc.edu",
+    "opus.uiuc.edu": "uiuc.edu",
+}
+
+
+class TestCliqueAggregator:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CliqueAggregator({})
+
+    def test_inter_site_pairs_share_a_stream(self):
+        agg = CliqueAggregator(SITES)
+        agg.observe("ash.ucsb.edu", "bell.uiuc.edu", 1e6)
+        agg.observe("oak.ucsb.edu", "opus.uiuc.edu", 3e6)
+        assert agg.stream_count() == 1
+        # both pairs see the aggregated forecast
+        f1 = agg.forecast("ash.ucsb.edu", "bell.uiuc.edu")
+        f2 = agg.forecast("oak.ucsb.edu", "opus.uiuc.edu")
+        assert f1 == f2
+
+    def test_intra_site_pairs_are_distinct_streams(self):
+        agg = CliqueAggregator(SITES)
+        agg.observe("ash.ucsb.edu", "oak.ucsb.edu", 1e8)
+        agg.observe("oak.ucsb.edu", "ash.ucsb.edu", 2e8)
+        assert agg.stream_count() == 2
+
+    def test_directions_are_distinct(self):
+        agg = CliqueAggregator(SITES)
+        agg.observe("ash.ucsb.edu", "bell.uiuc.edu", 1e6)
+        assert math.isnan(agg.forecast("bell.uiuc.edu", "ash.ucsb.edu"))
+
+    def test_intra_site_default_lan(self):
+        agg = CliqueAggregator(SITES, intra_site_bandwidth=12.5e6)
+        assert agg.forecast("ash.ucsb.edu", "oak.ucsb.edu") == 12.5e6
+
+    def test_unprobed_inter_site_is_nan(self):
+        agg = CliqueAggregator(SITES)
+        assert math.isnan(agg.forecast("ash.ucsb.edu", "bell.uiuc.edu"))
+
+    def test_self_forecast_infinite(self):
+        agg = CliqueAggregator(SITES)
+        assert agg.forecast("ash.ucsb.edu", "ash.ucsb.edu") == math.inf
+
+    def test_build_matrix_expands_site_forecasts(self):
+        agg = CliqueAggregator(SITES)
+        for _ in range(5):
+            agg.observe("ash.ucsb.edu", "bell.uiuc.edu", 5e6)
+            agg.observe("bell.uiuc.edu", "ash.ucsb.edu", 5e6)
+        m = agg.build_matrix()
+        # all four cross-site ordered pairs get the aggregate value
+        assert m.bandwidth("oak.ucsb.edu", "opus.uiuc.edu") == pytest.approx(5e6)
+        assert m.bandwidth("opus.uiuc.edu", "oak.ucsb.edu") == pytest.approx(5e6)
+        # intra-site pairs get the LAN default
+        assert m.bandwidth("ash.ucsb.edu", "oak.ucsb.edu") == pytest.approx(
+            agg.intra_site_bandwidth
+        )
+        assert m.is_complete()
+
+    def test_prediction_error_flows_through(self):
+        agg = CliqueAggregator(SITES)
+        for v in (5e6, 5e6, 5e6, 5e6, 5e6):
+            agg.observe("ash.ucsb.edu", "bell.uiuc.edu", v)
+        err = agg.prediction_error("ash.ucsb.edu", "bell.uiuc.edu")
+        assert err == pytest.approx(0.0, abs=1e-12)
+
+    def test_prediction_error_unknown_pair_nan(self):
+        agg = CliqueAggregator(SITES)
+        assert math.isnan(agg.prediction_error("ash.ucsb.edu", "bell.uiuc.edu"))
+
+    def test_probes_required_before_matrix_complete(self):
+        agg = CliqueAggregator(SITES)
+        agg.observe("ash.ucsb.edu", "bell.uiuc.edu", 5e6)
+        m = agg.build_matrix()
+        assert not m.is_complete()  # reverse direction never probed

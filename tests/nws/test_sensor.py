@@ -1,0 +1,121 @@
+"""Token-clique sensor tests."""
+
+import pytest
+
+from repro.nws.matrix import CliqueAggregator
+from repro.nws.sensor import ProbeRecord, SensorNetwork, TokenClique
+
+
+def flat_measure(src, dst):
+    return 1e6
+
+
+class TestTokenClique:
+    def test_needs_two_members(self):
+        with pytest.raises(ValueError):
+            TokenClique("x", ["only"], flat_measure)
+
+    def test_holder_probes_everyone_else(self):
+        clique = TokenClique("c", ["a", "b", "c"], flat_measure)
+        records = clique.step()
+        assert [(r.src, r.dst) for r in records] == [("a", "b"), ("a", "c")]
+
+    def test_token_rotates(self):
+        clique = TokenClique("c", ["a", "b"], flat_measure)
+        assert clique.token_holder == "a"
+        clique.step()
+        assert clique.token_holder == "b"
+        clique.step()
+        assert clique.token_holder == "a"
+
+    def test_timestamps_monotone_and_spaced(self):
+        clique = TokenClique("c", ["a", "b", "c"], flat_measure, probe_duration=2.0)
+        records = clique.run_until(60.0)
+        times = [r.timestamp for r in records]
+        assert times == sorted(times)
+        for t1, t2 in zip(times, times[1:]):
+            assert t2 - t1 >= 2.0 - 1e-9
+
+    def test_round_duration_formula(self):
+        clique = TokenClique(
+            "c", ["a", "b", "c"], flat_measure, probe_duration=2.0, token_pass_delay=0.5
+        )
+        # 3 holders x (2 probes x 2s + 0.5s pass)
+        assert clique.round_duration() == pytest.approx(3 * (4 + 0.5))
+
+    def test_all_ordered_pairs_covered_in_one_round(self):
+        clique = TokenClique("c", ["a", "b", "c"], flat_measure)
+        pairs = set()
+        for _ in range(3):
+            pairs |= {(r.src, r.dst) for r in clique.step()}
+        assert pairs == {
+            (a, b) for a in "abc" for b in "abc" if a != b
+        }
+
+    def test_start_offset_delays_first_probe(self):
+        clique = TokenClique("c", ["a", "b"], flat_measure, start_offset=10.0)
+        first = clique.step()[0]
+        assert first.timestamp > 10.0
+
+    def test_measure_callback_receives_pair(self):
+        seen = []
+
+        def spy(src, dst):
+            seen.append((src, dst))
+            return 1.0
+
+        TokenClique("c", ["a", "b"], spy).step()
+        assert seen == [("a", "b")]
+
+
+SITES = {
+    "h1.x.edu": "x.edu",
+    "h2.x.edu": "x.edu",
+    "h3.y.edu": "y.edu",
+    "h4.z.edu": "z.edu",
+}
+
+
+class TestSensorNetwork:
+    def test_hierarchy_shape(self):
+        net = SensorNetwork(SITES, flat_measure)
+        names = {c.name for c in net.cliques}
+        # one inter-site clique + only multi-host sites get their own
+        assert "inter-site" in names
+        assert "site:x.edu" in names
+        assert "site:y.edu" not in names  # single host
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SensorNetwork({}, flat_measure)
+
+    def test_records_sorted(self):
+        net = SensorNetwork(SITES, flat_measure, seed=3)
+        records = net.run_until(120.0)
+        times = [r.timestamp for r in records]
+        assert times == sorted(times)
+
+    def test_no_collisions_within_cliques(self):
+        net = SensorNetwork(SITES, flat_measure, seed=4)
+        records = net.run_until(200.0)
+        assert net.no_collisions(records)
+
+    def test_feed_builds_complete_matrix(self):
+        net = SensorNetwork(SITES, flat_measure, seed=5)
+        aggregator = CliqueAggregator(SITES)
+        count = net.feed(aggregator, until=600.0)
+        assert count > 0
+        matrix = aggregator.build_matrix()
+        assert matrix.is_complete()
+
+    def test_inter_site_probes_use_representatives(self):
+        net = SensorNetwork(SITES, flat_measure, seed=6)
+        records = [r for r in net.run_until(120.0) if r.clique == "inter-site"]
+        hosts = {r.src for r in records} | {r.dst for r in records}
+        # exactly one representative per site
+        assert hosts == {"h1.x.edu", "h3.y.edu", "h4.z.edu"}
+
+    def test_deterministic_with_seed(self):
+        a = SensorNetwork(SITES, flat_measure, seed=7).run_until(60.0)
+        b = SensorNetwork(SITES, flat_measure, seed=7).run_until(60.0)
+        assert a == b

@@ -1,0 +1,101 @@
+"""MeasurementSeries tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nws.series import Measurement, MeasurementSeries
+from repro.util.validation import ValidationError
+
+
+class TestMeasurement:
+    def test_fields(self):
+        m = Measurement(1.0, 5e6)
+        assert m.timestamp == 1.0 and m.value == 5e6
+
+    def test_rejects_negative_value(self):
+        with pytest.raises(ValidationError):
+            Measurement(0.0, -1.0)
+
+    def test_rejects_negative_timestamp(self):
+        with pytest.raises(ValidationError):
+            Measurement(-1.0, 1.0)
+
+
+class TestMeasurementSeries:
+    def test_append_and_len(self):
+        s = MeasurementSeries("a->b")
+        s.add(0.0, 1.0)
+        s.add(1.0, 2.0)
+        assert len(s) == 2
+
+    def test_values_in_order(self):
+        s = MeasurementSeries()
+        s.extend([(0, 1.0), (1, 3.0), (2, 2.0)])
+        assert np.array_equal(s.values, [1.0, 3.0, 2.0])
+
+    def test_timestamps_must_be_monotone(self):
+        s = MeasurementSeries()
+        s.add(5.0, 1.0)
+        with pytest.raises(ValueError):
+            s.add(4.0, 1.0)
+
+    def test_equal_timestamps_allowed(self):
+        s = MeasurementSeries()
+        s.add(5.0, 1.0)
+        s.add(5.0, 2.0)
+        assert len(s) == 2
+
+    def test_bounded_history(self):
+        s = MeasurementSeries(max_length=3)
+        s.extend([(t, float(t)) for t in range(10)])
+        assert len(s) == 3
+        assert np.array_equal(s.values, [7.0, 8.0, 9.0])
+
+    def test_last(self):
+        s = MeasurementSeries()
+        s.extend([(0, 1.0), (1, 9.0)])
+        assert s.last == 9.0
+
+    def test_last_empty_raises(self):
+        with pytest.raises(ValueError):
+            MeasurementSeries().last
+
+    def test_mean_and_variance(self):
+        s = MeasurementSeries()
+        s.extend([(0, 2.0), (1, 4.0), (2, 6.0)])
+        assert s.mean() == pytest.approx(4.0)
+        assert s.variance() == pytest.approx(np.var([2, 4, 6]))
+
+    def test_variance_needs_two(self):
+        s = MeasurementSeries()
+        s.add(0, 1.0)
+        assert math.isnan(s.variance())
+
+    def test_mean_empty_is_nan(self):
+        assert math.isnan(MeasurementSeries().mean())
+
+    def test_coefficient_of_variation(self):
+        s = MeasurementSeries()
+        s.extend([(0, 10.0), (1, 10.0), (2, 10.0)])
+        assert s.coefficient_of_variation() == pytest.approx(0.0)
+
+    def test_cov_zero_mean(self):
+        s = MeasurementSeries()
+        s.extend([(0, 0.0), (1, 0.0)])
+        assert s.coefficient_of_variation() == math.inf
+
+    def test_tail(self):
+        s = MeasurementSeries()
+        s.extend([(t, float(t)) for t in range(5)])
+        assert np.array_equal(s.tail(2), [3.0, 4.0])
+        assert np.array_equal(s.tail(99), s.values)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e9), min_size=2, max_size=50))
+    def test_mean_between_min_and_max(self, vals):
+        s = MeasurementSeries()
+        s.extend([(i, v) for i, v in enumerate(vals)])
+        assert min(vals) - 1e-6 <= s.mean() <= max(vals) + 1e-6

@@ -1,0 +1,79 @@
+"""ASCII plot tests."""
+
+import pytest
+
+from repro.report.ascii_plot import Series, ascii_box_plot, ascii_line_plot
+
+
+class TestLinePlot:
+    def test_requires_series(self):
+        with pytest.raises(ValueError):
+            ascii_line_plot(["a"], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_line_plot(["a", "b"], [Series("s", [1.0])])
+
+    def test_contains_markers_and_labels(self):
+        out = ascii_line_plot(
+            ["1", "2", "4"],
+            [Series("direct", [1.0, 2.0, 3.0]), Series("lsl", [2.0, 3.0, 4.0])],
+        )
+        assert "*" in out and "o" in out
+        assert "direct" in out and "lsl" in out
+        assert "4.00" in out  # max annotation
+
+    def test_title_included(self):
+        out = ascii_line_plot(
+            ["x"], [Series("s", [1.0])], title="Figure 2"
+        )
+        assert out.splitlines()[0] == "Figure 2"
+
+    def test_monotone_series_renders_monotone_rows(self):
+        out = ascii_line_plot(
+            ["a", "b", "c", "d"],
+            [Series("s", [1.0, 2.0, 3.0, 4.0])],
+            height=8,
+        )
+        rows = [
+            i
+            for i, line in enumerate(out.splitlines())
+            if "*" in line
+        ]
+        # marker rows strictly decrease in column order top-to-bottom
+        assert rows == sorted(rows)
+
+    def test_constant_series_ok(self):
+        out = ascii_line_plot(["a", "b"], [Series("s", [5.0, 5.0])])
+        assert "*" in out
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_line_plot(["a"], [Series("s", [float("nan")])])
+
+
+class TestBoxPlot:
+    def test_alignment_checked(self):
+        with pytest.raises(ValueError):
+            ascii_box_plot(["a"], [])
+
+    def test_label_box_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_box_plot(["a", "b"], [(0, 1, 2, 3, 4)])
+
+    def test_contains_box_glyphs(self):
+        out = ascii_box_plot(
+            ["16MB"], [(0.5, 1.0, 1.3, 1.7, 5.0)], width=40
+        )
+        assert "=" in out and "|" in out and "-" in out
+        assert "16MB" in out
+
+    def test_median_inside_box(self):
+        out = ascii_box_plot(["x"], [(0.0, 2.0, 5.0, 8.0, 10.0)], width=50)
+        row = out.splitlines()[0]
+        bar = row[row.index("[") + 1 : row.index("]")]
+        assert bar.index("|") > bar.index("=")
+
+    def test_scale_annotations(self):
+        out = ascii_box_plot(["x"], [(1.0, 2.0, 3.0, 4.0, 9.0)])
+        assert "1.00" in out and "9.00" in out

@@ -1,0 +1,52 @@
+"""Text table tests."""
+
+import pytest
+
+from repro.report.tables import TextTable, format_table
+
+
+class TestTextTable:
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_row_width_checked(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_alignment(self):
+        t = TextTable(["size", "speedup"])
+        t.add_row(["1MB", 1.064])
+        t.add_row(["128MB", 1.3])
+        out = t.render().splitlines()
+        assert out[0].startswith("size")
+        assert "|" in out[0]
+        # all lines the same width family: header sep has + at column joins
+        assert "+" in out[1]
+        assert out[2].split("|")[0].strip() == "1MB"
+        assert out[3].split("|")[0].strip() == "128MB"
+
+    def test_floats_formatted_two_places(self):
+        t = TextTable(["x"])
+        t.add_row([1.23456])
+        assert "1.23" in t.render()
+
+    def test_len(self):
+        t = TextTable(["x"])
+        assert len(t) == 0
+        t.add_row([1])
+        assert len(t) == 1
+
+    def test_wide_cells_expand_columns(self):
+        t = TextTable(["h"])
+        t.add_row(["a-very-long-cell-value"])
+        lines = t.render().splitlines()
+        assert len(lines[1]) >= len("a-very-long-cell-value")
+
+
+class TestFormatTable:
+    def test_one_shot(self):
+        out = format_table(["a", "b"], [[1, 2], [3, 4]])
+        assert "a" in out and "4" in out
+        assert len(out.splitlines()) == 4

@@ -1,0 +1,59 @@
+"""Smoke tests: the shipped examples must run to completion.
+
+Each example is executed as a subprocess (the way a user runs it) and
+its narrative output is checked for the landmark lines.  The PlanetLab
+campaign example is exercised with reduced scope through its module
+import path to keep the suite fast.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 120.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "speedup" in out
+        assert "uses LSL depots: True" in out
+
+    def test_mmp_tree_walkthrough(self):
+        out = run_example("mmp_tree_walkthrough.py")
+        assert "Figure 7" in out and "Figure 8" in out
+        assert "scheduler coverage" in out
+
+    def test_lsl_over_sockets(self):
+        out = run_example("lsl_over_sockets.py")
+        assert "integrity ok: True" in out
+
+    def test_async_pickup(self):
+        out = run_example("async_pickup.py")
+        assert "integrity ok: True" in out
+        assert "0 session(s) after pickup" in out
+
+    def test_grid_data_staging(self):
+        out = run_example("grid_data_staging.py", timeout=300.0)
+        assert "byte-exact: True" in out
+        assert "scheduled route" in out
+
+    @pytest.mark.slow
+    def test_planetlab_campaign(self):
+        out = run_example("planetlab_campaign.py", timeout=600.0)
+        assert "overall mean speedup" in out

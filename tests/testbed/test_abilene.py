@@ -1,0 +1,107 @@
+"""Abilene testbed tests."""
+
+import pytest
+
+from repro.net.topology import DEFAULT_SOCKET_BUFFER, PLANETLAB_SOCKET_BUFFER
+from repro.testbed.abilene import (
+    ABILENE_LINKS,
+    ABILENE_POPS,
+    ABILENE_UNIVERSITIES,
+    AbileneConfig,
+    abilene_testbed,
+)
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return abilene_testbed(seed=1)
+
+
+class TestTopologyFacts:
+    def test_eleven_pops(self):
+        assert len(ABILENE_POPS) == 11
+
+    def test_backbone_connected(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_edges_from(ABILENE_LINKS)
+        assert nx.is_connected(g)
+        assert set(g.nodes) == set(ABILENE_POPS)
+
+    def test_ten_universities(self):
+        assert len(ABILENE_UNIVERSITIES) == 10
+
+
+class TestTestbedStructure:
+    def test_depots_are_the_pops_only(self, testbed):
+        assert len(testbed.depot_hosts) == 11
+        assert all(h.startswith("depot.") for h in testbed.depot_hosts)
+
+    def test_endpoints_are_universities(self, testbed):
+        assert len(testbed.endpoint_hosts) == 10
+        assert all(not h.startswith("depot.") for h in testbed.endpoint_hosts)
+
+    def test_university_hosts_have_small_buffers(self, testbed):
+        for host in testbed.endpoint_hosts:
+            assert (
+                testbed.topology.socket_buffer(host) == PLANETLAB_SOCKET_BUFFER
+            )
+
+    def test_depot_hosts_have_large_buffers(self, testbed):
+        for host in testbed.depot_hosts:
+            assert testbed.topology.socket_buffer(host) == DEFAULT_SOCKET_BUFFER
+
+    def test_most_universities_rate_capped(self, testbed):
+        capped = [h for h in testbed.endpoint_hosts if h in testbed.rate_cap]
+        assert 2 <= len(capped) <= 9
+
+    def test_depots_never_rate_capped(self, testbed):
+        assert not any(h in testbed.rate_cap for h in testbed.depot_hosts)
+
+
+class TestPathComposition:
+    def test_cross_country_rtt_plausible(self, testbed):
+        """Seattle-area to Atlanta-area should be tens of ms RTT."""
+        src = [h for h in testbed.endpoint_hosts if "washington.edu" in h][0]
+        dst = [h for h in testbed.endpoint_hosts if "gatech" in h][0]
+        spec = testbed.sublink_spec(src, dst)
+        assert 0.05 < spec.rtt < 0.15
+
+    def test_backbone_routes_respect_link_map(self, testbed):
+        """The gateway route between two sites must walk real backbone
+        edges."""
+        links = {frozenset(edge) for edge in ABILENE_LINKS}
+        for route in testbed.gateway_routes.values():
+            pops = [node.removeprefix("pop.") for node in route]
+            for a, b in zip(pops, pops[1:]):
+                assert frozenset((a, b)) in links
+
+    def test_depot_to_own_pop_is_fast(self, testbed):
+        depot = "depot.denver.abilene.net"
+        other = "depot.kansascity.abilene.net"
+        spec = testbed.sublink_spec(depot, other)
+        # one backbone hop: ~8-12 ms round trip
+        assert spec.rtt < 0.03
+
+    def test_relay_through_core_shortens_sublink_rtt(self, testbed):
+        """The logistical premise: each sublink of a core-relayed route
+        has smaller RTT than the direct path."""
+        src = testbed.endpoint_hosts[0]
+        dst = testbed.endpoint_hosts[-1]
+        direct = testbed.sublink_spec(src, dst)
+        # route through the depot nearest the source
+        depot = min(
+            testbed.depot_hosts,
+            key=lambda d: testbed.sublink_spec(src, d).rtt,
+        )
+        specs = testbed.route_specs([src, depot, dst])
+        assert all(s.rtt < direct.rtt for s in specs)
+
+
+class TestDeterminism:
+    def test_seed_reproducible(self):
+        a = abilene_testbed(seed=5)
+        b = abilene_testbed(seed=5)
+        assert a.hosts == b.hosts
+        assert a.rate_cap == b.rate_cap

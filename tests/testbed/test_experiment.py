@@ -1,0 +1,220 @@
+"""Campaign runner tests (scaled-down PlanetLab and Abilene)."""
+
+import pytest
+
+from repro.testbed.abilene import abilene_testbed
+from repro.testbed.experiment import (
+    CampaignConfig,
+    run_campaign,
+    run_random_campaign,
+)
+from repro.testbed.planetlab import PlanetLabConfig, generate_planetlab
+from repro.testbed.stats import group_cases, overall_speedup
+from repro.testbed.workload import WorkloadConfig
+
+
+SMALL_WORKLOAD = WorkloadConfig(min_exponent=0, max_exponent=3)
+
+
+@pytest.fixture(scope="module")
+def small_testbed():
+    return generate_planetlab(PlanetLabConfig(n_sites=15), seed=5)
+
+
+@pytest.fixture(scope="module")
+def small_campaign(small_testbed):
+    return run_campaign(
+        small_testbed,
+        CampaignConfig(
+            iterations=2, max_cases=20, workload=SMALL_WORKLOAD
+        ),
+        seed=2,
+    )
+
+
+class TestCampaignBasics:
+    def test_produces_measurements(self, small_campaign):
+        assert len(small_campaign) > 0
+
+    def test_balanced_direct_and_lsl(self, small_campaign):
+        direct = [m for m in small_campaign.measurements if not m.use_lsl]
+        lsl = [m for m in small_campaign.measurements if m.use_lsl]
+        # every scheduled measurement has a direct twin; some decisions
+        # may fall back to direct, so direct >= lsl
+        assert len(direct) >= len(lsl) > 0
+
+    def test_coverage_in_unit_range(self, small_campaign):
+        assert 0.0 < small_campaign.coverage <= 1.0
+
+    def test_max_cases_respected(self, small_campaign):
+        assert len(small_campaign.lsl_pairs) <= 20
+
+    def test_only_scheduled_pairs_measured(self, small_campaign):
+        measured_pairs = {
+            (m.src, m.dst) for m in small_campaign.measurements
+        }
+        assert measured_pairs == set(small_campaign.lsl_pairs)
+
+    def test_decisions_recorded(self, small_campaign):
+        for pair in small_campaign.lsl_pairs:
+            assert pair in small_campaign.decisions
+
+    def test_lsl_routes_have_depots(self, small_campaign):
+        lsl = [m for m in small_campaign.measurements if m.use_lsl]
+        assert all(len(m.route) > 2 for m in lsl)
+
+    def test_bandwidths_positive(self, small_campaign):
+        assert all(m.bandwidth > 0 for m in small_campaign.measurements)
+
+    def test_deterministic(self, small_testbed):
+        cfg = CampaignConfig(iterations=1, max_cases=5, workload=SMALL_WORKLOAD)
+        a = run_campaign(small_testbed, cfg, seed=3)
+        b = run_campaign(small_testbed, cfg, seed=3)
+        assert a.measurements == b.measurements
+
+
+class TestPaperShape:
+    def test_planetlab_mean_speedup_modest_but_positive(self, small_campaign):
+        """Figure 9's qualitative claim: LSL helps on average, by a
+        modest factor."""
+        cases = group_cases(small_campaign.measurements)
+        mean = overall_speedup(cases)
+        assert 0.95 < mean < 1.6
+
+    def test_abilene_depots_used(self):
+        tb = abilene_testbed(seed=1)
+        result = run_campaign(
+            tb,
+            CampaignConfig(
+                iterations=1,
+                max_cases=20,
+                workload=WorkloadConfig(min_exponent=4, max_exponent=5),
+                depot_load_median=0.9,
+                depot_load_sigma=0.2,
+            ),
+            seed=4,
+        )
+        depots_used = {
+            hop
+            for d in result.decisions.values()
+            for hop in d.route[1:-1]
+        }
+        # only POP depots may forward in this testbed
+        assert depots_used
+        assert all(h.startswith("depot.") for h in depots_used)
+
+
+class TestRandomCampaign:
+    def test_only_lsl_pairs_measured(self, small_testbed):
+        result = run_random_campaign(
+            small_testbed,
+            n_requests=400,
+            config=CampaignConfig(workload=SMALL_WORKLOAD),
+            seed=5,
+        )
+        assert len(result) > 0
+        for pair in {(m.src, m.dst) for m in result.measurements}:
+            assert result.decisions[pair].use_lsl
+
+    def test_unbalanced_sampling(self, small_testbed):
+        """The random protocol produces unequal per-case counts."""
+        result = run_random_campaign(
+            small_testbed,
+            n_requests=600,
+            config=CampaignConfig(workload=SMALL_WORKLOAD),
+            seed=6,
+        )
+        counts = {}
+        for m in result.measurements:
+            counts[(m.src, m.dst, m.size, m.use_lsl)] = (
+                counts.get((m.src, m.dst, m.size, m.use_lsl), 0) + 1
+            )
+        assert len(set(counts.values())) > 1
+
+    def test_same_story_as_balanced_design(self, small_testbed):
+        """The protocol change must not flip the aggregate conclusion."""
+        balanced = run_campaign(
+            small_testbed,
+            CampaignConfig(iterations=2, max_cases=20, workload=SMALL_WORKLOAD),
+            seed=7,
+        )
+        random_style = run_random_campaign(
+            small_testbed,
+            n_requests=2500,
+            config=CampaignConfig(workload=SMALL_WORKLOAD),
+            seed=7,
+        )
+        b = overall_speedup(group_cases(balanced.measurements))
+        r = overall_speedup(group_cases(random_style.measurements))
+        # both land in the same modest-gain regime
+        assert abs(b - r) < 0.35
+
+    def test_deterministic(self, small_testbed):
+        cfg = CampaignConfig(workload=SMALL_WORKLOAD)
+        a = run_random_campaign(small_testbed, 200, cfg, seed=9)
+        b = run_random_campaign(small_testbed, 200, cfg, seed=9)
+        assert a.measurements == b.measurements
+
+
+class TestSensorProbeMode:
+    def test_sensor_mode_produces_comparable_campaign(self, small_testbed):
+        cfg = CampaignConfig(
+            iterations=1,
+            max_cases=10,
+            workload=SMALL_WORKLOAD,
+            probe_mode="sensors",
+            sensor_rounds=3,
+        )
+        result = run_campaign(small_testbed, cfg, seed=8)
+        assert len(result) > 0
+        assert 0.0 < result.coverage <= 1.0
+
+    def test_invalid_probe_mode_rejected(self):
+        with pytest.raises(ValueError, match="probe_mode"):
+            CampaignConfig(probe_mode="psychic")
+
+    def test_sensor_and_batch_agree_on_coverage_scale(self, small_testbed):
+        """Both probing styles should produce the same order of depot
+        coverage — the token schedule changes timing, not physics."""
+        base = dict(iterations=1, max_cases=5, workload=SMALL_WORKLOAD)
+        batch = run_campaign(
+            small_testbed, CampaignConfig(probe_mode="batch", **base), seed=9
+        )
+        sensed = run_campaign(
+            small_testbed,
+            CampaignConfig(probe_mode="sensors", sensor_rounds=3, **base),
+            seed=9,
+        )
+        assert batch.coverage > 0 and sensed.coverage > 0
+        ratio = sensed.coverage / batch.coverage
+        assert 0.3 < ratio < 3.0
+
+
+class TestMultiRound:
+    def test_rounds_recorded(self, small_testbed):
+        cfg = CampaignConfig(
+            iterations=1,
+            max_cases=5,
+            workload=SMALL_WORKLOAD,
+            rounds=3,
+            drift_sigma=0.1,
+        )
+        result = run_campaign(small_testbed, cfg, seed=6)
+        rounds = {m.round_index for m in result.measurements}
+        assert rounds == {0, 1, 2}
+
+    def test_static_vs_rescheduled_both_run(self, small_testbed):
+        base = dict(
+            iterations=1,
+            max_cases=5,
+            workload=SMALL_WORKLOAD,
+            rounds=2,
+            drift_sigma=0.3,
+        )
+        static = run_campaign(
+            small_testbed, CampaignConfig(reschedule=False, **base), seed=7
+        )
+        dynamic = run_campaign(
+            small_testbed, CampaignConfig(reschedule=True, **base), seed=7
+        )
+        assert len(static) > 0 and len(dynamic) > 0

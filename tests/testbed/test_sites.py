@@ -1,0 +1,93 @@
+"""Site catalog tests."""
+
+import pytest
+
+from repro.testbed.sites import (
+    UNIVERSITY_SITES,
+    Site,
+    SiteCatalog,
+    host_name,
+    site_of_host,
+)
+from repro.util.rng import RngStream
+
+
+class TestSite:
+    def test_distance_symmetric(self):
+        a, b = UNIVERSITY_SITES[0], UNIVERSITY_SITES[1]
+        assert a.distance_km(b) == pytest.approx(b.distance_km(a))
+
+    def test_distance_to_self_zero(self):
+        a = UNIVERSITY_SITES[0]
+        assert a.distance_km(a) == pytest.approx(0.0)
+
+    def test_ucsb_uiuc_distance_plausible(self):
+        catalog = SiteCatalog()
+        d = catalog.get("ucsb.edu").distance_km(catalog.get("uiuc.edu"))
+        assert 2500 < d < 3200  # ~2800 km
+
+    def test_latency_has_floor(self):
+        a = UNIVERSITY_SITES[0]
+        assert a.one_way_latency(a) == pytest.approx(0.001)
+
+    def test_coast_to_coast_latency_plausible(self):
+        """UCSB <-> UF one-way should land near the paper's 87/2 ms RTT."""
+        catalog = SiteCatalog()
+        lat = catalog.get("ucsb.edu").one_way_latency(catalog.get("ufl.edu"))
+        assert 0.025 < lat < 0.055
+
+
+class TestCatalog:
+    def test_contains_papers_sites(self):
+        catalog = SiteCatalog()
+        for domain in ("ucsb.edu", "uiuc.edu", "ufl.edu", "utk.edu"):
+            assert domain in catalog
+
+    def test_large_enough_for_planetlab(self):
+        assert len(SiteCatalog()) >= 60
+
+    def test_no_duplicate_domains(self):
+        domains = [s.domain for s in SiteCatalog()]
+        assert len(domains) == len(set(domains))
+
+    def test_sample_distinct(self):
+        catalog = SiteCatalog()
+        rng = RngStream(1)
+        sites = catalog.sample(20, rng)
+        assert len({s.domain for s in sites}) == 20
+
+    def test_sample_reproducible(self):
+        catalog = SiteCatalog()
+        a = catalog.sample(10, RngStream(5))
+        b = catalog.sample(10, RngStream(5))
+        assert [s.domain for s in a] == [s.domain for s in b]
+
+    def test_sample_too_many_raises(self):
+        with pytest.raises(ValueError):
+            SiteCatalog().sample(10_000, RngStream(1))
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ValueError):
+            SiteCatalog(())
+
+
+class TestHostNames:
+    def test_paper_style_names(self):
+        site = SiteCatalog().get("ucsb.edu")
+        assert host_name(0, site) == "ash.ucsb.edu"
+        assert host_name(1, site) == "elm.ucsb.edu"
+
+    def test_wraps_with_numbering(self):
+        site = SiteCatalog().get("ucsb.edu")
+        n = 25
+        name = host_name(n, site)
+        assert name.endswith(".ucsb.edu")
+        assert name != host_name(n - 20, site)
+
+    def test_site_of_host(self):
+        assert site_of_host("ash.ucsb.edu") == "ucsb.edu"
+        assert site_of_host("a.b.c.d.edu") == "d.edu"
+
+    def test_site_of_host_invalid(self):
+        with pytest.raises(ValueError):
+            site_of_host("localhost")

@@ -1,0 +1,146 @@
+"""Statistics aggregation tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.testbed.experiment import MeasuredTransfer
+from repro.testbed.stats import (
+    BoxStats,
+    CaseStats,
+    box_stats,
+    group_cases,
+    overall_speedup,
+    percentile_of_unity,
+    speedup_by_size,
+    speedups_for_size,
+)
+
+
+def measurement(src="a", dst="b", size=1 << 20, use_lsl=False, bandwidth=1e6):
+    return MeasuredTransfer(
+        src=src,
+        dst=dst,
+        size=size,
+        use_lsl=use_lsl,
+        bandwidth=bandwidth,
+        route=(src, dst),
+    )
+
+
+def case(speedup, size=1 << 20, src="a", dst="b"):
+    return CaseStats(
+        src=src,
+        dst=dst,
+        size=size,
+        direct_bandwidth=1e6,
+        lsl_bandwidth=1e6 * speedup,
+        n_direct=3,
+        n_lsl=3,
+    )
+
+
+class TestGroupCases:
+    def test_means_per_mode(self):
+        ms = [
+            measurement(use_lsl=False, bandwidth=1e6),
+            measurement(use_lsl=False, bandwidth=3e6),
+            measurement(use_lsl=True, bandwidth=4e6),
+        ]
+        cases = group_cases(ms)
+        assert len(cases) == 1
+        assert cases[0].direct_bandwidth == pytest.approx(2e6)
+        assert cases[0].lsl_bandwidth == pytest.approx(4e6)
+        assert cases[0].speedup == pytest.approx(2.0)
+        assert cases[0].n_direct == 2 and cases[0].n_lsl == 1
+
+    def test_cases_split_by_size(self):
+        ms = [
+            measurement(size=1 << 20, use_lsl=False),
+            measurement(size=1 << 20, use_lsl=True),
+            measurement(size=2 << 20, use_lsl=False),
+            measurement(size=2 << 20, use_lsl=True),
+        ]
+        assert len(group_cases(ms)) == 2
+
+    def test_one_sided_cases_dropped(self):
+        ms = [measurement(use_lsl=False)]
+        assert group_cases(ms) == []
+
+    def test_empty(self):
+        assert group_cases([]) == []
+
+
+class TestSpeedupBySize:
+    def test_mean_per_size(self):
+        cases = [
+            case(1.0, size=1 << 20),
+            case(3.0, size=1 << 20),
+            case(2.0, size=2 << 20),
+        ]
+        by_size = speedup_by_size(cases)
+        assert by_size[1 << 20] == pytest.approx(2.0)
+        assert by_size[2 << 20] == pytest.approx(2.0)
+
+    def test_sorted_by_size(self):
+        cases = [case(1.0, size=4 << 20), case(1.0, size=1 << 20)]
+        assert list(speedup_by_size(cases)) == [1 << 20, 4 << 20]
+
+
+class TestPercentileOfUnity:
+    def test_half_below(self):
+        cases = [case(0.5), case(0.9), case(1.5), case(2.0)]
+        assert percentile_of_unity(cases, 1 << 20) == pytest.approx(50.0)
+
+    def test_exactly_one_counts_as_not_greater(self):
+        cases = [case(1.0), case(2.0)]
+        assert percentile_of_unity(cases, 1 << 20) == pytest.approx(50.0)
+
+    def test_all_above(self):
+        cases = [case(1.2), case(3.0)]
+        assert percentile_of_unity(cases, 1 << 20) == 0.0
+
+    def test_missing_size_nan(self):
+        assert math.isnan(percentile_of_unity([case(1.0)], 999))
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=10), min_size=1, max_size=50))
+    def test_range_0_100(self, speedups):
+        cases = [case(s, src=f"h{i}") for i, s in enumerate(speedups)]
+        p = percentile_of_unity(cases, 1 << 20)
+        assert 0.0 <= p <= 100.0
+
+
+class TestBoxStats:
+    def test_five_numbers(self):
+        cases = [case(s, src=f"h{i}") for i, s in enumerate([1, 2, 3, 4, 5])]
+        b = box_stats(cases, 1 << 20)
+        assert b.minimum == 1 and b.maximum == 5
+        assert b.median == 3
+        assert b.q25 == 2 and b.q75 == 4
+        assert b.n == 5
+        assert b.as_tuple() == (1, 2, 3, 4, 5)
+
+    def test_ordering_invariant(self):
+        cases = [case(s, src=f"h{i}") for i, s in enumerate([0.3, 7.0, 1.1, 0.9])]
+        b = box_stats(cases, 1 << 20)
+        assert b.minimum <= b.q25 <= b.median <= b.q75 <= b.maximum
+
+    def test_missing_size_raises(self):
+        with pytest.raises(ValueError):
+            box_stats([case(1.0)], 999)
+
+
+class TestOverall:
+    def test_mean(self):
+        assert overall_speedup([case(1.0), case(3.0, src="c")]) == pytest.approx(2.0)
+
+    def test_empty_nan(self):
+        assert math.isnan(overall_speedup([]))
+
+    def test_speedups_for_size_sorted(self):
+        cases = [case(s, src=f"h{i}") for i, s in enumerate([3.0, 1.0, 2.0])]
+        vals = speedups_for_size(cases, 1 << 20)
+        assert np.array_equal(vals, [1.0, 2.0, 3.0])

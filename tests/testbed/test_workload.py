@@ -1,0 +1,88 @@
+"""Workload generator tests."""
+
+import pytest
+
+from repro.testbed.workload import TransferRequest, WorkloadConfig, WorkloadGenerator
+from repro.util.units import mb
+
+
+HOSTS = [f"h{i}.site{i % 3}.edu" for i in range(12)]
+
+
+class TestConfig:
+    def test_paper_sizes(self):
+        cfg = WorkloadConfig()
+        assert cfg.sizes == [mb(2**n) for n in range(7)]
+
+    def test_invalid_exponents(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(min_exponent=3, max_exponent=3)
+        with pytest.raises(ValueError):
+            WorkloadConfig(min_exponent=-1)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(lsl_probability=1.5)
+
+
+class TestGenerator:
+    def test_needs_two_hosts(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(["only-one"])
+
+    def test_request_fields_valid(self):
+        gen = WorkloadGenerator(HOSTS, seed=1)
+        sizes = set(WorkloadConfig().sizes)
+        for req in gen.batch(200):
+            assert req.src in HOSTS and req.dst in HOSTS
+            assert req.src != req.dst
+            assert req.size in sizes
+            assert isinstance(req.use_lsl, bool)
+
+    def test_reproducible(self):
+        a = WorkloadGenerator(HOSTS, seed=9).batch(50)
+        b = WorkloadGenerator(HOSTS, seed=9).batch(50)
+        assert a == b
+
+    def test_sizes_are_powers_of_two_megabytes(self):
+        gen = WorkloadGenerator(HOSTS, seed=2)
+        for req in gen.batch(100):
+            n = req.size >> 20
+            assert n & (n - 1) == 0  # power of two
+
+    def test_mode_probability_respected(self):
+        gen = WorkloadGenerator(
+            HOSTS, WorkloadConfig(lsl_probability=1.0), seed=3
+        )
+        assert all(r.use_lsl for r in gen.batch(50))
+        gen = WorkloadGenerator(
+            HOSTS, WorkloadConfig(lsl_probability=0.0), seed=3
+        )
+        assert not any(r.use_lsl for r in gen.batch(50))
+
+    def test_all_sizes_appear_eventually(self):
+        gen = WorkloadGenerator(HOSTS, seed=4)
+        seen = {r.size for r in gen.batch(500)}
+        assert seen == set(WorkloadConfig().sizes)
+
+    def test_batch_size_validated(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(HOSTS).batch(0)
+
+
+class TestPairedCases:
+    def test_balanced_design(self):
+        gen = WorkloadGenerator(HOSTS, seed=5)
+        pairs = [(HOSTS[0], HOSTS[1]), (HOSTS[2], HOSTS[3])]
+        reqs = gen.paired_cases(pairs, iterations=2)
+        # 2 pairs x 7 sizes x 2 iterations x 2 modes
+        assert len(reqs) == 2 * 7 * 2 * 2
+        direct = [r for r in reqs if not r.use_lsl]
+        lsl = [r for r in reqs if r.use_lsl]
+        assert len(direct) == len(lsl)
+
+    def test_every_size_covered_per_pair(self):
+        gen = WorkloadGenerator(HOSTS, seed=6)
+        reqs = gen.paired_cases([(HOSTS[0], HOSTS[1])], iterations=1)
+        sizes = {r.size for r in reqs}
+        assert sizes == set(WorkloadConfig().sizes)

@@ -1,0 +1,81 @@
+"""Deterministic RNG stream tests."""
+
+import numpy as np
+
+from repro.util.rng import RngStream, spawn_streams, stable_hash32
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash32("abc") == stable_hash32("abc")
+
+    def test_distinct_inputs(self):
+        assert stable_hash32("abc") != stable_hash32("abd")
+
+    def test_32_bit_range(self):
+        for text in ("", "a", "long" * 100):
+            h = stable_hash32(text)
+            assert 0 <= h < 2**32
+
+
+class TestRngStream:
+    def test_same_seed_same_sequence(self):
+        a = RngStream(42).random(10)
+        b = RngStream(42).random(10)
+        assert np.array_equal(a, b)
+
+    def test_different_seed_different_sequence(self):
+        a = RngStream(42).random(10)
+        b = RngStream(43).random(10)
+        assert not np.array_equal(a, b)
+
+    def test_named_streams_independent(self):
+        root = RngStream(42)
+        a = root.child("loss").random(10)
+        b = root.child("workload").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_child_reproducible(self):
+        a = RngStream(7).child("x").random(5)
+        b = RngStream(7).child("x").random(5)
+        assert np.array_equal(a, b)
+
+    def test_nested_children_distinct(self):
+        root = RngStream(1)
+        a = root.child("a").child("b").random(4)
+        b = root.child("a/b")  # same flattened name -> same stream
+        assert np.array_equal(a, b.random(4))
+
+    def test_forwarders_cover_domain(self):
+        s = RngStream(3)
+        assert 0.0 <= s.uniform(0, 1) <= 1.0
+        assert 0 <= s.integers(0, 10) < 10
+        assert np.isfinite(s.normal())
+        assert s.lognormal() > 0
+        assert s.exponential() >= 0
+        assert s.choice([1, 2, 3]) in (1, 2, 3)
+
+    def test_shuffle_permutes(self):
+        s = RngStream(4)
+        seq = list(range(100))
+        s.shuffle(seq)
+        assert sorted(seq) == list(range(100))
+
+    def test_generator_property(self):
+        s = RngStream(5)
+        assert isinstance(s.generator, np.random.Generator)
+
+
+class TestSpawnStreams:
+    def test_names_present(self):
+        streams = spawn_streams(9, ["a", "b", "c"])
+        assert set(streams) == {"a", "b", "c"}
+
+    def test_streams_independent(self):
+        streams = spawn_streams(9, ["a", "b"])
+        assert not np.array_equal(streams["a"].random(8), streams["b"].random(8))
+
+    def test_reproducible_across_calls(self):
+        x = spawn_streams(9, ["a"])["a"].random(8)
+        y = spawn_streams(9, ["a"])["a"].random(8)
+        assert np.array_equal(x, y)

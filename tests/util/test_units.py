@@ -1,0 +1,94 @@
+"""Unit-conversion tests."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import units
+
+
+class TestConstants:
+    def test_mb_is_binary_mega(self):
+        assert units.MB == 2**20
+
+    def test_kb_is_binary_kilo(self):
+        assert units.KB == 2**10
+
+    def test_gb_is_binary_giga(self):
+        assert units.GB == 2**30
+
+    def test_mbit_is_decimal(self):
+        assert units.MBIT == 10**6
+
+    def test_bits_per_byte(self):
+        assert units.BITS_PER_BYTE == 8
+
+
+class TestMb:
+    def test_one_mb(self):
+        assert units.mb(1) == 2**20
+
+    def test_paper_transfer_sizes(self):
+        # the paper's 2**n MB workload sizes
+        for n in range(8):
+            assert units.mb(2**n) == 2 ** (20 + n)
+
+    def test_fractional(self):
+        assert units.mb(0.5) == 2**19
+
+
+class TestRateConversions:
+    def test_bytes_to_mbit(self):
+        # 1 MB = 8 * 2**20 bits = 8.388608 Mbit
+        assert units.bytes_to_mbit(2**20) == pytest.approx(8.388608)
+
+    def test_mbit_to_bytes(self):
+        assert units.mbit_to_bytes(8) == pytest.approx(10**6)
+
+    def test_rate_aliases_match(self):
+        assert units.bytes_per_sec_to_mbit_per_sec(125_000) == pytest.approx(1.0)
+        assert units.mbit_per_sec_to_bytes_per_sec(1.0) == pytest.approx(125_000)
+
+    @given(st.floats(min_value=1e-6, max_value=1e12, allow_nan=False))
+    def test_roundtrip_bytes_mbit(self, nbytes):
+        assert units.mbit_to_bytes(units.bytes_to_mbit(nbytes)) == pytest.approx(
+            nbytes, rel=1e-12
+        )
+
+    @given(st.floats(min_value=1e-6, max_value=1e9, allow_nan=False))
+    def test_roundtrip_rate(self, rate):
+        out = units.mbit_per_sec_to_bytes_per_sec(
+            units.bytes_per_sec_to_mbit_per_sec(rate)
+        )
+        assert out == pytest.approx(rate, rel=1e-12)
+
+
+class TestTimeConversions:
+    def test_seconds_to_ms(self):
+        assert units.seconds_to_ms(0.087) == pytest.approx(87.0)
+
+    def test_ms_to_seconds(self):
+        assert units.ms_to_seconds(87) == pytest.approx(0.087)
+
+    @given(st.floats(min_value=0, max_value=1e6, allow_nan=False))
+    def test_roundtrip(self, t):
+        assert units.ms_to_seconds(units.seconds_to_ms(t)) == pytest.approx(t)
+
+
+class TestFormatting:
+    def test_format_bytes_mb(self):
+        assert units.format_bytes(64 * 2**20) == "64.0MB"
+
+    def test_format_bytes_small(self):
+        assert units.format_bytes(512) == "512B"
+
+    def test_format_bytes_kb(self):
+        assert units.format_bytes(2048) == "2.0KB"
+
+    def test_format_bytes_gb(self):
+        assert units.format_bytes(3 * 2**30) == "3.0GB"
+
+    def test_format_rate(self):
+        assert units.format_rate(1_250_000) == "10.00 Mbit/s"

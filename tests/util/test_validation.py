@@ -1,0 +1,98 @@
+"""Validation helper tests."""
+
+import math
+
+import pytest
+
+from repro.util.validation import (
+    ValidationError,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 3.5) == 3.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", -1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", math.nan)
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", math.inf)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", True)
+
+    def test_rejects_string(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", "3")
+
+    def test_message_names_parameter(self):
+        with pytest.raises(ValidationError, match="bandwidth"):
+            check_positive("bandwidth", -2)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0
+
+    def test_accepts_positive(self):
+        assert check_non_negative("x", 1.0) == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_non_negative("x", -0.001)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_non_negative("x", math.nan)
+
+
+class TestCheckProbability:
+    def test_accepts_bounds(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+
+    def test_accepts_interior(self):
+        assert check_probability("p", 1e-4) == 1e-4
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValidationError):
+            check_probability("p", 1.1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_probability("p", -0.1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_probability("p", math.nan)
+
+
+class TestCheckInRange:
+    def test_accepts_bounds(self):
+        assert check_in_range("x", 1, 1, 5) == 1
+        assert check_in_range("x", 5, 1, 5) == 5
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValidationError):
+            check_in_range("x", 6, 1, 5)
+        with pytest.raises(ValidationError):
+            check_in_range("x", 0, 1, 5)
+
+    def test_validation_error_is_value_error(self):
+        assert issubclass(ValidationError, ValueError)
