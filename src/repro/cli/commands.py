@@ -51,8 +51,14 @@ def cmd_schedule(args) -> int:
     scheduler = LogisticalScheduler(matrix, epsilon=args.epsilon)
     if args.source not in matrix:
         raise KeyError(f"source {args.source!r} not in matrix")
+    avoid = set(getattr(args, "avoid", None) or ())
+    unknown = avoid - set(matrix.hosts)
+    if unknown:
+        raise KeyError(f"avoided host(s) not in matrix: {sorted(unknown)}")
 
     if args.table:
+        if avoid:
+            raise ValueError("--avoid applies to route listings, not --table")
         table = RouteTable.from_scheduler(scheduler, args.source)
         print(table.to_text(), end="")
         return 0
@@ -60,11 +66,15 @@ def cmd_schedule(args) -> int:
     dests = (
         [args.dest]
         if args.dest
-        else [h for h in matrix.hosts if h != args.source]
+        else [h for h in matrix.hosts if h != args.source and h not in avoid]
     )
     out = TextTable(["destination", "route", "predicted gain"])
     for dest in dests:
-        decision = scheduler.decide(args.source, dest)
+        decision = (
+            scheduler.reroute(args.source, dest, avoid)
+            if avoid
+            else scheduler.decide(args.source, dest)
+        )
         out.add_row(
             [dest, " -> ".join(decision.route), decision.predicted_gain]
         )
@@ -78,23 +88,69 @@ def cmd_simulate(args) -> int:
     size = mb(args.size_mb)
     sim = NetworkSimulator(seed=args.seed)
     direct = parse_path_spec(args.direct, "direct")
+    relay = [
+        parse_path_spec(spec, f"hop{i}") for i, spec in enumerate(args.via)
+    ]
+    if args.via and len(relay) < 2:
+        raise ValueError("--via must be given at least twice (two hops)")
+    if getattr(args, "fail_sublink", None) is not None:
+        return _simulate_with_fault(args, sim, direct, relay, size)
     d = sim.run_direct(direct, size, record_trace=False)
     print(
         f"direct : {d.duration:8.2f} s   {format_rate(d.bandwidth)}   "
         f"(losses: {d.loss_events})"
     )
-    if args.via:
-        relay = [
-            parse_path_spec(spec, f"hop{i}") for i, spec in enumerate(args.via)
-        ]
-        if len(relay) < 2:
-            raise ValueError("--via must be given at least twice (two hops)")
+    if relay:
         r = sim.run_relay(relay, size, record_trace=False)
         print(
             f"relayed: {r.duration:8.2f} s   {format_rate(r.bandwidth)}   "
             f"(losses: {r.loss_events})"
         )
         print(f"speedup: {r.bandwidth / d.bandwidth:.2f}x")
+    return 0
+
+
+def _simulate_with_fault(args, sim, direct, relay, size) -> int:
+    """A fault-scenario run: kill one sublink, report the recovery bill."""
+    from repro.lsl.faults import RetryPolicy
+    from repro.net.simulator import SublinkFault
+
+    after = mb(args.fail_after_mb)
+    policy = RetryPolicy(max_retries=args.retries, seed=args.seed)
+    resume = not args.no_resume
+
+    def describe(label, result):
+        state = "completed" if result.completed else "gave up"
+        print(
+            f"{label}: {state} in {result.duration:8.2f} s   "
+            f"retransmitted {result.retransmitted_bytes / (1 << 20):.2f} MB   "
+            f"recovery +{result.recovery_seconds:.2f} s   "
+            f"retries {result.retries}"
+        )
+
+    dfr = sim.run_relay_with_faults(
+        [direct], size, [SublinkFault(0, after)], retry=policy, resume=False
+    )
+    describe("direct (full restart)", dfr)
+    if relay:
+        if not (0 <= args.fail_sublink < len(relay)):
+            raise ValueError(
+                f"--fail-sublink {args.fail_sublink} outside the "
+                f"{len(relay)}-sublink relay"
+            )
+        rfr = sim.run_relay_with_faults(
+            relay,
+            size,
+            [SublinkFault(args.fail_sublink, after)],
+            retry=policy,
+            resume=resume,
+        )
+        describe(
+            "relayed (depot-resume)" if resume else "relayed", rfr
+        )
+        if rfr.retransmitted_bytes > 0:
+            saved = dfr.retransmitted_bytes / rfr.retransmitted_bytes
+            print(f"recovery bytes saved by staging: {saved:.1f}x")
     return 0
 
 

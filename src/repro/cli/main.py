@@ -43,6 +43,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the depot route table instead of full paths",
     )
+    p.add_argument(
+        "--avoid",
+        action="append",
+        default=[],
+        metavar="HOST",
+        help=(
+            "exclude a failed depot and reroute around it (repeatable)"
+        ),
+    )
     p.set_defaults(func=commands.cmd_schedule)
 
     p = sub.add_parser(
@@ -63,6 +72,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="relay sublink spec (repeat per hop; two hops = one depot)",
     )
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--fail-sublink",
+        type=int,
+        default=None,
+        metavar="INDEX",
+        help=(
+            "inject a connection failure into this relay sublink "
+            "(0-based; the direct path always fails at sublink 0) and "
+            "report recovery bytes and added time"
+        ),
+    )
+    p.add_argument(
+        "--fail-after-mb",
+        type=float,
+        default=0.0,
+        metavar="MB",
+        help="delivered megabytes before the injected failure trips",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=4,
+        help="retry budget per sublink for fault-scenario runs",
+    )
+    p.add_argument(
+        "--no-resume",
+        action="store_true",
+        help=(
+            "disable depot-resume for the relayed fault run "
+            "(models plain TCP restart)"
+        ),
+    )
     p.set_defaults(func=commands.cmd_simulate)
 
     p = sub.add_parser("depot", help="run a real-socket LSL depot")

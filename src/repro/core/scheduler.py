@@ -175,7 +175,45 @@ class LogisticalScheduler:
         """Route one pair: depot forwarding if predicted better, else direct."""
         if source == dest:
             raise ValueError("source and destination are the same host")
-        tree = self.tree(source)
+        return self._decision(self.tree(source), source, dest)
+
+    def reroute(
+        self, source: str, dest: str, avoid: set[str] | list[str]
+    ) -> ScheduleDecision:
+        """Recompute the minimax route with failed depots excluded.
+
+        Failure recovery's scheduling half: when a depot stops answering
+        mid-transfer, the session is re-issued over the best route that
+        does not traverse any host in ``avoid``.  Endpoints cannot be
+        avoided (a dead endpoint has no route at all); avoided hosts are
+        only barred from serving as intermediate depots.  Falls back to
+        the direct edge when no surviving depot route beats it.
+
+        The filtered tree is rebuilt per call and never cached — fault
+        handling must see the exclusion immediately, and the cache keeps
+        serving the fault-free topology.
+        """
+        avoid = set(avoid)
+        if source in avoid or dest in avoid:
+            raise ValueError(
+                f"cannot avoid session endpoint(s): "
+                f"{sorted(avoid & {source, dest})}"
+            )
+        allowed = (
+            set(self.depot_hosts)
+            if self.depot_hosts is not None
+            else set(self._graph.hosts)
+        )
+        allowed -= avoid
+        tree = build_mmp_tree(
+            self._graph, source, self.epsilon, relay_nodes=allowed
+        )
+        return self._decision(tree, source, dest)
+
+    def _decision(
+        self, tree: MinimaxTree, source: str, dest: str
+    ) -> ScheduleDecision:
+        """Turn one MMP tree lookup into a schedule decision."""
         direct_cost = self._graph.cost(source, dest)
         if not tree.reached(dest):
             # no multi-hop route either; fall back to the direct edge

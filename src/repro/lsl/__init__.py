@@ -29,11 +29,20 @@ from repro.lsl.header import (
     SessionType,
     new_session_id,
 )
+from repro.lsl.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    RetryExhausted,
+    RetryPolicy,
+    SessionLedger,
+)
 from repro.lsl.options import (
     HeaderOption,
     LooseSourceRoute,
     MulticastTreeOption,
     PaddingOption,
+    ResumeOffset,
     decode_options,
     encode_options,
 )
@@ -48,10 +57,17 @@ __all__ = [
     "SessionHeader",
     "SessionType",
     "new_session_id",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRule",
+    "RetryExhausted",
+    "RetryPolicy",
+    "SessionLedger",
     "HeaderOption",
     "LooseSourceRoute",
     "MulticastTreeOption",
     "PaddingOption",
+    "ResumeOffset",
     "decode_options",
     "encode_options",
     "RouteTable",

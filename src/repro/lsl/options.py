@@ -31,11 +31,13 @@ class OptionKind(IntEnum):
     PADDING = 0
     LOOSE_SOURCE_ROUTE = 1
     MULTICAST_TREE = 2
+    RESUME_OFFSET = 3
 
 
 _TL = struct.Struct("!BH")  # kind, length
 _HOP = struct.Struct("!4sH")  # IPv4 + port
 _NODE = struct.Struct("!h4sH")  # parent index (-1 = root), IPv4, port
+_RESUME = struct.Struct("!QQ")  # offset, total payload length
 
 
 class HeaderOption:
@@ -177,10 +179,59 @@ class MulticastTreeOption(HeaderOption):
         return [i for i, (parent, _, _) in enumerate(self.nodes) if parent == index]
 
 
+@dataclass(frozen=True)
+class ResumeOffset(HeaderOption):
+    """Byte-offset resume for fault-tolerant sessions.
+
+    Presence of this option marks the session fault-tolerant: a node
+    accepting such a session replies with an 8-byte acknowledgement
+    point (the contiguous byte count it has durably received) and the
+    sender streams payload from there, so a reconnect after a sublink
+    failure retransmits only that sublink's unacknowledged bytes.
+
+    Attributes
+    ----------
+    total:
+        Total session payload length in bytes — receivers use it to
+        distinguish a completed stream from a truncated one.
+    offset:
+        First payload byte the sender *can* supply (0 for the source and
+        for depots, which stage the full session).  Advisory: the
+        receiver's handshake reply governs where streaming starts.
+    """
+
+    total: int
+    offset: int = 0
+    kind = OptionKind.RESUME_OFFSET
+
+    def __post_init__(self) -> None:
+        for name, value in (("total", self.total), ("offset", self.offset)):
+            if not (0 <= value <= 0xFFFF_FFFF_FFFF_FFFF):
+                raise ValueError(f"{name}={value} out of 64-bit range")
+        if self.offset > self.total:
+            raise ValueError(
+                f"offset {self.offset} beyond total {self.total}"
+            )
+
+    def encode_value(self) -> bytes:
+        return _RESUME.pack(self.offset, self.total)
+
+    @classmethod
+    def decode_value(cls, data: bytes) -> "ResumeOffset":
+        if len(data) != _RESUME.size:
+            raise ValueError(
+                f"resume option value of {len(data)} bytes, "
+                f"expected {_RESUME.size}"
+            )
+        offset, total = _RESUME.unpack(data)
+        return cls(total=total, offset=offset)
+
+
 _REGISTRY: dict[int, type[HeaderOption]] = {
     int(OptionKind.PADDING): PaddingOption,
     int(OptionKind.LOOSE_SOURCE_ROUTE): LooseSourceRoute,
     int(OptionKind.MULTICAST_TREE): MulticastTreeOption,
+    int(OptionKind.RESUME_OFFSET): ResumeOffset,
 }
 
 

@@ -14,32 +14,120 @@ byte streams and the real wire format from :mod:`repro.lsl.header`.
 * :func:`send_session` — the source side: connect, emit header, stream
   payload.
 
+Fault tolerance
+---------------
+A session whose header carries a :class:`~repro.lsl.options.ResumeOffset`
+option is *fault-tolerant*: every receiving node replies with an 8-byte
+acknowledgement point, stages the payload in a
+:class:`~repro.lsl.faults.SessionLedger` that survives reconnects, and
+confirms completion with a final 8-byte acknowledgement.  Senders (the
+source and each depot's downstream side) retry failed sublinks under a
+:class:`~repro.lsl.faults.RetryPolicy`, resuming from the byte the peer
+acknowledged — recovery cost is proportional to the failed sublink only.
+Servers additionally consult an optional
+:class:`~repro.lsl.faults.FaultPlan` so tests can inject connection
+drops, refused connects, stalls and corrupted headers deterministically.
+
 Localhost has no bandwidth-delay product, so this transport verifies
-*correctness* (framing, routing, integrity, back-pressure); performance
-claims are the simulator's job.
+*correctness* (framing, routing, integrity, back-pressure, recovery);
+performance claims are the simulator's job.
 """
 
 from __future__ import annotations
 
+import logging
 import socket
+import struct
 import threading
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 
+from repro.lsl.faults import (
+    FaultKind,
+    FaultPlan,
+    RetryExhausted,
+    RetryPolicy,
+    SessionLedger,
+)
 from repro.lsl.header import FIXED_HEADER_SIZE, SessionHeader, SessionType
-from repro.lsl.options import LooseSourceRoute
+from repro.lsl.options import LooseSourceRoute, ResumeOffset
 from repro.util.validation import check_positive
+
+_LOG = logging.getLogger(__name__)
 
 _BACKLOG = 16
 _IO_CHUNK = 64 << 10
 
+#: Kernel send/receive buffer cap.  Loopback autotuning otherwise grows
+#: the in-flight window to megabytes, and every in-flight byte at the
+#: moment of a connection failure is a byte the resume protocol must
+#: retransmit — capping the buffers keeps recovery accounting tight and
+#: deterministic across kernels.
+_SOCK_BUF = 128 << 10
+
+#: The 8-byte network-order acknowledgement used by the resume handshake
+#: (once after the header, once after the final payload byte).
+RESUME_ACK = struct.Struct("!Q")
+
+
+class SessionEnded(ConnectionError):
+    """The peer closed cleanly at a message boundary (no partial unit)."""
+
+
+class TruncatedStream(ConnectionError):
+    """The peer closed mid-unit: a header or payload was cut short."""
+
+
+class ThreadLeakError(RuntimeError):
+    """A server's handler thread outlived ``close()``'s join timeout."""
+
+
+def _cap_buffers(sock: socket.socket) -> None:
+    """Pin ``sock``'s kernel buffers to :data:`_SOCK_BUF` (best effort)."""
+    for opt in (socket.SO_SNDBUF, socket.SO_RCVBUF):
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, opt, _SOCK_BUF)
+        except OSError:  # pragma: no cover - platform quirk
+            pass
+
+
+def _abort_socket(sock: socket.socket) -> None:
+    """Close with RST so the peer fails fast instead of seeing clean EOF."""
+    try:
+        sock.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass
+
 
 def _read_exact(sock: socket.socket, n: int) -> bytes:
-    """Read exactly ``n`` bytes or raise ``ConnectionError`` on EOF."""
+    """Read exactly ``n`` bytes.
+
+    Raises
+    ------
+    SessionEnded
+        Clean EOF before the first byte — the peer finished at a unit
+        boundary (e.g. no further session on this connection).
+    TruncatedStream
+        EOF after a partial read — the unit was cut mid-flight.
+
+    Both are ``ConnectionError`` subclasses, so callers that only care
+    about "the read failed" keep working unchanged.
+    """
     buf = bytearray()
     while len(buf) < n:
         chunk = sock.recv(n - len(buf))
         if not chunk:
-            raise ConnectionError(
+            if not buf:
+                raise SessionEnded(
+                    f"clean EOF before any of {n} expected bytes"
+                )
+            raise TruncatedStream(
                 f"peer closed after {len(buf)} of {n} expected bytes"
             )
         buf += chunk
@@ -47,7 +135,12 @@ def _read_exact(sock: socket.socket, n: int) -> bytes:
 
 
 def read_header(sock: socket.socket) -> SessionHeader:
-    """Read and decode one session header from a connected socket."""
+    """Read and decode one session header from a connected socket.
+
+    Raises :class:`SessionEnded` if the peer closed before sending any
+    header byte and :class:`TruncatedStream` if the header was cut
+    mid-flight.
+    """
     fixed = _read_exact(sock, FIXED_HEADER_SIZE)
     # header length is the third u16
     hlen = int.from_bytes(fixed[4:6], "big")
@@ -61,14 +154,28 @@ def read_header(sock: socket.socket) -> SessionHeader:
 class _Server:
     """Shared accept-loop plumbing for depot and sink servers."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        name: str | None = None,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
+        self.name = name or type(self).__name__.lower()
+        self.fault_plan = fault_plan
+        if not hasattr(self, "errors"):
+            self.errors: list = []
+        self.leaked_threads: list[threading.Thread] = []
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        _cap_buffers(self._sock)  # inherited by accepted connections
         self._sock.bind((host, port))
         self._sock.listen(_BACKLOG)
         self.host, self.port = self._sock.getsockname()
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
+        self._conns: set[socket.socket] = set()
+        self._conn_lock = threading.Lock()
         self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
         self._accept_thread.start()
 
@@ -89,31 +196,83 @@ class _Server:
             self._threads.append(thread)
 
     def _safe_handle(self, conn: socket.socket) -> None:
+        with self._conn_lock:
+            self._conns.add(conn)
         try:
+            if self.fault_plan is not None and self.fault_plan.should_refuse(
+                self.name
+            ):
+                _abort_socket(conn)
+                return
             self.handle(conn)
         except (ConnectionError, OSError, ValueError) as exc:
             self.errors.append(exc)
         finally:
+            with self._conn_lock:
+                self._conns.discard(conn)
             try:
                 conn.close()
             except OSError:
                 pass
 
-    errors: list = []
-
     def handle(self, conn: socket.socket) -> None:  # pragma: no cover
         raise NotImplementedError
 
-    def close(self) -> None:
-        """Stop accepting and wait for in-flight sessions to finish."""
+    def close(self, timeout: float = 5.0, abort: bool = False) -> None:
+        """Stop accepting and wait for in-flight sessions to finish.
+
+        ``timeout`` bounds the *total* wait across all handler threads.
+        Threads still alive afterwards are reported loudly: a warning is
+        logged, a :class:`ThreadLeakError` is appended to ``errors`` and
+        the threads are listed in ``leaked_threads`` — a silent leak is a
+        bug, a loud one is a diagnosable event.  With ``abort=True``
+        every live connection is reset first (simulating a crashed
+        depot), which unblocks handlers stuck in ``recv``.
+        """
         self._stop.set()
+        try:
+            # shutdown() (not just close()) is what actually wakes a
+            # thread blocked in accept() on Linux.
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self._sock.close()
         except OSError:
             pass
-        self._accept_thread.join(timeout=5)
-        for thread in self._threads:
-            thread.join(timeout=5)
+        if abort:
+            with self._conn_lock:
+                conns = list(self._conns)
+            for conn in conns:
+                try:
+                    # shutdown() wakes a handler blocked in recv() on
+                    # this connection; close() alone would not.
+                    conn.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                _abort_socket(conn)
+        deadline = time.monotonic() + timeout
+        self._accept_thread.join(timeout=timeout)
+        leaked: list[threading.Thread] = []
+        if self._accept_thread.is_alive():  # pragma: no cover - defensive
+            leaked.append(self._accept_thread)
+        for thread in list(self._threads):
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+            if thread.is_alive():
+                leaked.append(thread)
+        self._threads = [t for t in self._threads if t.is_alive()]
+        if leaked:
+            self.leaked_threads = leaked
+            message = (
+                f"{self.name}: {len(leaked)} handler thread(s) still alive "
+                f"after close(timeout={timeout})"
+            )
+            _LOG.warning(message)
+            self.errors.append(ThreadLeakError(message))
+
+    def kill(self) -> None:
+        """Simulate a crash: reset live connections, stop listening."""
+        self.close(timeout=0.5, abort=True)
 
     def __enter__(self):
         return self
@@ -121,6 +280,122 @@ class _Server:
     def __exit__(self, *exc):
         self.close()
         return False
+
+
+class _DownstreamPump:
+    """A depot's fault-tolerant downstream side for one session.
+
+    Lazily connects toward ``next_hop``, performs the resume handshake,
+    streams newly staged ledger bytes, and transparently reconnects
+    (bounded by the depot's :class:`~repro.lsl.faults.RetryPolicy`) when
+    the sublink fails — resending only bytes the downstream node had not
+    acknowledged.
+    """
+
+    def __init__(
+        self,
+        depot: "DepotServer",
+        next_hop: tuple[str, int],
+        header: SessionHeader,
+        ledger: SessionLedger,
+    ) -> None:
+        self._depot = depot
+        self._next_hop = next_hop
+        self._header = header
+        self._ledger = ledger
+        self._sock: socket.socket | None = None
+        self._fwd = 0  # next session offset to send downstream
+        self._attempts = 0
+
+    def _backoff(self, exc: Exception) -> None:
+        self._drop_socket()
+        self._attempts += 1
+        policy = self._depot.retry
+        if self._attempts > policy.max_retries:
+            raise RetryExhausted(
+                f"downstream {self._next_hop} failed after "
+                f"{policy.max_retries} retries"
+            ) from exc
+        time.sleep(policy.delay(self._attempts - 1))
+
+    def _drop_socket(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _connect(self) -> None:
+        policy = self._depot.retry
+        while self._sock is None:
+            sock = None
+            try:
+                sock = socket.create_connection(
+                    self._next_hop, timeout=policy.connect_timeout
+                )
+                sock.settimeout(policy.io_timeout)
+                _cap_buffers(sock)
+                encoded = self._header.encode()
+                plan = self._depot.fault_plan
+                if plan is not None:
+                    encoded = plan.corrupt_header(self._depot.name, encoded)
+                sock.sendall(encoded)
+                ack = RESUME_ACK.unpack(_read_exact(sock, RESUME_ACK.size))[0]
+                self._sock = sock
+                self._fwd = ack
+            except (ConnectionError, OSError) as exc:
+                if sock is not None:
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+                self._backoff(exc)
+
+    def flush(self) -> None:
+        """Push every staged byte beyond the forward point downstream."""
+        while True:
+            staged = self._ledger.acked
+            if self._fwd >= staged and self._sock is not None:
+                return
+            if self._sock is None:
+                self._connect()
+                continue
+            chunk = self._ledger.read(self._fwd, staged)
+            if not chunk:
+                return
+            try:
+                self._sock.sendall(chunk)
+            except (ConnectionError, OSError) as exc:
+                self._backoff(exc)
+                continue
+            end = self._fwd + len(chunk)
+            self._depot.retransmitted_bytes += self._ledger.note_sent(
+                self._fwd, end
+            )
+            self._fwd = end
+
+    def finish(self) -> None:
+        """Flush, half-close, and insist on the downstream final ack."""
+        while True:
+            try:
+                self.flush()
+                assert self._sock is not None
+                self._sock.shutdown(socket.SHUT_WR)
+                final = RESUME_ACK.unpack(
+                    _read_exact(self._sock, RESUME_ACK.size)
+                )[0]
+                if final != self._ledger.total:
+                    raise TruncatedStream(
+                        f"downstream acknowledged {final} of "
+                        f"{self._ledger.total} bytes"
+                    )
+                return
+            except (ConnectionError, OSError) as exc:
+                self._backoff(exc)
+
+    def close(self) -> None:
+        self._drop_socket()
 
 
 class DepotServer(_Server):
@@ -136,7 +411,16 @@ class DepotServer(_Server):
         ``"ip:port"``.
     buffer_size:
         User-space relay buffer per session, in bytes (the store in
-        store-and-forward).
+        store-and-forward).  Fault-tolerant sessions instead stage up to
+        the full payload in a :class:`~repro.lsl.faults.SessionLedger` —
+        that retained copy is what makes depot-resume possible.
+    name:
+        Label used by :class:`~repro.lsl.faults.FaultPlan` rules and
+        diagnostics (defaults to ``"depotserver"``).
+    fault_plan:
+        Optional injected-fault schedule this depot consults.
+    retry:
+        Backoff policy for this depot's downstream reconnects.
     """
 
     def __init__(
@@ -145,17 +429,28 @@ class DepotServer(_Server):
         port: int = 0,
         route_table: dict[str, str] | None = None,
         buffer_size: int = 1 << 20,
+        name: str | None = None,
+        fault_plan: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         check_positive("buffer_size", buffer_size)
         self.route_table = dict(route_table or {})
         self.buffer_size = int(buffer_size)
+        self.retry = retry or RetryPolicy()
         self.sessions_forwarded = 0
         self.bytes_forwarded = 0
-        self.errors = []
+        #: bytes this depot sent downstream more than once (recovery cost)
+        self.retransmitted_bytes = 0
+        #: fault-tolerant sessions that resumed after an interruption
+        self.sessions_resumed = 0
+        self.errors: list = []
         #: asynchronous sessions parked here, keyed by hex session id
         self.held: dict[str, bytes] = {}
         self._held_lock = threading.Lock()
-        super().__init__(host, port)
+        #: staging ledgers of in-flight fault-tolerant sessions
+        self._ledgers: dict[str, SessionLedger] = {}
+        self._ledger_lock = threading.Lock()
+        super().__init__(host, port, name=name, fault_plan=fault_plan)
 
     def _next_hop(self, header: SessionHeader) -> tuple[tuple[str, int], SessionHeader]:
         lsrr = header.option(LooseSourceRoute)
@@ -172,8 +467,22 @@ class DepotServer(_Server):
             return (ip, int(port)), header
         return (header.dst_ip, header.dst_port), header
 
+    def _ledger_for(self, hex_id: str, total: int) -> SessionLedger:
+        with self._ledger_lock:
+            ledger = self._ledgers.get(hex_id)
+            if ledger is None:
+                ledger = SessionLedger(total)
+                self._ledgers[hex_id] = ledger
+            else:
+                self.sessions_resumed += 1
+            return ledger
+
+    def _evict_ledger(self, hex_id: str) -> None:
+        with self._ledger_lock:
+            self._ledgers.pop(hex_id, None)
+
     def handle(self, conn: socket.socket) -> None:
-        """Serve one inbound session: park, pick up, or forward."""
+        """Serve one inbound session: park, pick up, resume, or forward."""
         header = read_header(conn)
         # asynchronous pickup: stream a held session back to the caller
         if header.session_type == SessionType.PICKUP:
@@ -183,8 +492,12 @@ class DepotServer(_Server):
                 raise ValueError(f"no held session {header.hex_id}")
             conn.sendall(payload)
             return
+        resume = header.option(ResumeOffset)
         # sessions addressed to this depot are parked, not forwarded
         if (header.dst_ip, header.dst_port) == (self.host, self.port):
+            if resume is not None:
+                self._park_resumable(conn, header, resume)
+                return
             chunks = bytearray()
             while True:
                 data = conn.recv(_IO_CHUNK)
@@ -194,46 +507,239 @@ class DepotServer(_Server):
             with self._held_lock:
                 self.held[header.hex_id] = bytes(chunks)
             return
+        if resume is not None:
+            self._forward_resumable(conn, header, resume)
+            return
         next_hop, out_header = self._next_hop(header)
+        watch = (
+            self.fault_plan.stream_watch(self.name)
+            if self.fault_plan is not None
+            else None
+        )
         with socket.create_connection(next_hop, timeout=10) as out:
-            out.sendall(out_header.encode())
+            encoded = out_header.encode()
+            if self.fault_plan is not None:
+                encoded = self.fault_plan.corrupt_header(self.name, encoded)
+            out.sendall(encoded)
             # bounded store-and-forward pump
             while True:
                 data = conn.recv(min(_IO_CHUNK, self.buffer_size))
                 if not data:
                     break
+                if watch is not None:
+                    rule = watch.advance(len(data))
+                    if rule is not None:
+                        if rule.kind is FaultKind.STALL:
+                            time.sleep(rule.delay)
+                        elif rule.kind is FaultKind.DROP:
+                            _abort_socket(conn)
+                            raise TruncatedStream(
+                                f"injected drop at {self.name}"
+                            )
                 out.sendall(data)
                 self.bytes_forwarded += len(data)
         self.sessions_forwarded += 1
+
+    # -- fault-tolerant paths ------------------------------------------------
+    def _park_resumable(
+        self, conn: socket.socket, header: SessionHeader, resume: ResumeOffset
+    ) -> None:
+        """Park a fault-tolerant session addressed to this depot."""
+        ledger = self._ledger_for(header.hex_id, resume.total)
+
+        def store(data: bytes) -> None:
+            with self._held_lock:
+                self.held[header.hex_id] = data
+
+        if _receive_into_ledger(self, conn, header, ledger, store):
+            self._evict_ledger(header.hex_id)
+
+    def _forward_resumable(
+        self, conn: socket.socket, header: SessionHeader, resume: ResumeOffset
+    ) -> None:
+        """Stage and forward one fault-tolerant session connection.
+
+        Staged bytes live in the session's ledger, which survives this
+        connection: if the upstream drops mid-stream the ledger waits for
+        the reconnect, and if the downstream drops the pump replays from
+        whatever offset the next hop acknowledges.
+        """
+        ledger = self._ledger_for(header.hex_id, resume.total)
+        generation, acked = ledger.claim()
+        conn.sendall(RESUME_ACK.pack(acked))
+        next_hop, out_header = self._next_hop(header)
+        watch = (
+            self.fault_plan.stream_watch(self.name)
+            if self.fault_plan is not None
+            else None
+        )
+        pump = _DownstreamPump(self, next_hop, out_header, ledger)
+        try:
+            interrupted = False
+            while not ledger.complete:
+                try:
+                    data = conn.recv(_IO_CHUNK)
+                except OSError:
+                    interrupted = True
+                    break
+                if not data:
+                    interrupted = True
+                    break
+                if watch is not None:
+                    rule = watch.advance(len(data))
+                    if rule is not None:
+                        if rule.kind is FaultKind.STALL:
+                            time.sleep(rule.delay)
+                        elif rule.kind is FaultKind.DROP:
+                            _abort_socket(conn)
+                            interrupted = True
+                            break
+                if not ledger.append(generation, data):
+                    return  # a newer connection took over this session
+                self.bytes_forwarded += len(data)
+                pump.flush()
+            if ledger.complete and ledger.generation == generation:
+                pump.finish()
+                conn.sendall(RESUME_ACK.pack(ledger.total))
+                self.sessions_forwarded += 1
+                self._evict_ledger(header.hex_id)
+            elif interrupted:
+                raise TruncatedStream(
+                    f"session {header.hex_id} interrupted at "
+                    f"{ledger.acked}/{ledger.total} bytes; awaiting resume"
+                )
+        finally:
+            pump.close()
+
+
+def _receive_into_ledger(
+    server: _Server,
+    conn: socket.socket,
+    header: SessionHeader,
+    ledger: SessionLedger,
+    on_complete,
+) -> bool:
+    """Shared terminating side of the resume protocol.
+
+    Claims the ledger, replies with the acknowledgement point, appends
+    inbound bytes (consulting the server's fault plan), and on completion
+    hands the full payload to ``on_complete`` and sends the final ack.
+    Returns True when the session completed under this connection.
+    """
+    generation, acked = ledger.claim()
+    conn.sendall(RESUME_ACK.pack(acked))
+    watch = (
+        server.fault_plan.stream_watch(server.name)
+        if server.fault_plan is not None
+        else None
+    )
+    interrupted = False
+    while not ledger.complete:
+        try:
+            data = conn.recv(_IO_CHUNK)
+        except OSError:
+            interrupted = True
+            break
+        if not data:
+            interrupted = True
+            break
+        if watch is not None:
+            rule = watch.advance(len(data))
+            if rule is not None:
+                if rule.kind is FaultKind.STALL:
+                    time.sleep(rule.delay)
+                elif rule.kind is FaultKind.DROP:
+                    _abort_socket(conn)
+                    interrupted = True
+                    break
+        if not ledger.append(generation, data):
+            return False  # superseded by a newer connection
+    if ledger.complete and ledger.generation == generation:
+        on_complete(bytes(ledger.data))
+        conn.sendall(RESUME_ACK.pack(ledger.total))
+        return True
+    if interrupted:
+        raise TruncatedStream(
+            f"session {header.hex_id} interrupted at "
+            f"{ledger.acked}/{ledger.total} bytes; awaiting resume"
+        )
+    return False
 
 
 class SinkServer(_Server):
     """Terminates LSL sessions; stores payloads keyed by session id."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        name: str | None = None,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
         self.payloads: dict[str, bytes] = {}
         self.headers: dict[str, SessionHeader] = {}
         self._lock = threading.Lock()
-        self.errors = []
-        super().__init__(host, port)
+        self.errors: list = []
+        self._ledgers: dict[str, SessionLedger] = {}
+        self._ledger_lock = threading.Lock()
+        super().__init__(host, port, name=name, fault_plan=fault_plan)
 
     def handle(self, conn: socket.socket) -> None:
         """Terminate one session and store its payload."""
         header = read_header(conn)
+        resume = header.option(ResumeOffset)
+        if resume is not None:
+            self._receive_resumable(conn, header, resume)
+            return
+        watch = (
+            self.fault_plan.stream_watch(self.name)
+            if self.fault_plan is not None
+            else None
+        )
         chunks = bytearray()
         while True:
             data = conn.recv(_IO_CHUNK)
             if not data:
                 break
+            if watch is not None:
+                rule = watch.advance(len(data))
+                if rule is not None:
+                    if rule.kind is FaultKind.STALL:
+                        time.sleep(rule.delay)
+                    elif rule.kind is FaultKind.DROP:
+                        _abort_socket(conn)
+                        raise TruncatedStream(f"injected drop at {self.name}")
             chunks += data
         with self._lock:
             self.payloads[header.hex_id] = bytes(chunks)
             self.headers[header.hex_id] = header
 
+    def _receive_resumable(
+        self, conn: socket.socket, header: SessionHeader, resume: ResumeOffset
+    ) -> None:
+        with self._ledger_lock:
+            ledger = self._ledgers.get(header.hex_id)
+            if ledger is None:
+                ledger = SessionLedger(resume.total)
+                self._ledgers[header.hex_id] = ledger
+
+        def store(data: bytes) -> None:
+            with self._lock:
+                self.payloads[header.hex_id] = data
+                self.headers[header.hex_id] = header
+
+        if _receive_into_ledger(self, conn, header, ledger, store):
+            with self._ledger_lock:
+                self._ledgers.pop(header.hex_id, None)
+
+    def staged_bytes(self, session_id_hex: str) -> int:
+        """Bytes durably received for an (incomplete) session."""
+        with self._ledger_lock:
+            ledger = self._ledgers.get(session_id_hex)
+        return ledger.acked if ledger is not None else 0
+
     def wait_for(self, session_id_hex: str, timeout: float = 10.0) -> bytes:
         """Block until the payload for a session arrives (tests helper)."""
-        import time
-
         deadline = time.monotonic() + timeout
         while time.monotonic() < deadline:
             with self._lock:
@@ -243,22 +749,134 @@ class SinkServer(_Server):
         raise TimeoutError(f"session {session_id_hex} never arrived")
 
 
+@dataclass
+class SendReport:
+    """Outcome of a fault-tolerant :func:`send_session`.
+
+    Attributes
+    ----------
+    attempts:
+        Connections opened (1 = no failure).
+    retransmitted:
+        Payload bytes this source sent more than once.
+    payload_bytes:
+        Total payload size.
+    """
+
+    attempts: int = 0
+    retransmitted: int = 0
+    payload_bytes: int = 0
+    high_water: int = 0
+
+
 def send_session(
     payload: bytes,
     header: SessionHeader,
     first_hop: tuple[str, int],
     chunk_size: int = _IO_CHUNK,
-) -> None:
+    retry: RetryPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
+    source_name: str = "source",
+) -> SendReport | None:
     """Open a session toward ``first_hop`` and stream the payload.
 
     ``first_hop`` is the first depot of the loose source route, or the
     sink itself for a direct session.
+
+    With ``retry`` given (or a :class:`~repro.lsl.options.ResumeOffset`
+    option already on the header) the send is *fault-tolerant*: the
+    header gains a resume option carrying the payload length, each
+    connection starts with the receiver's acknowledgement point and ends
+    with a final acknowledgement, and failures are retried with backoff,
+    resuming from the acknowledged byte.  Returns a :class:`SendReport`
+    in that mode, ``None`` for a legacy fire-and-forget send.
+
+    Raises
+    ------
+    RetryExhausted
+        The fault-tolerant path failed more times than the policy allows.
     """
     check_positive("chunk_size", chunk_size)
-    with socket.create_connection(first_hop, timeout=10) as sock:
-        sock.sendall(header.encode())
-        for off in range(0, len(payload), chunk_size):
-            sock.sendall(payload[off : off + chunk_size])
+    resume = header.option(ResumeOffset)
+    if retry is None and resume is None:
+        with socket.create_connection(first_hop, timeout=10) as sock:
+            encoded = header.encode()
+            if fault_plan is not None:
+                encoded = fault_plan.corrupt_header(source_name, encoded)
+            sock.sendall(encoded)
+            for off in range(0, len(payload), chunk_size):
+                sock.sendall(payload[off : off + chunk_size])
+        return None
+
+    policy = retry or RetryPolicy()
+    if resume is None:
+        header = header.with_options(
+            header.options + (ResumeOffset(total=len(payload)),)
+        )
+    elif resume.total != len(payload):
+        raise ValueError(
+            f"resume option total {resume.total} != payload "
+            f"{len(payload)} bytes"
+        )
+    report = SendReport(payload_bytes=len(payload))
+    attempts = 0
+    while True:
+        try:
+            _attempt_resumable_send(
+                payload, header, first_hop, chunk_size, policy,
+                fault_plan, source_name, report,
+            )
+            report.attempts = attempts + 1
+            return report
+        except (ConnectionError, OSError) as exc:
+            attempts += 1
+            if attempts > policy.max_retries:
+                raise RetryExhausted(
+                    f"session {header.hex_id} failed after "
+                    f"{policy.max_retries} retries: {exc}"
+                ) from exc
+            time.sleep(policy.delay(attempts - 1))
+
+
+def _attempt_resumable_send(
+    payload: bytes,
+    header: SessionHeader,
+    first_hop: tuple[str, int],
+    chunk_size: int,
+    policy: RetryPolicy,
+    fault_plan: FaultPlan | None,
+    source_name: str,
+    report: SendReport,
+) -> None:
+    """One connection's worth of the resume protocol, source side."""
+    with socket.create_connection(
+        first_hop, timeout=policy.connect_timeout
+    ) as sock:
+        sock.settimeout(policy.io_timeout)
+        _cap_buffers(sock)
+        encoded = header.encode()
+        if fault_plan is not None:
+            encoded = fault_plan.corrupt_header(source_name, encoded)
+        sock.sendall(encoded)
+        start = RESUME_ACK.unpack(_read_exact(sock, RESUME_ACK.size))[0]
+        if start > len(payload):
+            raise ValueError(
+                f"peer acknowledged {start} bytes of a "
+                f"{len(payload)}-byte payload"
+            )
+        previous_high = report.high_water
+        for off in range(start, len(payload), chunk_size):
+            chunk = payload[off : off + chunk_size]
+            sock.sendall(chunk)
+            end = off + len(chunk)
+            report.retransmitted += max(0, min(end, previous_high) - off)
+            report.high_water = max(report.high_water, end)
+        sock.shutdown(socket.SHUT_WR)
+        final = RESUME_ACK.unpack(_read_exact(sock, RESUME_ACK.size))[0]
+        if final != len(payload):
+            raise TruncatedStream(
+                f"sink acknowledged {final} of {len(payload)} bytes"
+            )
 
 
 def fetch_pickup(

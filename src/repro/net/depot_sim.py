@@ -16,7 +16,7 @@ from repro.net.flow import FileSource, FluidTcpFlow, SinkBuffer
 from repro.net.tcp import TcpConfig
 from repro.net.topology import PathSpec
 from repro.util.rng import RngStream
-from repro.util.validation import check_positive
+from repro.util.validation import check_non_negative, check_positive
 
 
 class DepotBuffer:
@@ -58,6 +58,10 @@ class DepotBuffer:
         self.occupancy += n
         self.peak_occupancy = max(self.peak_occupancy, self.occupancy)
 
+    def release(self, n: float) -> None:
+        """Drop a reservation for bytes lost in flight toward this depot."""
+        self._reserved = max(0.0, self._reserved - n)
+
     # -- upstream interface (outgoing sublink reads here) ------------------
     @property
     def available(self) -> float:
@@ -72,6 +76,18 @@ class DepotBuffer:
             )
         self.occupancy = max(0.0, self.occupancy - n)
         self.total_through += n
+
+    def refund(self, n: float) -> None:
+        """Return bytes lost on the failed outgoing sublink.
+
+        Depot-resume recovery: data the downstream connection never
+        delivered goes back into the store to be resent.  The pool may
+        transiently exceed its capacity by the refunded amount (the
+        bytes were staged here before they were taken).
+        """
+        check_non_negative("refund", n)
+        self.occupancy += n
+        self.peak_occupancy = max(self.peak_occupancy, self.occupancy)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

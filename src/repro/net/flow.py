@@ -47,6 +47,11 @@ class FileSource:
             raise ValueError(f"take({n}) exceeds remaining {self._remaining}")
         self._remaining = max(0.0, self._remaining - n)
 
+    def refund(self, n: float) -> None:
+        """Return bytes lost on a failed sublink so they can be resent."""
+        check_non_negative("refund", n)
+        self._remaining = min(float(self.size), self._remaining + n)
+
 
 class SinkBuffer:
     """The receiving application: unbounded, counts delivered bytes."""
@@ -67,6 +72,14 @@ class SinkBuffer:
         """Record arrived bytes as delivered to the application."""
         self._reserved = max(0.0, self._reserved - n)
         self.received += n
+
+    def release(self, n: float) -> None:
+        """Drop a reservation for in-flight bytes lost to a failure."""
+        self._reserved = max(0.0, self._reserved - n)
+
+    def rollback(self, n: float) -> None:
+        """Forget delivered bytes (a restart-from-scratch recovery)."""
+        self.received = max(0.0, self.received - n)
 
 
 class FluidTcpFlow:
@@ -113,6 +126,8 @@ class FluidTcpFlow:
         self.sent: float = 0.0
         self.delivered: float = 0.0
         self.acked: float = 0.0
+        #: bytes this sublink transmitted more than once (failure recovery)
+        self.retransmitted: float = 0.0
         #: chunks in flight: (arrival_time, nbytes)
         self._transit: deque[tuple[float, float]] = deque()
         #: acks in flight back to the sender: (ack_time, nbytes)
@@ -186,6 +201,47 @@ class FluidTcpFlow:
         amount = self.desired_send(now, dt)
         self.commit_send(now, amount)
         return amount
+
+    def inject_failure(
+        self,
+        now: float,
+        restart_delay: float = 0.0,
+        resume: bool = True,
+        rng: RngStream | None = None,
+    ) -> float:
+        """Sever this sublink's connection and schedule the reconnect.
+
+        With ``resume`` (the LSL depot-resume protocol) only bytes sent
+        but not yet delivered downstream are lost: they are refunded to
+        the upstream store and the reconnected flow picks up from the
+        delivery point, so recovery cost is proportional to this
+        sublink's in-flight data.  Without ``resume`` (a plain TCP
+        restart, direct paths only) everything already delivered is
+        rolled back and the transfer begins again from byte zero.
+
+        The connection restarts ``restart_delay`` seconds from ``now``
+        (the retry backoff) plus the usual handshake RTT, with a fresh
+        congestion state.  Returns the bytes that must be retransmitted.
+        """
+        in_flight_data = sum(n for _, n in self._transit)
+        self.downstream.release(in_flight_data)
+        self._transit.clear()
+        self._acks.clear()
+        if resume:
+            lost = self.sent - self.delivered
+            self.upstream.refund(lost)
+            self.sent = self.delivered
+            self.acked = self.delivered
+            retransmit = lost
+        else:
+            retransmit = self.sent
+            self.downstream.rollback(self.delivered)
+            self.upstream.refund(self.sent)
+            self.sent = self.delivered = self.acked = 0.0
+        self.state = TcpState(self.config, self.path.loss_rate, rng=rng)
+        self.start_time = now + restart_delay
+        self.retransmitted += retransmit
+        return retransmit
 
     def drain(self, until: float) -> None:
         """Flush remaining in-flight data/acks up to time ``until``.

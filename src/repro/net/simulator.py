@@ -16,7 +16,7 @@ from repro.net.topology import PathSpec
 from repro.net.trace import SeqTrace
 from repro.util.rng import RngStream
 from repro.util.units import bytes_per_sec_to_mbit_per_sec
-from repro.util.validation import check_positive
+from repro.util.validation import check_non_negative, check_positive
 
 
 @dataclass
@@ -54,6 +54,63 @@ class TransferResult:
     def bandwidth_mbit(self) -> float:
         """Achieved end-to-end bandwidth in Mbit/sec."""
         return bytes_per_sec_to_mbit_per_sec(self.bandwidth)
+
+
+@dataclass(frozen=True)
+class SublinkFault:
+    """A connection failure injected into one simulated sublink.
+
+    Attributes
+    ----------
+    sublink:
+        Index into the relay's path list (0 = the source-side sublink).
+    after_bytes:
+        The fault trips once the sublink has *delivered* this many bytes
+        to its downstream store.
+    times:
+        How many consecutive reconnect attempts the fault also kills
+        (1 = a single failure; larger values exercise retry exhaustion).
+    """
+
+    sublink: int
+    after_bytes: float
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        check_non_negative("sublink", self.sublink)
+        check_non_negative("after_bytes", self.after_bytes)
+        check_positive("times", self.times)
+
+
+@dataclass
+class FaultedTransferResult(TransferResult):
+    """A :class:`TransferResult` plus recovery accounting.
+
+    Attributes
+    ----------
+    retransmitted_bytes:
+        Bytes any sublink had to send more than once — the recovery
+        cost in data.  With depot-resume this is one sublink's in-flight
+        window; with a restart it is everything sent before the failure.
+    clean_duration:
+        Duration of the identical transfer with no fault injected.
+    recovery_seconds:
+        ``duration - clean_duration`` — the added time the failure cost.
+    retries:
+        Reconnect attempts across all sublinks.
+    completed:
+        False when the retry budget was exhausted before the payload
+        arrived (``duration`` then covers the attempted window).
+    per_sublink_retransmitted:
+        Retransmitted bytes broken out per sublink.
+    """
+
+    retransmitted_bytes: float = 0.0
+    clean_duration: float = 0.0
+    recovery_seconds: float = 0.0
+    retries: int = 0
+    completed: bool = True
+    per_sublink_retransmitted: list[float] = field(default_factory=list)
 
 
 def choose_dt(paths: list[PathSpec]) -> float:
@@ -149,6 +206,167 @@ class NetworkSimulator:
             loss_events=pipeline.total_loss_events(),
             depot_peaks=[d.peak_occupancy for d in pipeline.depots],
         )
+
+    def run_relay_with_faults(
+        self,
+        paths: list[PathSpec],
+        size: int,
+        faults: list[SublinkFault],
+        retry=None,
+        resume: bool = True,
+        depot_capacities: list[int] | None = None,
+        record_trace: bool = False,
+        max_time: float = 3600.0,
+        configs: list[TcpConfig] | None = None,
+    ) -> FaultedTransferResult:
+        """Run a transfer with injected sublink failures and recovery.
+
+        Quantifies the paper's staging corollary: with depot-resume
+        (``resume=True``) a failed sublink refunds only its in-flight
+        bytes to the upstream store and reconnects from the delivery
+        point, so recovery cost is proportional to that sublink alone.
+        With ``resume=False`` (plain TCP, single direct path only) the
+        whole transfer restarts from byte zero.
+
+        ``retry`` is a :class:`~repro.lsl.faults.RetryPolicy`; its
+        deterministic backoff sets each reconnect delay, and exceeding
+        ``max_retries`` on any sublink abandons the transfer
+        (``completed=False``).  The same transfer is first run without
+        faults to report ``clean_duration``/``recovery_seconds``.
+        """
+        from repro.lsl.faults import RetryPolicy
+
+        policy = retry or RetryPolicy()
+        if not resume and len(paths) > 1:
+            raise ValueError(
+                "restart-from-source recovery models a plain direct "
+                "connection; relays recover with resume=True"
+            )
+        for fault in faults:
+            if not (0 <= fault.sublink < len(paths)):
+                raise ValueError(
+                    f"fault targets sublink {fault.sublink} of "
+                    f"{len(paths)} paths"
+                )
+        clean = self.run_relay(
+            paths,
+            size,
+            depot_capacities=depot_capacities,
+            record_trace=False,
+            max_time=max_time,
+            configs=configs,
+        )
+        pipeline = RelayPipeline(
+            paths,
+            size,
+            config=self.config,
+            depot_capacities=depot_capacities,
+            rng=self._next_rng(),
+            record_trace=record_trace,
+            configs=configs,
+        )
+        recovery_rng = self._next_rng()
+        dt = self.dt if self.dt is not None else choose_dt(paths)
+        remaining = {i: f.times for i, f in enumerate(faults)}
+        retries_per_sublink: dict[int, int] = {}
+        completed = True
+        retries = 0
+        now = 0.0
+        while not pipeline.complete:
+            now += dt
+            if now > max_time:
+                raise RuntimeError(
+                    f"faulted transfer of {size} bytes did not complete "
+                    f"within {max_time}s simulated"
+                )
+            pipeline.step(now, dt)
+            for i, fault in enumerate(faults):
+                if remaining[i] <= 0:
+                    continue
+                flow = pipeline.flows[fault.sublink]
+                if flow.delivered < fault.after_bytes:
+                    continue
+                remaining[i] -= 1
+                attempt = retries_per_sublink.get(fault.sublink, 0)
+                retries_per_sublink[fault.sublink] = attempt + 1
+                retries += 1
+                if attempt >= policy.max_retries:
+                    completed = False
+                    break
+                flow.inject_failure(
+                    now,
+                    restart_delay=policy.delay(attempt),
+                    resume=resume,
+                    rng=recovery_rng.child(
+                        f"sublink{fault.sublink}-retry{attempt}"
+                    ),
+                )
+            if not completed:
+                break
+        duration = (
+            pipeline._refine_completion_time(now, dt)
+            if pipeline.complete
+            else now
+        )
+        for flow in pipeline.flows:
+            flow.drain(now + flow.path.rtt)
+        traces = (
+            [SeqTrace.from_flow(f) for f in pipeline.flows]
+            if record_trace
+            else []
+        )
+        per_sublink = [flow.retransmitted for flow in pipeline.flows]
+        return FaultedTransferResult(
+            size=int(size),
+            duration=duration,
+            traces=traces,
+            loss_events=pipeline.total_loss_events(),
+            depot_peaks=[d.peak_occupancy for d in pipeline.depots],
+            retransmitted_bytes=sum(per_sublink),
+            clean_duration=clean.duration,
+            recovery_seconds=duration - clean.duration,
+            retries=retries,
+            completed=completed,
+            per_sublink_retransmitted=per_sublink,
+        )
+
+    def compare_recovery(
+        self,
+        direct_path: PathSpec,
+        relay_paths: list[PathSpec],
+        size: int,
+        after_bytes: float,
+        failed_sublink: int | None = None,
+        retry=None,
+        **kwargs,
+    ) -> tuple[FaultedTransferResult, FaultedTransferResult]:
+        """One mid-transfer failure, direct restart vs. depot-resume.
+
+        The direct path restarts from byte zero (plain TCP); the relayed
+        path resumes from the failed sublink's delivery point.  Returns
+        ``(direct, relayed)`` faulted results — the raw material for the
+        recovery-cost claim.  ``failed_sublink`` defaults to the middle
+        sublink of the relay.
+        """
+        if failed_sublink is None:
+            failed_sublink = len(relay_paths) // 2
+        direct = self.run_relay_with_faults(
+            [direct_path],
+            size,
+            [SublinkFault(0, after_bytes)],
+            retry=retry,
+            resume=False,
+            **kwargs,
+        )
+        relayed = self.run_relay_with_faults(
+            relay_paths,
+            size,
+            [SublinkFault(failed_sublink, after_bytes)],
+            retry=retry,
+            resume=True,
+            **kwargs,
+        )
+        return direct, relayed
 
     def compare(
         self,

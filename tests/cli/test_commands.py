@@ -196,3 +196,186 @@ class TestCampaign:
         assert "coverage" in out
         assert "overall mean speedup" in out
         assert "size (MB)" in out
+
+
+MATRIX4 = """\
+src b 10e6
+b src 10e6
+b dst 10e6
+dst b 10e6
+src c 5e6
+c src 5e6
+c dst 5e6
+dst c 5e6
+src dst 1e6
+dst src 1e6
+b c 1e6
+c b 1e6
+"""
+
+
+@pytest.fixture
+def matrix4_file(tmp_path):
+    path = tmp_path / "matrix4.txt"
+    path.write_text(MATRIX4)
+    return str(path)
+
+
+class TestScheduleAvoid:
+    def test_avoid_reroutes_around_dead_depot(self, matrix4_file, capsys):
+        rc = main(
+            [
+                "schedule",
+                matrix4_file,
+                "--source",
+                "src",
+                "--dest",
+                "dst",
+                "--avoid",
+                "b",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "src -> c -> dst" in out
+        assert "-> b ->" not in out
+
+    def test_avoid_all_depots_direct(self, matrix4_file, capsys):
+        rc = main(
+            [
+                "schedule",
+                matrix4_file,
+                "--source",
+                "src",
+                "--dest",
+                "dst",
+                "--avoid",
+                "b",
+                "--avoid",
+                "c",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "src -> dst" in out
+
+    def test_avoided_host_dropped_from_destinations(self, matrix4_file, capsys):
+        rc = main(
+            ["schedule", matrix4_file, "--source", "src", "--avoid", "b"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        # the dead depot is not routed *to* either
+        assert not any(line.startswith("b ") for line in out.splitlines())
+
+    def test_unknown_avoid_host_is_error(self, matrix4_file, capsys):
+        rc = main(
+            [
+                "schedule",
+                matrix4_file,
+                "--source",
+                "src",
+                "--avoid",
+                "ghost",
+            ]
+        )
+        assert rc == 2
+        assert "ghost" in capsys.readouterr().err
+
+    def test_avoid_incompatible_with_table(self, matrix4_file, capsys):
+        rc = main(
+            [
+                "schedule",
+                matrix4_file,
+                "--source",
+                "src",
+                "--table",
+                "--avoid",
+                "b",
+            ]
+        )
+        assert rc == 2
+
+
+class TestSimulateFaults:
+    def test_fault_run_reports_recovery(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--size-mb",
+                "8",
+                "--direct",
+                "80:100:0",
+                "--via",
+                "40:100:0",
+                "--via",
+                "40:100:0",
+                "--fail-sublink",
+                "1",
+                "--fail-after-mb",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "direct (full restart)" in out
+        assert "relayed (depot-resume)" in out
+        assert "retransmitted" in out
+        assert "recovery bytes saved by staging" in out
+
+    def test_fault_run_direct_only(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--size-mb",
+                "4",
+                "--direct",
+                "80:100:0",
+                "--fail-sublink",
+                "0",
+                "--fail-after-mb",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "direct (full restart)" in out
+        assert "relayed" not in out
+
+    def test_no_resume_flag(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--size-mb",
+                "4",
+                "--direct",
+                "80:100:0",
+                "--via",
+                "40:100:0",
+                "--via",
+                "40:100:0",
+                "--fail-sublink",
+                "0",
+                "--no-resume",
+            ]
+        )
+        assert rc == 2  # relays cannot recover without resume
+
+    def test_fail_sublink_out_of_range(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--size-mb",
+                "1",
+                "--direct",
+                "80:100:0",
+                "--via",
+                "40:100:0",
+                "--via",
+                "40:100:0",
+                "--fail-sublink",
+                "7",
+            ]
+        )
+        assert rc == 2
+        assert "sublink" in capsys.readouterr().err

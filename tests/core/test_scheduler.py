@@ -192,3 +192,62 @@ class TestWithPerformanceMatrix:
         assert d.use_lsl
         assert d.route == ["src", "depot", "dst"]
         assert d.predicted_gain == pytest.approx(10.0)
+
+
+class TestReroute:
+    def graph(self):
+        """a--b--d and a--c--d relays, b clearly the better depot."""
+        return DictGraph(
+            ["a", "b", "c", "d"],
+            symmetric(
+                {
+                    ("a", "b"): 1.0,
+                    ("b", "d"): 1.0,
+                    ("a", "c"): 2.0,
+                    ("c", "d"): 2.0,
+                    ("a", "d"): 10.0,
+                    ("b", "c"): 5.0,
+                }
+            ),
+        )
+
+    def test_avoided_depot_excluded(self):
+        s = LogisticalScheduler(self.graph())
+        assert s.decide("a", "d").route == ["a", "b", "d"]
+        d = s.reroute("a", "d", avoid={"b"})
+        assert "b" not in d.route
+        assert d.route == ["a", "c", "d"]
+        assert d.use_lsl
+
+    def test_empty_avoid_matches_decide(self):
+        s = LogisticalScheduler(self.graph())
+        assert s.reroute("a", "d", avoid=set()).route == s.decide("a", "d").route
+
+    def test_all_depots_dead_falls_back_to_direct(self):
+        s = LogisticalScheduler(self.graph())
+        d = s.reroute("a", "d", avoid={"b", "c"})
+        assert d.route == ["a", "d"]
+        assert not d.use_lsl
+
+    def test_endpoint_in_avoid_rejected(self):
+        s = LogisticalScheduler(self.graph())
+        with pytest.raises(ValueError, match="endpoint"):
+            s.reroute("a", "d", avoid={"d"})
+        with pytest.raises(ValueError, match="endpoint"):
+            s.reroute("a", "d", avoid={"a", "b"})
+
+    def test_respects_depot_hosts_restriction(self):
+        s = LogisticalScheduler(self.graph(), depot_hosts={"b"})
+        # the only sanctioned depot is dead: no relay remains
+        d = s.reroute("a", "d", avoid={"b"})
+        assert d.route == ["a", "d"]
+
+    def test_reroute_does_not_poison_cache(self):
+        s = LogisticalScheduler(self.graph())
+        s.reroute("a", "d", avoid={"b"})
+        # a later normal decision still sees the full topology
+        assert s.decide("a", "d").route == ["a", "b", "d"]
+
+    def test_accepts_list_avoid(self):
+        s = LogisticalScheduler(self.graph())
+        assert s.reroute("a", "d", avoid=["b"]).route == ["a", "c", "d"]

@@ -159,3 +159,48 @@ class TestMultipleOptions:
 
     def test_empty_wire_is_no_options(self):
         assert decode_options(b"") == []
+
+
+class TestResumeOffset:
+    def test_roundtrip(self):
+        from repro.lsl.options import ResumeOffset
+
+        opt = ResumeOffset(total=1 << 33, offset=12345)
+        assert decode_options(encode_options([opt])) == [opt]
+
+    def test_default_offset_zero(self):
+        from repro.lsl.options import ResumeOffset
+
+        assert ResumeOffset(total=100).offset == 0
+
+    def test_offset_beyond_total_rejected(self):
+        from repro.lsl.options import ResumeOffset
+
+        with pytest.raises(ValueError, match="beyond"):
+            ResumeOffset(total=10, offset=11)
+
+    def test_out_of_range_rejected(self):
+        from repro.lsl.options import ResumeOffset
+
+        with pytest.raises(ValueError, match="64-bit"):
+            ResumeOffset(total=-1)
+        with pytest.raises(ValueError, match="64-bit"):
+            ResumeOffset(total=1 << 64)
+
+    def test_truncated_value_rejected(self):
+        from repro.lsl.options import ResumeOffset
+
+        wire = bytearray(encode_options([ResumeOffset(total=5)]))
+        wire = wire[:-8]
+        wire[1:3] = (8).to_bytes(2, "big")
+        with pytest.raises(ValueError):
+            decode_options(bytes(wire))
+
+    def test_rides_alongside_lsrr(self):
+        from repro.lsl.options import ResumeOffset
+
+        opts = [
+            LooseSourceRoute(hops=(("10.0.0.1", 9000),)),
+            ResumeOffset(total=999, offset=42),
+        ]
+        assert decode_options(encode_options(opts)) == opts

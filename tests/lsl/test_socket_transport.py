@@ -1,12 +1,30 @@
 """Real-socket integration tests: the LSL protocol over localhost TCP."""
 
 import hashlib
+import socket
+import threading
+import time
 
 import pytest
 
+from repro.lsl.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    RetryPolicy,
+)
 from repro.lsl.header import SessionHeader, new_session_id
 from repro.lsl.options import LooseSourceRoute
-from repro.lsl.socket_transport import DepotServer, SinkServer, send_session
+from repro.lsl.socket_transport import (
+    DepotServer,
+    SessionEnded,
+    SinkServer,
+    ThreadLeakError,
+    TruncatedStream,
+    _read_exact,
+    read_header,
+    send_session,
+)
 from repro.util.rng import RngStream
 
 
@@ -105,8 +123,6 @@ class TestRobustness:
         assert got == payload
 
     def test_garbage_header_does_not_kill_server(self):
-        import socket
-
         with SinkServer() as sink:
             with socket.create_connection(sink.address, timeout=5) as s:
                 s.sendall(b"\x00" * 34)  # version 0: rejected
@@ -115,3 +131,266 @@ class TestRobustness:
             send_session(b"after-garbage", header, sink.address)
             assert sink.wait_for(header.hex_id) == b"after-garbage"
             assert len(sink.errors) >= 1
+
+
+class TestStreamErrors:
+    """Clean EOF at a unit boundary vs. truncation mid-unit."""
+
+    def test_read_exact_clean_eof_is_session_ended(self):
+        a, b = socket.socketpair()
+        with a, b:
+            a.close()
+            with pytest.raises(SessionEnded):
+                _read_exact(b, 4)
+
+    def test_read_exact_partial_is_truncated(self):
+        a, b = socket.socketpair()
+        with a, b:
+            a.sendall(b"xy")
+            a.close()
+            with pytest.raises(TruncatedStream):
+                _read_exact(b, 4)
+
+    def test_read_exact_full_read(self):
+        a, b = socket.socketpair()
+        with a, b:
+            a.sendall(b"abcd")
+            assert _read_exact(b, 4) == b"abcd"
+
+    def test_read_header_eof_before_any_byte(self):
+        a, b = socket.socketpair()
+        with a, b:
+            a.close()
+            with pytest.raises(SessionEnded):
+                read_header(b)
+
+    def test_read_header_truncated_mid_header(self):
+        header = SessionHeader(
+            session_id=new_session_id(),
+            src_ip="127.0.0.1",
+            dst_ip="127.0.0.1",
+            src_port=0,
+            dst_port=1,
+        )
+        a, b = socket.socketpair()
+        with a, b:
+            a.sendall(header.encode()[:10])
+            a.close()
+            with pytest.raises(TruncatedStream):
+                read_header(b)
+
+    def test_read_header_truncated_in_options(self):
+        header = SessionHeader(
+            session_id=new_session_id(),
+            src_ip="127.0.0.1",
+            dst_ip="127.0.0.1",
+            src_port=0,
+            dst_port=1,
+            options=(LooseSourceRoute(hops=(("10.0.0.1", 9),)),),
+        )
+        wire = header.encode()
+        a, b = socket.socketpair()
+        with a, b:
+            a.sendall(wire[:-2])  # cut inside the options block
+            a.close()
+            with pytest.raises(TruncatedStream):
+                read_header(b)
+
+    def test_both_are_connection_errors(self):
+        assert issubclass(SessionEnded, ConnectionError)
+        assert issubclass(TruncatedStream, ConnectionError)
+
+
+class TestCloseSemantics:
+    """close() must not hang on in-flight sessions, and must be loud."""
+
+    def test_close_with_inflight_session_reports_leak(self):
+        sink = SinkServer()
+        # a half-open session: header sent, payload never finished
+        conn = socket.create_connection(sink.address, timeout=5)
+        try:
+            header = make_header(sink)
+            conn.sendall(header.encode())
+            conn.sendall(b"partial")
+            time.sleep(0.1)  # let the handler block in recv
+            start = time.monotonic()
+            sink.close(timeout=0.3)
+            elapsed = time.monotonic() - start
+            assert elapsed < 2.0  # bounded, not hung
+            assert sink.leaked_threads
+            assert any(isinstance(e, ThreadLeakError) for e in sink.errors)
+        finally:
+            conn.close()
+
+    def test_kill_unblocks_stuck_handlers(self):
+        sink = SinkServer()
+        conn = socket.create_connection(sink.address, timeout=5)
+        try:
+            header = make_header(sink)
+            conn.sendall(header.encode())
+            time.sleep(0.1)
+            sink.kill()  # aborts the connection instead of waiting
+            assert sink.leaked_threads == []
+        finally:
+            conn.close()
+
+    def test_clean_close_after_completed_sessions_leaks_nothing(self):
+        sink = SinkServer()
+        header = make_header(sink)
+        send_session(b"tidy", header, sink.address)
+        sink.wait_for(header.hex_id)
+        sink.close()
+        assert sink.leaked_threads == []
+        assert not any(isinstance(e, ThreadLeakError) for e in sink.errors)
+
+
+RECOVERY_POLICY = RetryPolicy(
+    max_retries=6,
+    base_delay=0.05,
+    multiplier=1.5,
+    max_delay=0.3,
+    jitter=0.0,
+    io_timeout=5.0,
+    connect_timeout=5.0,
+    seed=13,
+)
+
+
+class TestDepotCrashRecovery:
+    """Kill a depot mid-stream; the session survives its restart."""
+
+    def test_killed_depot_restarted_on_same_port(self):
+        payload = RngStream(31).generator.bytes(2 << 20)
+        sink = SinkServer(name="sink")
+        d2 = DepotServer(name="d2", retry=RECOVERY_POLICY)
+        d1 = DepotServer(name="d1", retry=RECOVERY_POLICY)
+        # throttle d2 so the kill lands deterministically mid-stream
+        plan = FaultPlan(
+            [FaultRule("d2", FaultKind.STALL, after_bytes=256 << 10, delay=1.0)]
+        )
+        d2.fault_plan = plan
+        header = SessionHeader(
+            session_id=new_session_id(),
+            src_ip="127.0.0.1",
+            dst_ip="127.0.0.1",
+            src_port=0,
+            dst_port=sink.port,
+            options=(LooseSourceRoute(hops=(("127.0.0.1", d2.port),)),),
+        )
+        reports = []
+        sender = threading.Thread(
+            target=lambda: reports.append(
+                send_session(
+                    payload, header, d1.address, retry=RECOVERY_POLICY
+                )
+            )
+        )
+        sender.start()
+        d2_restarted = None
+        try:
+            deadline = time.monotonic() + 10
+            while plan.count() == 0:
+                assert time.monotonic() < deadline, "stall never fired"
+                time.sleep(0.005)
+            port = d2.port
+            d2.kill()  # crash: all connection state and staged bytes lost
+            d2_restarted = DepotServer(
+                port=port, name="d2", retry=RECOVERY_POLICY
+            )
+            got = sink.wait_for(header.hex_id, timeout=30)
+            sender.join(timeout=30)
+            assert got == payload
+            assert reports and reports[0].attempts == 1  # absorbed by d1
+            # the restarted depot lost its ledger, so d1 replayed the
+            # session from byte zero out of its own staging
+            assert d1.retransmitted_bytes >= 256 << 10
+            assert d2_restarted.sessions_forwarded == 1
+        finally:
+            sender.join(timeout=5)
+            for server in (d1, d2, d2_restarted, sink):
+                if server is not None:
+                    server.close()
+
+
+class TestRecoveryAcceptance:
+    """The headline claim on real sockets: a mid-path failure costs one
+    sublink's staged bytes with depot-resume, but the whole payload for
+    a direct connection whose peer keeps no resume state."""
+
+    def test_relayed_retransmit_bounded_by_one_sublink(self):
+        payload = RngStream(32).generator.bytes(2 << 20)
+        drop_at = 512 << 10
+        plan = FaultPlan(
+            [FaultRule("d2", FaultKind.DROP, after_bytes=drop_at)]
+        )
+        with SinkServer(name="sink") as sink, DepotServer(
+            name="d2", fault_plan=plan, retry=RECOVERY_POLICY
+        ) as d2, DepotServer(
+            name="d1", fault_plan=plan, retry=RECOVERY_POLICY
+        ) as d1:
+            header = SessionHeader(
+                session_id=new_session_id(),
+                src_ip="127.0.0.1",
+                dst_ip="127.0.0.1",
+                src_port=0,
+                dst_port=sink.port,
+                options=(LooseSourceRoute(hops=(("127.0.0.1", d2.port),)),),
+            )
+            report = send_session(
+                payload, header, d1.address, retry=RECOVERY_POLICY,
+                fault_plan=plan,
+            )
+            got = sink.wait_for(header.hex_id, timeout=30)
+            assert got == payload
+            assert plan.fired == [("d2", FaultKind.DROP)]
+            assert d2.sessions_resumed == 1
+            total_retransmitted = (
+                report.retransmitted
+                + d1.retransmitted_bytes
+                + d2.retransmitted_bytes
+            )
+            # recovery cost is bounded by the failed sublink alone
+            assert total_retransmitted < 1.5 * drop_at
+            # and the failure never surfaced at the source
+            assert report.attempts == 1
+            assert report.retransmitted == 0
+
+    def test_direct_restart_retransmits_everything_sent(self):
+        payload = RngStream(33).generator.bytes(2 << 20)
+        stall_at = 512 << 10
+        # stall the sink mid-stream so the crash lands deterministically
+        plan = FaultPlan(
+            [FaultRule("sink", FaultKind.STALL, after_bytes=stall_at, delay=1.0)]
+        )
+        sink = SinkServer(name="sink", fault_plan=plan)
+        header = make_header(sink)
+        reports = []
+        sender = threading.Thread(
+            target=lambda: reports.append(
+                send_session(
+                    payload, header, sink.address, retry=RECOVERY_POLICY
+                )
+            )
+        )
+        sender.start()
+        restarted = None
+        try:
+            deadline = time.monotonic() + 10
+            while plan.count() == 0:
+                assert time.monotonic() < deadline, "stall never fired"
+                time.sleep(0.005)
+            port = sink.port
+            sink.kill()  # plain-TCP peer: all partial state is gone
+            restarted = SinkServer(port=port, name="sink")
+            got = restarted.wait_for(header.hex_id, timeout=30)
+            sender.join(timeout=30)
+            assert got == payload
+            # with no surviving receiver state the source pays for every
+            # byte it had already delivered — the full-restart bill
+            assert reports and reports[0].retransmitted >= stall_at
+            assert reports[0].attempts >= 2
+        finally:
+            sender.join(timeout=5)
+            sink.close()
+            if restarted is not None:
+                restarted.close()

@@ -147,3 +147,147 @@ class TestCompareAndSpeedup:
             UCSB_UF, mb(4), record_trace=False
         )
         assert a.duration == b.duration
+
+
+# -- fault injection and depot-resume recovery --------------------------------
+from repro.lsl.faults import RetryPolicy  # noqa: E402
+from repro.net.simulator import FaultedTransferResult, SublinkFault  # noqa: E402
+
+
+def _hop(rtt_ms, name):
+    """A relay sublink with 1 MB buffers, so the in-flight window (the
+    depot-resume recovery bill) is bounded and assertable."""
+    return PathSpec.from_mbit(rtt_ms, 200, name=name).with_buffers(
+        send=mb(1), recv=mb(1)
+    )
+
+
+FAULT_DIRECT = _hop(90, "direct")
+FAULT_RELAY = [_hop(30, "hop0"), _hop(30, "hop1"), _hop(30, "hop2")]
+FAULT_POLICY = RetryPolicy(max_retries=4, base_delay=0.1, jitter=0.0, seed=3)
+
+
+class TestRunRelayWithFaults:
+    def test_mid_path_failure_recovers_one_sublink(self):
+        """The headline recovery claim: a K-hop relay losing one mid-path
+        sublink retransmits about one sublink's in-flight bytes, while a
+        direct connection restarts from byte zero."""
+        sim = NetworkSimulator(seed=11)
+        size = mb(16)
+        after = mb(4)
+        relayed = sim.run_relay_with_faults(
+            FAULT_RELAY, size, [SublinkFault(1, after)],
+            retry=FAULT_POLICY, resume=True,
+        )
+        direct = sim.run_relay_with_faults(
+            [FAULT_DIRECT], size, [SublinkFault(0, after)],
+            retry=FAULT_POLICY, resume=False,
+        )
+        assert relayed.completed and direct.completed
+        assert relayed.retries == 1 and direct.retries == 1
+        # resume pays at most the failed sublink's flow-control window
+        assert 0 < relayed.retransmitted_bytes <= FAULT_RELAY[1].window_limit
+        # a plain restart pays for everything delivered before the fault
+        assert direct.retransmitted_bytes >= after
+        assert direct.retransmitted_bytes > 3 * relayed.retransmitted_bytes
+
+    def test_only_failed_sublink_retransmits(self):
+        sim = NetworkSimulator(seed=11)
+        r = sim.run_relay_with_faults(
+            FAULT_RELAY, mb(8), [SublinkFault(1, mb(2))],
+            retry=FAULT_POLICY,
+        )
+        assert len(r.per_sublink_retransmitted) == 3
+        assert r.per_sublink_retransmitted[0] == 0
+        assert r.per_sublink_retransmitted[2] == 0
+        assert r.per_sublink_retransmitted[1] == r.retransmitted_bytes
+
+    def test_recovery_costs_time(self):
+        sim = NetworkSimulator(seed=11)
+        r = sim.run_relay_with_faults(
+            FAULT_RELAY, mb(8), [SublinkFault(1, mb(2))],
+            retry=FAULT_POLICY,
+        )
+        assert r.clean_duration > 0
+        assert r.recovery_seconds > 0
+        assert r.duration == pytest.approx(
+            r.clean_duration + r.recovery_seconds
+        )
+
+    def test_fault_free_run_matches_clean(self):
+        sim = NetworkSimulator(seed=11)
+        r = sim.run_relay_with_faults(
+            FAULT_RELAY, mb(4), [], retry=FAULT_POLICY
+        )
+        assert r.retransmitted_bytes == 0
+        assert r.retries == 0
+        assert r.recovery_seconds == pytest.approx(0.0)
+
+    def test_retry_exhaustion_abandons_transfer(self):
+        sim = NetworkSimulator(seed=11)
+        r = sim.run_relay_with_faults(
+            FAULT_RELAY,
+            mb(8),
+            [SublinkFault(1, 0.0, times=FAULT_POLICY.max_retries + 2)],
+            retry=FAULT_POLICY,
+        )
+        assert not r.completed
+        assert r.retries == FAULT_POLICY.max_retries + 1
+
+    def test_restart_mode_rejects_relays(self):
+        sim = NetworkSimulator(seed=11)
+        with pytest.raises(ValueError, match="resume"):
+            sim.run_relay_with_faults(
+                FAULT_RELAY, mb(1), [SublinkFault(0, 0.0)], resume=False
+            )
+
+    def test_fault_index_validated(self):
+        sim = NetworkSimulator(seed=11)
+        with pytest.raises(ValueError, match="sublink"):
+            sim.run_relay_with_faults(
+                FAULT_RELAY, mb(1), [SublinkFault(3, 0.0)]
+            )
+
+    def test_seed_pinned_outcomes_identical(self):
+        """Flake check: the same faulted run twice, bit-identical."""
+
+        def run():
+            sim = NetworkSimulator(seed=11)
+            out = []
+            for sublink in range(3):
+                r = sim.run_relay_with_faults(
+                    FAULT_RELAY, mb(8), [SublinkFault(sublink, mb(2))],
+                    retry=FAULT_POLICY,
+                )
+                out.append(
+                    (
+                        r.duration,
+                        r.retransmitted_bytes,
+                        tuple(r.per_sublink_retransmitted),
+                        r.retries,
+                        r.completed,
+                    )
+                )
+            return out
+
+        assert run() == run()
+
+
+class TestCompareRecovery:
+    def test_direct_restart_vs_depot_resume(self):
+        sim = NetworkSimulator(seed=11)
+        direct, relayed = sim.compare_recovery(
+            FAULT_DIRECT, FAULT_RELAY, mb(16), mb(4), retry=FAULT_POLICY
+        )
+        assert isinstance(direct, FaultedTransferResult)
+        assert isinstance(relayed, FaultedTransferResult)
+        assert direct.completed and relayed.completed
+        assert direct.retransmitted_bytes >= mb(4)
+        assert relayed.retransmitted_bytes < direct.retransmitted_bytes
+
+    def test_default_fails_middle_sublink(self):
+        sim = NetworkSimulator(seed=11)
+        _, relayed = sim.compare_recovery(
+            FAULT_DIRECT, FAULT_RELAY, mb(8), mb(2), retry=FAULT_POLICY
+        )
+        assert relayed.per_sublink_retransmitted[1] > 0
