@@ -1,0 +1,36 @@
+"""``repro.analysis`` — the project-specific static checker.
+
+An AST-based lint with rules that encode this repository's invariants:
+wire-format consistency, lock coverage of shared state, deterministic
+simulation, unit-suffix hygiene, and error-handling robustness.  Run it
+with ``repro lint [paths]`` or programmatically::
+
+    from repro.analysis import run_paths
+    result = run_paths(["src/repro"])
+    assert result.clean, [f.render() for f in result.findings]
+
+Rule catalog, suppression syntax (``# rpr: disable=RPR00x``), baseline
+ratchet and the JSON schema are documented in ``docs/ANALYSIS.md``.
+"""
+
+from repro.analysis.baseline import DEFAULT_BASELINE, Baseline
+from repro.analysis.findings import PARSE_ERROR, Finding
+from repro.analysis.registry import all_rules, get_rule, select_rules
+from repro.analysis.report import SCHEMA_VERSION, render_json, render_text
+from repro.analysis.walker import RunResult, discover, run_paths
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_BASELINE",
+    "Finding",
+    "PARSE_ERROR",
+    "RunResult",
+    "SCHEMA_VERSION",
+    "all_rules",
+    "discover",
+    "get_rule",
+    "render_json",
+    "render_text",
+    "run_paths",
+    "select_rules",
+]

@@ -1,0 +1,112 @@
+"""Small AST helpers shared by the analysis rules."""
+
+from __future__ import annotations
+
+import ast
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render a ``Name``/``Attribute`` chain as ``"a.b.c"`` (else None)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_target(node: ast.Call) -> str | None:
+    """Dotted name of a call's callee, or None for computed callees."""
+    return dotted_name(node.func)
+
+
+def terminal_name(node: ast.AST) -> str | None:
+    """Last component of a ``Name``/``Attribute`` chain."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def is_self_attr(node: ast.AST) -> str | None:
+    """``self.<attr>`` → the attribute name; anything else → None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def numeric_literal(node: ast.AST) -> float | int | None:
+    """The value of a numeric literal (handling unary minus), else None.
+
+    Booleans are excluded: ``True`` is numerically 1 but is a flag, not
+    a magnitude.
+    """
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        inner = numeric_literal(node.operand)
+        if inner is None:
+            return None
+        return -inner if isinstance(node.op, ast.USub) else inner
+    if (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+    ):
+        return node.value
+    return None
+
+
+class ImportMap(ast.NodeVisitor):
+    """Alias table for one module: what each local name refers to.
+
+    ``modules`` maps a local alias to the imported module's dotted path
+    (``import numpy as np`` → ``{"np": "numpy"}``); ``names`` maps a
+    local alias to its fully qualified origin (``from time import sleep``
+    → ``{"sleep": "time.sleep"}``).
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.modules: dict[str, str] = {}
+        self.names: dict[str, str] = {}
+        self.visit(tree)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        """Record ``import a.b [as c]`` module aliases."""
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            # `import a.b` binds `a`; `import a.b as c` binds `c` to a.b
+            self.modules[local] = alias.name if alias.asname else local
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        """Record ``from a.b import x [as y]`` name origins."""
+        if node.module is None:  # relative `from . import x`
+            return
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self.names[local] = f"{node.module}.{alias.name}"
+
+    def resolve_call(self, node: ast.Call) -> str | None:
+        """Fully qualified dotted path of a callee, through the aliases.
+
+        ``np.random.default_rng()`` resolves to
+        ``numpy.random.default_rng`` when ``np`` aliases ``numpy``.
+        """
+        dotted = call_target(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head in self.modules:
+            base = self.modules[head]
+            return f"{base}.{rest}" if rest else base
+        if head in self.names:
+            full = self.names[head]
+            return f"{full}.{rest}" if rest else full
+        return dotted

@@ -1,0 +1,85 @@
+"""Ratchet baseline: tolerate grandfathered findings, block new ones.
+
+The baseline file records, per ``(path, rule)``, how many findings were
+accepted when the baseline was last written.  A later run may have *at
+most* that many findings for the pair — fewer is progress (and a prompt
+to re-record so the ratchet tightens), more is a failure.  This lets the
+checker land on a dirty tree and squeeze the debt out PR by PR instead
+of blocking the first build.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.findings import Finding
+
+#: Default baseline location, relative to the current directory.
+DEFAULT_BASELINE = ".rpr-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """In-memory form of the baseline file.
+
+    ``entries`` maps ``"<path>::<rule>"`` to the accepted finding count.
+    """
+
+    entries: dict[str, int] = field(default_factory=dict)
+
+    @staticmethod
+    def key(path: str, rule: str) -> str:
+        return f"{path}::{rule}"
+
+    def allowance(self, path: str, rule: str) -> int:
+        """Accepted finding count for one ``(path, rule)`` pair."""
+        return self.entries.get(self.key(path, rule), 0)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable["Finding"]) -> "Baseline":
+        """A baseline accepting exactly the given findings."""
+        entries: dict[str, int] = {}
+        for finding in findings:
+            key = cls.key(finding.path, finding.rule)
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries=entries)
+
+    # -- file io -----------------------------------------------------------
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file.
+
+        Raises
+        ------
+        ValueError
+            On a malformed or wrong-version file (a silently ignored
+            baseline would un-ratchet the build).
+        """
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(raw, dict) or raw.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"baseline {path}: expected version {_FORMAT_VERSION} object"
+            )
+        entries = raw.get("entries", {})
+        if not isinstance(entries, dict) or not all(
+            isinstance(k, str) and isinstance(v, int) and v >= 0
+            for k, v in entries.items()
+        ):
+            raise ValueError(f"baseline {path}: malformed entries")
+        return cls(entries=dict(entries))
+
+    def save(self, path: str | Path) -> None:
+        """Write the baseline file (sorted keys, trailing newline)."""
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": {k: self.entries[k] for k in sorted(self.entries)},
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )

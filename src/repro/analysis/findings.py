@@ -1,0 +1,61 @@
+"""The finding record every analysis rule emits.
+
+A finding pins one defect to one source line.  Findings are plain data:
+rules produce them, the walker filters them through suppressions and the
+baseline, and the reporters render them as text or JSON — no stage needs
+to know about any other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    path:
+        Path of the offending file, as given to the walker (kept
+        relative when the input was relative, so output is stable
+        across checkouts).
+    line, col:
+        1-based line and 0-based column of the offending node.
+    rule:
+        Rule identifier (``RPR001`` … ``RPR010``; ``RPR000`` is
+        reserved for files the walker could not parse).
+    message:
+        Human-readable description of the defect.
+    symbol:
+        The identifier the finding is about (attribute, parameter or
+        function name), when one exists — lets tooling group findings.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    symbol: str = ""
+
+    def to_dict(self) -> dict:
+        """The JSON-schema form documented in ``docs/ANALYSIS.md``."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "symbol": self.symbol,
+        }
+
+    def render(self) -> str:
+        """The one-line text form (``path:line:col: RULE message``)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+#: Rule id reserved for unparseable files (cannot be suppressed inline —
+#: there is no trustworthy line to hang a suppression on).
+PARSE_ERROR = "RPR000"

@@ -1,0 +1,99 @@
+"""Rule registry for the project static checker.
+
+Each rule is a class with an ``id`` (``RPR00x``), a short ``name``, a
+``rationale`` sentence (surfaced by ``repro lint --list-rules`` and the
+docs), and a ``check(module)`` method yielding
+:class:`~repro.analysis.findings.Finding` objects.  Rules register
+themselves at import time via :func:`register`; the walker iterates
+:func:`all_rules` so adding a rule never touches the driver.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.findings import Finding
+    from repro.analysis.walker import ModuleSource, Project
+
+
+class Rule:
+    """Base class for analysis rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``applies_to`` lets path-scoped rules (e.g. the virtual-time rule,
+    which only polices simulator code) opt out per file.
+    """
+
+    #: stable identifier, ``RPR001`` … — what suppressions reference
+    id: str = ""
+    #: short kebab-case name used in listings
+    name: str = ""
+    #: one-sentence justification shown in ``--list-rules`` and docs
+    rationale: str = ""
+
+    def applies_to(self, module: "ModuleSource") -> bool:
+        """Whether this rule runs on ``module`` (default: every file)."""
+        return True
+
+    def check(self, module: "ModuleSource") -> Iterator["Finding"]:
+        """Yield findings for one parsed module (default: none, for
+        rules that only need the cross-file pass)."""
+        return iter(())
+
+    def project_check(self, project: "Project") -> Iterator["Finding"]:
+        """Yield findings needing cross-file facts (default: none)."""
+        return iter(())
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and index a rule by its id."""
+    rule = cls()
+    if not rule.id or not rule.name:
+        raise ValueError(f"rule {cls.__name__} missing id or name")
+    if rule.id in _RULES:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _RULES[rule.id] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, ordered by id."""
+    _load()
+    return [_RULES[rid] for rid in sorted(_RULES)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule by id (raises ``KeyError`` on unknown ids)."""
+    _load()
+    return _RULES[rule_id]
+
+
+def select_rules(ids: Iterable[str] | None) -> list[Rule]:
+    """Rules restricted to ``ids`` (``None`` = all).
+
+    Raises
+    ------
+    ValueError
+        When an id is not a registered rule.
+    """
+    rules = all_rules()
+    if ids is None:
+        return rules
+    wanted = {i.strip().upper() for i in ids if i.strip()}
+    known = {r.id for r in rules}
+    unknown = wanted - known
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+    return [r for r in rules if r.id in wanted]
+
+
+def _load() -> None:
+    """Import the rule modules exactly once (registration side effect)."""
+    from repro.analysis import rules  # noqa: F401  (import registers)

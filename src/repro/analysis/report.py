@@ -1,0 +1,53 @@
+"""Text and JSON renderers for analysis results.
+
+The JSON layout is a documented interface (see ``docs/ANALYSIS.md``);
+tests validate against it, and CI consumers may parse it.  Bump
+``SCHEMA_VERSION`` on any shape change.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.walker import RunResult
+
+SCHEMA_VERSION = 1
+TOOL_NAME = "repro-lint"
+
+
+def render_text(result: RunResult, verbose: bool = False) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [finding.render() for finding in result.findings]
+    total = len(result.findings)
+    summary = (
+        f"{total} finding(s) in {result.files_scanned} file(s)"
+        if total
+        else f"clean: {result.files_scanned} file(s), no findings"
+    )
+    extras = []
+    if result.suppressed:
+        extras.append(f"{result.suppressed} suppressed")
+    if result.baselined:
+        extras.append(f"{result.baselined} baselined")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    lines.append(summary)
+    if verbose and result.counts:
+        for rule_id in sorted(result.counts):
+            lines.append(f"  {rule_id}: {result.counts[rule_id]}")
+    return "\n".join(lines)
+
+
+def render_json(result: RunResult) -> str:
+    """Machine-readable report (schema in ``docs/ANALYSIS.md``)."""
+    payload = {
+        "version": SCHEMA_VERSION,
+        "tool": TOOL_NAME,
+        "files_scanned": result.files_scanned,
+        "clean": result.clean,
+        "findings": [finding.to_dict() for finding in result.findings],
+        "counts": dict(sorted(result.counts.items())),
+        "suppressed": result.suppressed,
+        "baselined": result.baselined,
+    }
+    return json.dumps(payload, indent=2)

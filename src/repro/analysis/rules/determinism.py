@@ -1,0 +1,118 @@
+"""Determinism rules: experiments must be exactly repeatable.
+
+RPR004
+    Module-level ``random.*`` / ``numpy.random.*`` calls draw from
+    hidden global state, so adding one call anywhere reshuffles every
+    experiment after it.  The sanctioned path is
+    :class:`repro.util.rng.RngStream` (explicitly seeded, named
+    streams); the seeded *constructors* numpy exposes
+    (``default_rng``, ``SeedSequence``, ``Generator``) are exempt
+    because they are exactly how such streams are built.
+RPR005
+    The ``net/`` simulator runs on virtual time — results must not
+    depend on the wall clock, and a ``time.sleep`` there burns real
+    seconds to simulate zero.  Scoped to files under a ``net``
+    directory.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import ImportMap
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.walker import ModuleSource
+
+#: Seeded-stream constructors: the sanctioned way to build generators.
+_SEEDED_CONSTRUCTORS = {"default_rng", "SeedSequence", "Generator"}
+
+#: Wall-clock reads and real-time waits, fully qualified.
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.sleep",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+}
+
+
+@register
+class UnseededRandomRule(Rule):
+    """RPR004: no draws from the hidden module-level random state."""
+
+    id = "RPR004"
+    name = "unseeded-random"
+    rationale = (
+        "module-level random draws use hidden global state; one new "
+        "call reshuffles every later draw — use repro.util.rng.RngStream"
+    )
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return not module.is_test_code
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = imports.resolve_call(node)
+            if resolved is None:
+                continue
+            if resolved.startswith("random.") or resolved.startswith(
+                "numpy.random."
+            ):
+                fn = resolved.rsplit(".", 1)[1]
+                if fn in _SEEDED_CONSTRUCTORS:
+                    continue
+                yield Finding(
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.id,
+                    message=(
+                        f"unseeded module-level draw `{resolved}()`; "
+                        "use a seeded repro.util.rng.RngStream"
+                    ),
+                    symbol=fn,
+                )
+
+
+@register
+class WallClockRule(Rule):
+    """RPR005: simulator code must not read or wait on the wall clock."""
+
+    id = "RPR005"
+    name = "wall-clock-in-simulator"
+    rationale = (
+        "simulator code runs on virtual time; wall-clock reads make "
+        "results machine-dependent and sleeps burn real seconds"
+    )
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return "net" in module.parts and not module.is_test_code
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = imports.resolve_call(node)
+            if resolved in _WALL_CLOCK:
+                yield Finding(
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.id,
+                    message=(
+                        f"wall-clock call `{resolved}()` in simulator "
+                        "code; the simulator must run on virtual time"
+                    ),
+                    symbol=resolved.rsplit(".", 1)[1],
+                )

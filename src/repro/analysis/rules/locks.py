@@ -1,0 +1,374 @@
+"""Lock-coverage rules for classes that manage their own threads.
+
+For every class that creates a ``threading.Lock``/``RLock`` (bases
+defined in the same module are folded in, so ``DepotServer`` inherits
+``_Server``'s analysis):
+
+RPR002
+    An attribute written both *inside* a ``with self.<lock>:`` block and
+    *outside* one (``__init__`` excluded — it runs before any thread
+    exists).  Half-guarded state is worse than unguarded: the guarded
+    site documents an invariant the unguarded site silently breaks.
+RPR003
+    An attribute that is *never* lock-guarded but is written by a
+    method reachable from a ``threading.Thread(target=self.<m>)``
+    — concurrent handler threads mutating shared state with no lock at
+    all.
+
+Both rules count writes only (assignment, augmented assignment,
+subscript stores, and mutating method calls such as ``.append``/
+``.pop``); reads are out of scope for a static pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.astutil import ImportMap, is_self_attr, terminal_name
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.walker import ModuleSource
+
+#: Method calls that mutate their receiver in place.
+MUTATING_METHODS = {
+    "append",
+    "appendleft",
+    "extend",
+    "insert",
+    "add",
+    "discard",
+    "remove",
+    "pop",
+    "popleft",
+    "popitem",
+    "clear",
+    "update",
+    "setdefault",
+}
+
+_LOCK_FACTORIES = {"threading.Lock", "threading.RLock"}
+
+
+@dataclass(frozen=True)
+class _Write:
+    attr: str
+    method: str
+    line: int
+    col: int
+    lock: str | None  # name of the guarding lock attr, None if unguarded
+    in_init: bool
+
+
+class _MethodScanner(ast.NodeVisitor):
+    """Collect ``self.<attr>`` writes and ``self.<m>()`` calls in one
+    method, tracking enclosure in ``with self.<lock>:`` blocks."""
+
+    def __init__(self, method_name: str, lock_attrs: set[str]) -> None:
+        self.method = method_name
+        self.lock_attrs = lock_attrs
+        self.writes: list[_Write] = []
+        self.self_calls: set[str] = set()
+        self._lock_stack: list[str] = []
+
+    # -- guard tracking ----------------------------------------------------
+    def _guarding_locks(self, node: ast.With | ast.AsyncWith) -> list[str]:
+        locks = []
+        for item in node.items:
+            attr = is_self_attr(item.context_expr)
+            if attr is not None and attr in self.lock_attrs:
+                locks.append(attr)
+        return locks
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        locks = self._guarding_locks(node)
+        self._lock_stack.extend(locks)
+        self.generic_visit(node)
+        for _ in locks:
+            self._lock_stack.pop()
+
+    def _current_lock(self) -> str | None:
+        return self._lock_stack[-1] if self._lock_stack else None
+
+    # -- write collection --------------------------------------------------
+    def _note_write(self, attr: str, node: ast.AST) -> None:
+        self.writes.append(
+            _Write(
+                attr=attr,
+                method=self.method,
+                line=node.lineno,
+                col=node.col_offset,
+                lock=self._current_lock(),
+                in_init=self.method == "__init__",
+            )
+        )
+
+    def _note_target(self, target: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._note_target(element)
+            return
+        if isinstance(target, ast.Starred):
+            self._note_target(target.value)
+            return
+        attr = is_self_attr(target)
+        if attr is not None:
+            self._note_write(attr, target)
+            return
+        if isinstance(target, ast.Subscript):
+            attr = is_self_attr(target.value)
+            if attr is not None:
+                self._note_write(attr, target)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._note_target(target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._note_target(node.target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._note_target(node.target)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                attr = is_self_attr(target.value)
+                if attr is not None:
+                    self._note_write(attr, target)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            # self.<m>(...) — intra-class call edge
+            receiver_attr = is_self_attr(func)
+            if receiver_attr is not None:
+                self.self_calls.add(func.attr)
+            # self.<attr>.append(...) — in-place mutation
+            elif func.attr in MUTATING_METHODS:
+                attr = is_self_attr(func.value)
+                if attr is not None:
+                    self._note_write(attr, node)
+        self.generic_visit(node)
+
+
+@dataclass
+class _FlatClass:
+    """One class with same-module bases folded in.
+
+    ``methods`` is the effective (override-resolved) method map;
+    ``all_defs`` additionally keeps *shadowed* base methods, because a
+    base ``__init__`` that a subclass overrides still runs (via
+    ``super()``) and still creates the class's locks.
+    """
+
+    methods: dict[str, ast.FunctionDef]
+    all_defs: list[ast.FunctionDef]
+
+
+def _flatten_classes(tree: ast.Module) -> dict[str, _FlatClass]:
+    """Class name -> flattened view, same-module single inheritance."""
+    classes: dict[str, ast.ClassDef] = {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, ast.ClassDef)
+    }
+
+    def flatten(name: str, seen: frozenset[str]) -> _FlatClass:
+        node = classes.get(name)
+        if node is None or name in seen:
+            return _FlatClass(methods={}, all_defs=[])
+        merged: dict[str, ast.FunctionDef] = {}
+        defs: list[ast.FunctionDef] = []
+        for base in node.bases:
+            base_name = terminal_name(base)
+            if base_name in classes:
+                flat = flatten(base_name, seen | {name})
+                merged.update(flat.methods)
+                defs.extend(flat.all_defs)
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                merged[item.name] = item
+                defs.append(item)
+        return _FlatClass(methods=merged, all_defs=defs)
+
+    return {name: flatten(name, frozenset()) for name in classes}
+
+
+def _thread_targets(
+    methods: dict[str, ast.FunctionDef], imports: ImportMap
+) -> set[str]:
+    """Methods passed as ``threading.Thread(target=self.<m>)``."""
+    targets: set[str] = set()
+    for method in methods.values():
+        for node in ast.walk(method):
+            if (
+                isinstance(node, ast.Call)
+                and imports.resolve_call(node) == "threading.Thread"
+            ):
+                for kw in node.keywords:
+                    if kw.arg == "target":
+                        attr = is_self_attr(kw.value)
+                        if attr is not None:
+                            targets.add(attr)
+    return targets
+
+
+@register
+class LockCoverageRule(Rule):
+    """RPR002: attributes guarded somewhere must be guarded everywhere."""
+
+    id = "RPR002"
+    name = "half-guarded-attribute"
+    rationale = (
+        "an attribute written both under a lock and outside one breaks "
+        "the invariant the guarded site documents"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        imports = ImportMap(module.tree)
+        # inherited methods are analysed once per subclass; report each
+        # physical write only once (attributed to the first class seen)
+        reported: set[tuple[int, int, str]] = set()
+        for class_name, flat in _flatten_classes(module.tree).items():
+            analysis = _analyze_class(flat, imports)
+            if analysis is None:
+                continue
+            writes, _ = analysis
+            by_attr: dict[str, list[_Write]] = {}
+            for write in writes:
+                by_attr.setdefault(write.attr, []).append(write)
+            for attr, attr_writes in by_attr.items():
+                guarded = [w for w in attr_writes if w.lock is not None]
+                unguarded = [
+                    w
+                    for w in attr_writes
+                    if w.lock is None and not w.in_init
+                ]
+                if not guarded or not unguarded:
+                    continue
+                lock = guarded[0].lock
+                for write in unguarded:
+                    key = (write.line, write.col, attr)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    yield Finding(
+                        path=module.path,
+                        line=write.line,
+                        col=write.col,
+                        rule=self.id,
+                        message=(
+                            f"{class_name}.{attr} is guarded by "
+                            f"`self.{lock}` in {guarded[0].method}() "
+                            f"(line {guarded[0].line}) but written "
+                            f"unguarded here in {write.method}()"
+                        ),
+                        symbol=attr,
+                    )
+
+
+@register
+class ThreadUnguardedWriteRule(Rule):
+    """RPR003: thread-target-reachable writes need a lock somewhere."""
+
+    id = "RPR003"
+    name = "thread-unguarded-write"
+    rationale = (
+        "state written by a threading.Thread target with no lock at all "
+        "races against every other thread touching the object"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        imports = ImportMap(module.tree)
+        reported: set[tuple[int, int, str]] = set()
+        for class_name, flat in _flatten_classes(module.tree).items():
+            analysis = _analyze_class(flat, imports)
+            if analysis is None:
+                continue
+            writes, call_graph = analysis
+            targets = _thread_targets(flat.methods, imports)
+            if not targets:
+                continue
+            threaded = _reachable(targets, call_graph)
+            guarded_attrs = {w.attr for w in writes if w.lock is not None}
+            for write in writes:
+                key = (write.line, write.col, write.attr)
+                if (
+                    write.method in threaded
+                    and not write.in_init
+                    and write.lock is None
+                    and write.attr not in guarded_attrs
+                    and key not in reported
+                ):
+                    reported.add(key)
+                    yield Finding(
+                        path=module.path,
+                        line=write.line,
+                        col=write.col,
+                        rule=self.id,
+                        message=(
+                            f"{class_name}.{write.attr} is written in "
+                            f"{write.method}(), reachable from a "
+                            "threading.Thread target, but never "
+                            "lock-guarded anywhere in the class"
+                        ),
+                        symbol=write.attr,
+                    )
+
+
+def _analyze_class(
+    flat: _FlatClass, imports: ImportMap
+) -> tuple[list[_Write], dict[str, set[str]]] | None:
+    """(writes, self-call graph) for one class, or None if it has no
+    lock attribute (classes without locks are outside these rules)."""
+    lock_attrs: set[str] = set()
+    # Scan shadowed base methods too: an overridden base __init__ still
+    # runs via super() and still creates the class's locks.
+    for method in flat.all_defs:
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Call
+            ):
+                if imports.resolve_call(node.value) in _LOCK_FACTORIES:
+                    for target in node.targets:
+                        attr = is_self_attr(target)
+                        if attr is not None:
+                            lock_attrs.add(attr)
+    if not lock_attrs:
+        return None
+    writes: list[_Write] = []
+    call_graph: dict[str, set[str]] = {}
+    for name, method in flat.methods.items():
+        scanner = _MethodScanner(name, lock_attrs)
+        scanner.visit(method)
+        writes.extend(
+            w for w in scanner.writes if w.attr not in lock_attrs
+        )
+        call_graph[name] = scanner.self_calls
+    return writes, call_graph
+
+
+def _reachable(roots: set[str], graph: dict[str, set[str]]) -> set[str]:
+    """Transitive closure of ``self.<m>()`` calls from the root methods."""
+    seen: set[str] = set()
+    stack = [r for r in roots if r in graph]
+    while stack:
+        method = stack.pop()
+        if method in seen:
+            continue
+        seen.add(method)
+        stack.extend(m for m in graph.get(method, ()) if m not in seen)
+    return seen

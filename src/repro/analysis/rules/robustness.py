@@ -1,0 +1,170 @@
+"""Robustness rules: silent exception swallowing and unbounded sockets.
+
+RPR008
+    Bare ``except:`` — catches ``SystemExit``/``KeyboardInterrupt`` and
+    hides the failure class entirely.
+RPR009
+    ``except Exception`` (or ``BaseException``) whose body neither
+    re-raises, nor logs, nor records the error anywhere — in a relay
+    stack, an error that vanishes here resurfaces as a corrupt-looking
+    stream three hops away.
+RPR010
+    Socket connects with no timeout in non-test code — a depot that
+    blocks forever on one dead peer stops forwarding everyone.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import ImportMap, terminal_name
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.walker import ModuleSource
+
+#: Call names that count as surfacing an error (logging or recording).
+_RECORDING_CALLS = {
+    "debug",
+    "info",
+    "warning",
+    "warn",
+    "error",
+    "exception",
+    "critical",
+    "log",
+    "print",
+    "append",
+    "add",
+    "put",
+    "record",
+    "fail",
+}
+
+_BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+
+
+def _handler_surfaces_error(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body re-raises, logs, or records the error."""
+    for node in ast.walk(ast.Module(body=handler.body, type_ignores=[])):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            name = terminal_name(node.func)
+            if name in _RECORDING_CALLS:
+                return True
+    return False
+
+
+@register
+class BareExceptRule(Rule):
+    """RPR008: no bare ``except:`` clauses."""
+
+    id = "RPR008"
+    name = "bare-except"
+    rationale = (
+        "a bare `except:` catches SystemExit and KeyboardInterrupt and "
+        "erases the failure class; name the exceptions you can handle"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield Finding(
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.id,
+                    message=(
+                        "bare `except:`; catch specific exception types"
+                    ),
+                )
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    """RPR009: broad exception handlers must surface what they catch."""
+
+    id = "RPR009"
+    name = "swallowed-exception"
+    rationale = (
+        "an `except Exception` that neither re-raises nor logs nor "
+        "records turns every bug into silent data loss"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = node.type
+            if (
+                isinstance(caught, ast.Name)
+                and caught.id in _BROAD_EXCEPTIONS
+                and not _handler_surfaces_error(node)
+            ):
+                yield Finding(
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.id,
+                    message=(
+                        f"`except {caught.id}` swallows the error "
+                        "without re-raising, logging or recording it"
+                    ),
+                    symbol=caught.id,
+                )
+
+
+@register
+class SocketTimeoutRule(Rule):
+    """RPR010: production sockets must carry a finite timeout."""
+
+    id = "RPR010"
+    name = "socket-no-timeout"
+    rationale = (
+        "a depot blocked forever in one connect() stops forwarding every "
+        "session; every production socket needs a timeout"
+    )
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return not module.is_test_code
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = imports.resolve_call(node)
+            if resolved == "socket.create_connection":
+                has_timeout = len(node.args) >= 2 or any(
+                    kw.arg == "timeout" for kw in node.keywords
+                )
+                if not has_timeout:
+                    yield Finding(
+                        path=module.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule=self.id,
+                        message=(
+                            "socket.create_connection() without a "
+                            "timeout blocks forever on a dead peer"
+                        ),
+                        symbol="create_connection",
+                    )
+            elif (
+                terminal_name(node.func) == "settimeout"
+                and len(node.args) == 1
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value is None
+            ):
+                yield Finding(
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.id,
+                    message=(
+                        "settimeout(None) makes the socket blocking "
+                        "with no bound"
+                    ),
+                    symbol="settimeout",
+                )

@@ -1,0 +1,206 @@
+"""Units-hygiene rules.
+
+The codebase names quantities with unit suffixes (``size_bytes``,
+``rtt_ms``, ``timeout_s``, ``rate_mbit``) and funnels conversions
+through :mod:`repro.util.units`.  Two things defeat that convention:
+
+RPR006
+    Additive arithmetic or comparison between identifiers carrying
+    *conflicting* suffixes (``total_bytes + size_mb``,
+    ``elapsed_s > timeout_ms``).  Multiplication and division are
+    exempt — they are how conversions and rates are legitimately
+    formed.
+RPR007
+    A bare numeric literal passed *positionally* to a parameter whose
+    name carries a unit suffix (``wait(0.05)`` into ``wait(delay_s)``).
+    Keyword calls (``wait(delay_s=0.05)``) are allowed — the unit is
+    named at the call site — as are literals wrapped in a
+    :mod:`repro.util.units` conversion and the unit-free literal ``0``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import numeric_literal, terminal_name
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.walker import ModuleSource, Project
+
+#: suffix -> (dimension, unit).  Matched against the last ``_``-separated
+#: segment of an identifier, so plain ``s`` never matches.
+SUFFIX_UNITS: dict[str, tuple[str, str]] = {
+    "bytes": ("size", "bytes"),
+    "byte": ("size", "bytes"),
+    "kb": ("size", "KB"),
+    "mb": ("size", "MB"),
+    "gb": ("size", "GB"),
+    "bit": ("size", "bits"),
+    "bits": ("size", "bits"),
+    "kbit": ("size", "Kbit"),
+    "mbit": ("size", "Mbit"),
+    "s": ("time", "s"),
+    "sec": ("time", "s"),
+    "secs": ("time", "s"),
+    "seconds": ("time", "s"),
+    "ms": ("time", "ms"),
+    "us": ("time", "us"),
+    "ns": ("time", "ns"),
+    "rtt": ("time", "RTT"),
+    "rtts": ("time", "RTT"),
+    "bps": ("rate", "bytes/s"),
+    "mbps": ("rate", "Mbit/s"),
+}
+
+
+def unit_of(identifier: str | None) -> tuple[str, str] | None:
+    """The (dimension, unit) an identifier's suffix declares, if any."""
+    if not identifier or "_" not in identifier:
+        return None
+    return SUFFIX_UNITS.get(identifier.rsplit("_", 1)[1].lower())
+
+
+def _operand_unit(node: ast.AST) -> tuple[str, tuple[str, str]] | None:
+    """(identifier, (dimension, unit)) for a suffixed Name/Attribute."""
+    name = terminal_name(node)
+    unit = unit_of(name)
+    if unit is None:
+        return None
+    assert name is not None
+    return name, unit
+
+
+@register
+class UnitMixRule(Rule):
+    """RPR006: no additive arithmetic across conflicting unit suffixes."""
+
+    id = "RPR006"
+    name = "unit-mix"
+    rationale = (
+        "adding or comparing values whose names declare different units "
+        "(bytes vs MB, seconds vs ms) is a conversion bug spelled out "
+        "in the identifiers themselves"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            pairs: list[tuple[ast.AST, ast.AST]] = []
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                pairs.append((node.left, node.right))
+            elif isinstance(node, ast.Compare):
+                left = node.left
+                for op, right in zip(node.ops, node.comparators):
+                    if isinstance(
+                        op, (ast.Eq, ast.NotEq, ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+                    ):
+                        pairs.append((left, right))
+                    left = right
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                pairs.append((node.target, node.value))
+            for left, right in pairs:
+                a = _operand_unit(left)
+                b = _operand_unit(right)
+                if a is None or b is None or a[1] == b[1]:
+                    continue
+                yield Finding(
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.id,
+                    message=(
+                        f"`{a[0]}` is in {a[1][1]} but `{b[0]}` is in "
+                        f"{b[1][1]}; convert via repro.util.units first"
+                    ),
+                    symbol=a[0],
+                )
+
+
+def _collect_signatures(project: Project) -> dict[str, tuple[str, ...]]:
+    """Map simple callable name -> positional parameter names.
+
+    Covers functions, methods, and classes with an explicit
+    ``__init__`` (registered under the class name, ``self`` dropped).
+    A name bound to more than one distinct signature is ambiguous and
+    dropped — this is a lint, not a type checker.
+    """
+    seen: dict[str, set[tuple[str, ...]]] = {}
+
+    def note(name: str, args: ast.arguments, drop_first: bool) -> None:
+        params = [a.arg for a in args.posonlyargs + args.args]
+        if drop_first and params:
+            params = params[1:]
+        seen.setdefault(name, set()).add(tuple(params))
+
+    for module in project.modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                drop = bool(
+                    node.args.args
+                    and node.args.args[0].arg in ("self", "cls")
+                )
+                note(node.name, node.args, drop)
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if (
+                        isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and item.name == "__init__"
+                    ):
+                        note(node.name, item.args, True)
+    return {
+        name: sigs.pop() for name, sigs in seen.items() if len(sigs) == 1
+    }
+
+
+@register
+class LiteralToSuffixedParamRule(Rule):
+    """RPR007: no bare positional literals into unit-suffixed params."""
+
+    id = "RPR007"
+    name = "literal-unit-param"
+    rationale = (
+        "a bare positional literal into a unit-suffixed parameter hides "
+        "which unit the caller meant; pass it by keyword or through a "
+        "repro.util.units conversion"
+    )
+
+    def project_check(self, project: Project) -> Iterator[Finding]:
+        signatures = _collect_signatures(project)
+        for module in project.modules:
+            if module.is_test_code:
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = terminal_name(node.func)
+                params = signatures.get(callee or "")
+                if params is None:
+                    continue
+                if any(isinstance(a, ast.Starred) for a in node.args):
+                    continue
+                for index, arg in enumerate(node.args):
+                    if index >= len(params):
+                        break
+                    unit = unit_of(params[index])
+                    if unit is None:
+                        continue
+                    value = numeric_literal(arg)
+                    if value is None or value == 0:
+                        continue
+                    yield Finding(
+                        path=module.path,
+                        line=arg.lineno,
+                        col=arg.col_offset,
+                        rule=self.id,
+                        message=(
+                            f"bare literal {value!r} fed positionally to "
+                            f"`{callee}(... {params[index]} ...)` "
+                            f"({unit[1]}); pass by keyword or via a "
+                            "repro.util.units conversion"
+                        ),
+                        symbol=params[index],
+                    )

@@ -1,0 +1,467 @@
+"""Wire-format consistency checks (RPR001).
+
+The LSL wire format lives in ``struct`` format strings plus an option
+registry; nothing at runtime cross-checks them, so a 16-bit field can
+silently become 32-bit on one side of the protocol.  This rule makes
+those implicit contracts explicit:
+
+* every ``struct`` format used for wire data must declare an explicit
+  byte order (``!``/``>``/``<``/``=``) — native mode adds platform
+  padding and platform sizes;
+* ``int.from_bytes(..., "little")`` on wire data contradicts the
+  network byte order;
+* a ``*Kind`` ``IntEnum`` must have unique member values, and when the
+  module packs the kind into a ``!B`` TLV code the values must fit in
+  8 bits;
+* every class declaring ``kind = <Kind>.<MEMBER>`` must appear in the
+  module's ``*REGISTRY*`` decode table, and the table must not
+  reference kinds no class declares;
+* a manual field peek — ``int.from_bytes(buf[a:b], "big")`` — in a
+  module that imports from a format-defining module must land exactly
+  on a field boundary of one of that module's formats.  This is the
+  cross-file check: widen ``hlen`` in ``header.py`` and the hard-coded
+  ``[4:6]`` slice in ``socket_transport.py`` fails the build instead
+  of silently misparsing every header;
+* the same format-constant name bound to different format strings in
+  two modules (e.g. a test clone of ``_FIXED`` drifting out of sync).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import struct
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.astutil import ImportMap, call_target
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.walker import ModuleSource, Project
+
+_ORDER_CHARS = "!><="
+_STRUCT_CALLS = {
+    "struct.Struct",
+    "struct.pack",
+    "struct.unpack",
+    "struct.pack_into",
+    "struct.unpack_from",
+    "struct.calcsize",
+    "struct.iter_unpack",
+}
+_FORMAT_ITEM = re.compile(r"(\d*)([a-zA-Z?])")
+
+
+@dataclass(frozen=True)
+class StructConst:
+    """A module-level ``NAME = struct.Struct("...")`` binding."""
+
+    module: str  # display path of the defining module
+    stem: str  # file stem, the import-linking key
+    name: str
+    format: str
+    line: int
+
+
+def field_layout(fmt: str) -> list[tuple[int, int]] | None:
+    """``(offset, size)`` of every field of a standard-order format.
+
+    Returns None for native-order or malformed formats (those get their
+    own findings).  Repeat counts expand to individual fields except
+    for ``s``/``p`` (one sized field) and ``x`` (padding, no field).
+    """
+    if not fmt or fmt[0] not in _ORDER_CHARS:
+        return None
+    order, body = fmt[0], fmt[1:]
+    try:
+        struct.calcsize(fmt)
+    except struct.error:
+        return None
+    fields: list[tuple[int, int]] = []
+    offset = 0
+    for count_text, code in _FORMAT_ITEM.findall(body):
+        count = int(count_text) if count_text else 1
+        if code in "sp":
+            fields.append((offset, count))
+            offset += count
+        elif code == "x":
+            offset += count
+        else:
+            size = struct.calcsize(order + code)
+            for _ in range(count):
+                fields.append((offset, size))
+                offset += size
+    return fields
+
+
+def _format_literal(node: ast.Call) -> tuple[str, ast.AST] | None:
+    """The literal format-string argument of a struct call, if any."""
+    if node.args and isinstance(node.args[0], ast.Constant):
+        value = node.args[0].value
+        if isinstance(value, str):
+            return value, node.args[0]
+    return None
+
+
+def _slice_bounds(node: ast.Subscript) -> tuple[int, int] | None:
+    """Constant ``[a:b]`` bounds of a subscript, if that is its shape."""
+    sl = node.slice
+    if (
+        isinstance(sl, ast.Slice)
+        and sl.step is None
+        and isinstance(sl.lower, ast.Constant)
+        and isinstance(sl.upper, ast.Constant)
+        and isinstance(sl.lower.value, int)
+        and isinstance(sl.upper.value, int)
+    ):
+        return sl.lower.value, sl.upper.value
+    return None
+
+
+def _from_bytes_byteorder(node: ast.Call) -> str | None:
+    """The byteorder of an ``int.from_bytes`` call, if statically known."""
+    if not (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr == "from_bytes"
+    ):
+        return None
+    for kw in node.keywords:
+        if kw.arg == "byteorder" and isinstance(kw.value, ast.Constant):
+            return str(kw.value.value)
+    if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant):
+        return str(node.args[1].value)
+    return None
+
+
+def _kind_enums(tree: ast.Module) -> list[ast.ClassDef]:
+    """``IntEnum`` subclasses whose name ends in ``Kind``/``Type``."""
+    out = []
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        bases = {b.attr if isinstance(b, ast.Attribute) else getattr(b, "id", None) for b in node.bases}
+        if "IntEnum" in bases and (
+            node.name.endswith("Kind") or node.name.endswith("Type")
+        ):
+            out.append(node)
+    return out
+
+
+def _enum_members(node: ast.ClassDef) -> list[tuple[str, int, int]]:
+    """``(member, value, line)`` for int-valued enum members."""
+    members = []
+    for item in node.body:
+        if (
+            isinstance(item, ast.Assign)
+            and len(item.targets) == 1
+            and isinstance(item.targets[0], ast.Name)
+            and isinstance(item.value, ast.Constant)
+            and isinstance(item.value.value, int)
+        ):
+            members.append(
+                (item.targets[0].id, item.value.value, item.lineno)
+            )
+    return members
+
+
+def _struct_consts(module: ModuleSource) -> list[StructConst]:
+    imports = ImportMap(module.tree)
+    consts = []
+    for node in module.tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Call)
+            and imports.resolve_call(node.value) == "struct.Struct"
+        ):
+            literal = _format_literal(node.value)
+            if literal is not None:
+                consts.append(
+                    StructConst(
+                        module=module.path,
+                        stem=module.stem,
+                        name=node.targets[0].id,
+                        format=literal[0],
+                        line=node.lineno,
+                    )
+                )
+    return consts
+
+
+@register
+class WireFormatRule(Rule):
+    """RPR001: every declared wire contract must agree with its uses."""
+
+    id = "RPR001"
+    name = "wire-format"
+    rationale = (
+        "struct formats, option-kind codes and manual field peeks are "
+        "the wire protocol; any two of them disagreeing corrupts every "
+        "session silently"
+    )
+
+    # -- per-module checks -------------------------------------------------
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if imports.resolve_call(node) in _STRUCT_CALLS:
+                yield from self._check_format(module, node)
+            byteorder = _from_bytes_byteorder(node)
+            if byteorder == "little":
+                yield Finding(
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.id,
+                    message=(
+                        'int.from_bytes(..., "little") contradicts the '
+                        "network byte order of the wire format"
+                    ),
+                    symbol="from_bytes",
+                )
+        yield from self._check_kind_enums(module)
+        yield from self._check_registry(module)
+
+    def _check_format(
+        self, module: ModuleSource, node: ast.Call
+    ) -> Iterator[Finding]:
+        literal = _format_literal(node)
+        if literal is None:
+            return
+        fmt, arg = literal
+        if not fmt or fmt[0] not in _ORDER_CHARS:
+            yield Finding(
+                path=module.path,
+                line=arg.lineno,
+                col=arg.col_offset,
+                rule=self.id,
+                message=(
+                    f"struct format {fmt!r} has no explicit byte order; "
+                    "native mode adds platform padding and sizes — "
+                    "prefix with '!' for wire data"
+                ),
+                symbol=fmt,
+            )
+            return
+        try:
+            struct.calcsize(fmt)
+        except struct.error as exc:
+            yield Finding(
+                path=module.path,
+                line=arg.lineno,
+                col=arg.col_offset,
+                rule=self.id,
+                message=f"invalid struct format {fmt!r}: {exc}",
+                symbol=fmt,
+            )
+
+    def _check_kind_enums(self, module: ModuleSource) -> Iterator[Finding]:
+        has_u8_code = any(
+            const.format.startswith("!B")
+            for const in _struct_consts(module)
+        )
+        for enum in _kind_enums(module.tree):
+            seen: dict[int, str] = {}
+            for member, value, line in _enum_members(enum):
+                if value in seen:
+                    yield Finding(
+                        path=module.path,
+                        line=line,
+                        col=0,
+                        rule=self.id,
+                        message=(
+                            f"{enum.name}.{member} reuses code {value} "
+                            f"already taken by {enum.name}.{seen[value]}"
+                        ),
+                        symbol=member,
+                    )
+                seen.setdefault(value, member)
+                if value < 0 or (has_u8_code and value > 0xFF):
+                    yield Finding(
+                        path=module.path,
+                        line=line,
+                        col=0,
+                        rule=self.id,
+                        message=(
+                            f"{enum.name}.{member} = {value} does not "
+                            "fit the u8 ('!B') kind field this module "
+                            "packs codes into"
+                        ),
+                        symbol=member,
+                    )
+
+    def _check_registry(self, module: ModuleSource) -> Iterator[Finding]:
+        """Classes with ``kind = <Enum>.<X>`` must be in the decode
+        registry dict, and the registry must not name unknown kinds."""
+        registry_keys: set[str] = set()
+        registry_values: set[str] = set()
+        registry_line: int | None = None
+        declared: list[tuple[str, str, int]] = []  # class, member, line
+
+        for node in module.tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and "REGISTRY" in node.targets[0].id
+                and isinstance(node.value, ast.Dict)
+            ):
+                registry_line = node.lineno
+                for key, value in zip(node.value.keys, node.value.values):
+                    member = _registry_key_member(key)
+                    if member is not None:
+                        registry_keys.add(member)
+                    if isinstance(value, ast.Name):
+                        registry_values.add(value.id)
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if (
+                        isinstance(item, ast.Assign)
+                        and len(item.targets) == 1
+                        and isinstance(item.targets[0], ast.Name)
+                        and item.targets[0].id == "kind"
+                        and isinstance(item.value, ast.Attribute)
+                    ):
+                        declared.append(
+                            (node.name, item.value.attr, node.lineno)
+                        )
+
+        if registry_line is None or not declared:
+            return
+        for class_name, member, line in declared:
+            if class_name not in registry_values:
+                yield Finding(
+                    path=module.path,
+                    line=line,
+                    col=0,
+                    rule=self.id,
+                    message=(
+                        f"{class_name} declares kind {member} but is "
+                        "missing from the decode registry (line "
+                        f"{registry_line}); its options cannot decode"
+                    ),
+                    symbol=class_name,
+                )
+        declared_members = {member for _, member, _ in declared}
+        for member in sorted(registry_keys - declared_members):
+            yield Finding(
+                path=module.path,
+                line=registry_line,
+                col=0,
+                rule=self.id,
+                message=(
+                    f"decode registry references kind {member} that no "
+                    "class in this module declares"
+                ),
+                symbol=member,
+            )
+
+    # -- cross-file checks -------------------------------------------------
+    def project_check(self, project: Project) -> Iterator[Finding]:
+        consts_by_stem: dict[str, list[StructConst]] = {}
+        all_consts: dict[str, list[StructConst]] = {}
+        for module in project.modules:
+            for const in _struct_consts(module):
+                consts_by_stem.setdefault(const.stem, []).append(const)
+                all_consts.setdefault(const.name, []).append(const)
+
+        # (f) one constant name, two formats, two modules
+        for name, bindings in sorted(all_consts.items()):
+            formats = {b.format for b in bindings}
+            if len(formats) > 1:
+                canonical = bindings[0]
+                for drifted in bindings[1:]:
+                    if drifted.format != canonical.format:
+                        yield Finding(
+                            path=drifted.module,
+                            line=drifted.line,
+                            col=0,
+                            rule=self.id,
+                            message=(
+                                f"{name} = {drifted.format!r} disagrees "
+                                f"with {name} = {canonical.format!r} in "
+                                f"{canonical.module}:{canonical.line}"
+                            ),
+                            symbol=name,
+                        )
+
+        # (e) manual big-endian field peeks must align with a field of
+        # the formats defined by modules this module imports from
+        for module in project.modules:
+            linked = self._linked_consts(module, consts_by_stem)
+            if not linked:
+                continue
+            layouts = {
+                (c.stem, c.name): field_layout(c.format) for c in linked
+            }
+            fields = set()
+            for layout in layouts.values():
+                if layout:
+                    fields.update(layout)
+            if not fields:
+                continue
+            yield from self._check_peeks(module, fields, linked)
+
+    @staticmethod
+    def _linked_consts(
+        module: ModuleSource, consts_by_stem: dict[str, list[StructConst]]
+    ) -> list[StructConst]:
+        linked: list[StructConst] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                stem = node.module.rsplit(".", 1)[-1]
+                for const in consts_by_stem.get(stem, ()):
+                    if const.module != module.path:
+                        linked.append(const)
+        return linked
+
+    def _check_peeks(
+        self,
+        module: ModuleSource,
+        fields: set[tuple[int, int]],
+        linked: list[StructConst],
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _from_bytes_byteorder(node) != "big":
+                continue
+            if not node.args or not isinstance(node.args[0], ast.Subscript):
+                continue
+            bounds = _slice_bounds(node.args[0])
+            if bounds is None:
+                continue
+            start, end = bounds
+            if (start, end - start) in fields:
+                continue
+            sources = ", ".join(
+                sorted({f"{c.name} ({c.format!r})" for c in linked})
+            )
+            yield Finding(
+                path=module.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule=self.id,
+                message=(
+                    f"manual field peek [{start}:{end}] does not align "
+                    "with any field of the imported wire format(s) "
+                    f"{sources}; the format changed or the slice is wrong"
+                ),
+                symbol="from_bytes",
+            )
+
+
+def _registry_key_member(key: ast.AST | None) -> str | None:
+    """``int(Kind.X)`` or ``Kind.X`` registry keys → ``"X"``."""
+    if (
+        isinstance(key, ast.Call)
+        and call_target(key) == "int"
+        and len(key.args) == 1
+    ):
+        key = key.args[0]
+    if isinstance(key, ast.Attribute):
+        return key.attr
+    return None

@@ -1,0 +1,251 @@
+"""File discovery, parsing, suppression handling and the rule driver.
+
+The walker owns everything that is not a rule: finding ``.py`` files,
+parsing them once, running every registered rule over every parsed
+module, honouring inline ``# rpr: disable=...`` suppressions, and
+applying the ratchet baseline.  Rules see only :class:`ModuleSource`
+(one parsed file) and :class:`Project` (all of them).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import PARSE_ERROR, Finding
+from repro.analysis.registry import Rule, select_rules
+
+#: Inline suppression: ``# rpr: disable`` (all rules on this line) or
+#: ``# rpr: disable=RPR001,RPR005``.
+_SUPPRESS_RE = re.compile(r"#\s*rpr:\s*disable(?:=([A-Za-z0-9_,\s]+))?")
+
+#: File-level suppression, honoured in the first five lines:
+#: ``# rpr: disable-file=RPR001`` (or bare ``disable-file`` for all).
+_SUPPRESS_FILE_RE = re.compile(
+    r"#\s*rpr:\s*disable-file(?:=([A-Za-z0-9_,\s]+))?"
+)
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules", "build", "dist"}
+
+#: Sentinel meaning "every rule" in a suppression set.
+ALL_RULES = "*"
+
+
+def _parse_ids(group: str | None) -> frozenset[str]:
+    if group is None:
+        return frozenset({ALL_RULES})
+    return frozenset(
+        part.strip().upper() for part in group.split(",") if part.strip()
+    )
+
+
+@dataclass
+class ModuleSource:
+    """One parsed source file, as the rules see it."""
+
+    path: str  #: display path (as discovered — stable in output)
+    abspath: Path
+    text: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.text.splitlines()
+
+    @property
+    def stem(self) -> str:
+        return self.abspath.stem
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        """Path components, used by path-scoped rules (e.g. ``net``)."""
+        return self.abspath.parts
+
+    @property
+    def is_test_code(self) -> bool:
+        """Test modules get a pass from production-hardening rules."""
+        return self.stem.startswith("test_") or any(
+            part in ("tests", "test") for part in self.abspath.parts
+        )
+
+    def suppressed_ids(self, line: int) -> frozenset[str]:
+        """Rule ids suppressed on ``line`` (1-based), inline + file level."""
+        ids: set[str] = set()
+        for probe in self.lines[:5]:
+            match = _SUPPRESS_FILE_RE.search(probe)
+            if match:
+                ids |= _parse_ids(match.group(1))
+        if 1 <= line <= len(self.lines):
+            match = _SUPPRESS_RE.search(self.lines[line - 1])
+            if match:
+                ids |= _parse_ids(match.group(1))
+        return frozenset(ids)
+
+
+@dataclass
+class Project:
+    """Every module of one run, plus a scratch cache for cross-file facts."""
+
+    modules: list[ModuleSource]
+    cache: dict = field(default_factory=dict)
+
+    def by_stem(self, stem: str) -> list[ModuleSource]:
+        """Modules whose file name (sans ``.py``) is ``stem``."""
+        return [m for m in self.modules if m.stem == stem]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one analysis run (post suppression and baseline)."""
+
+    findings: list[Finding]
+    files_scanned: int
+    suppressed: int
+    baselined: int
+    #: per-rule counts of surfaced findings
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def discover(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files and directories into a sorted list of ``.py`` files.
+
+    Raises
+    ------
+    FileNotFoundError
+        When a named path does not exist.
+    """
+    seen: dict[Path, Path] = {}
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        if path.is_file():
+            if path.suffix == ".py":
+                seen.setdefault(path.resolve(), path)
+            continue
+        for sub in sorted(path.rglob("*.py")):
+            if any(part in _SKIP_DIRS for part in sub.parts):
+                continue
+            seen.setdefault(sub.resolve(), sub)
+    return sorted(seen.values())
+
+
+def load_module(path: Path) -> tuple[ModuleSource | None, Finding | None]:
+    """Parse one file; on failure return an ``RPR000`` finding instead."""
+    try:
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+    except (OSError, SyntaxError, ValueError) as exc:
+        line = getattr(exc, "lineno", None) or 1
+        return None, Finding(
+            path=str(path),
+            line=int(line),
+            col=0,
+            rule=PARSE_ERROR,
+            message=f"could not parse file: {exc}",
+        )
+    return (
+        ModuleSource(
+            path=str(path), abspath=path.resolve(), text=text, tree=tree
+        ),
+        None,
+    )
+
+
+def run_paths(
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+    baseline: Baseline | None = None,
+) -> RunResult:
+    """Run the selected rules over ``paths`` and post-process findings.
+
+    Processing order: raw findings → inline/file suppressions →
+    baseline ratchet → sorted surfaced findings.
+    """
+    rules = select_rules(select)
+    files = discover(paths)
+    modules: list[ModuleSource] = []
+    raw: list[Finding] = []
+    for path in files:
+        module, parse_finding = load_module(path)
+        if parse_finding is not None:
+            raw.append(parse_finding)
+        if module is not None:
+            modules.append(module)
+
+    project = Project(modules=modules)
+    raw.extend(_run_rules(rules, project))
+
+    surfaced, suppressed = _apply_suppressions(raw, modules)
+    surfaced, baselined = _apply_baseline(surfaced, baseline)
+
+    surfaced.sort(key=lambda f: (f.path, f.line, f.rule, f.col))
+    counts: dict[str, int] = {}
+    for finding in surfaced:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return RunResult(
+        findings=surfaced,
+        files_scanned=len(files),
+        suppressed=suppressed,
+        baselined=baselined,
+        counts=counts,
+    )
+
+
+def _run_rules(rules: list[Rule], project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for rule in rules:
+        for module in project.modules:
+            if rule.applies_to(module):
+                findings.extend(rule.check(module))
+        findings.extend(rule.project_check(project))
+    return findings
+
+
+def _apply_suppressions(
+    findings: list[Finding], modules: list[ModuleSource]
+) -> tuple[list[Finding], int]:
+    by_path = {m.path: m for m in modules}
+    surfaced: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        module = by_path.get(finding.path)
+        if module is not None and finding.rule != PARSE_ERROR:
+            ids = module.suppressed_ids(finding.line)
+            if ALL_RULES in ids or finding.rule in ids:
+                suppressed += 1
+                continue
+        surfaced.append(finding)
+    return surfaced, suppressed
+
+
+def _apply_baseline(
+    findings: list[Finding], baseline: Baseline | None
+) -> tuple[list[Finding], int]:
+    """Ratchet: a (path, rule) group fully covered by the baseline is
+    muted; a group that *grew* past its baselined count surfaces whole,
+    so the offender sees every candidate line, not an arbitrary subset.
+    """
+    if baseline is None:
+        return findings, 0
+    groups: dict[tuple[str, str], list[Finding]] = {}
+    for finding in findings:
+        groups.setdefault((finding.path, finding.rule), []).append(finding)
+    surfaced: list[Finding] = []
+    baselined = 0
+    for key, group in groups.items():
+        allowance = baseline.allowance(*key)
+        if len(group) <= allowance:
+            baselined += len(group)
+        else:
+            surfaced.extend(group)
+    return surfaced, baselined

@@ -293,6 +293,52 @@ def cmd_pickup(args) -> int:
     return 0
 
 
+# -- lint ------------------------------------------------------------------------
+def cmd_lint(args) -> int:
+    """Run the project static checker; exit 0 clean, 1 on findings."""
+    import os
+
+    from repro.analysis import (
+        DEFAULT_BASELINE,
+        Baseline,
+        all_rules,
+        render_json,
+        render_text,
+        run_paths,
+    )
+
+    if args.list_rules:
+        table = TextTable(["id", "name", "rationale"])
+        for rule in all_rules():
+            table.add_row([rule.id, rule.name, rule.rationale])
+        print(table.render())
+        return 0
+
+    paths = args.paths or (["src"] if os.path.isdir("src") else ["."])
+    select = args.select.split(",") if args.select else None
+
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    baseline = None
+    if not args.update_baseline and os.path.exists(baseline_path):
+        baseline = Baseline.load(baseline_path)
+
+    result = run_paths(paths, select=select, baseline=baseline)
+
+    if args.update_baseline:
+        Baseline.from_findings(result.findings).save(baseline_path)
+        print(
+            f"baseline {baseline_path}: accepted {len(result.findings)} "
+            f"finding(s) across {result.files_scanned} file(s)"
+        )
+        return 0
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=True))
+    return 0 if result.clean else 1
+
+
 # -- campaign -----------------------------------------------------------------------
 def cmd_campaign(args) -> int:
     """Run a synthetic campaign and print the paper's statistics."""

@@ -173,6 +173,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=commands.cmd_pickup)
 
     p = sub.add_parser(
+        "lint",
+        help="run the project static checker (wire format, locks, units)",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        default=[],
+        help="files or directories to check (default: src/ if present)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (JSON schema documented in docs/ANALYSIS.md)",
+    )
+    p.add_argument(
+        "--select",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    p.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "ratchet baseline file; defaults to .rpr-baseline.json "
+            "when it exists"
+        ),
+    )
+    p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="accept the current findings into the baseline file and exit",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    p.set_defaults(func=commands.cmd_lint)
+
+    p = sub.add_parser(
         "campaign", help="run a synthetic measurement campaign"
     )
     p.add_argument(

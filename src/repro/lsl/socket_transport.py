@@ -94,8 +94,10 @@ def _cap_buffers(sock: socket.socket) -> None:
 def _abort_socket(sock: socket.socket) -> None:
     """Close with RST so the peer fails fast instead of seeing clean EOF."""
     try:
+        # struct linger is a *kernel* ABI, not wire data: it must use the
+        # platform's native layout, so the '!' prefix would be wrong here.
         sock.setsockopt(
-            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)  # rpr: disable=RPR001
         )
     except OSError:
         pass
@@ -174,9 +176,17 @@ class _Server:
         self.host, self.port = self._sock.getsockname()
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
+        self._handler_seq = 0
         self._conns: set[socket.socket] = set()
         self._conn_lock = threading.Lock()
-        self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
+        #: guards the thread registry (_threads, _handler_seq) and the
+        #: errors list, both shared between handler threads and close()
+        self._reg_lock = threading.Lock()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop,
+            name=f"lsl:{self.name}:accept",
+            daemon=True,
+        )
         self._accept_thread.start()
 
     @property
@@ -186,14 +196,21 @@ class _Server:
     def _accept_loop(self) -> None:
         while not self._stop.is_set():
             try:
-                conn, _ = self._sock.accept()
+                conn, peer = self._sock.accept()
             except OSError:
                 return  # listener closed
+            with self._reg_lock:
+                self._handler_seq += 1
+                seq = self._handler_seq
             thread = threading.Thread(
-                target=self._safe_handle, args=(conn,), daemon=True
+                target=self._safe_handle,
+                args=(conn,),
+                name=f"lsl:{self.name}:h{seq}:{peer[0]}:{peer[1]}",
+                daemon=True,
             )
             thread.start()
-            self._threads.append(thread)
+            with self._reg_lock:
+                self._threads.append(thread)
 
     def _safe_handle(self, conn: socket.socket) -> None:
         with self._conn_lock:
@@ -206,7 +223,8 @@ class _Server:
                 return
             self.handle(conn)
         except (ConnectionError, OSError, ValueError) as exc:
-            self.errors.append(exc)
+            with self._reg_lock:
+                self.errors.append(exc)
         finally:
             with self._conn_lock:
                 self._conns.discard(conn)
@@ -222,12 +240,13 @@ class _Server:
         """Stop accepting and wait for in-flight sessions to finish.
 
         ``timeout`` bounds the *total* wait across all handler threads.
-        Threads still alive afterwards are reported loudly: a warning is
-        logged, a :class:`ThreadLeakError` is appended to ``errors`` and
-        the threads are listed in ``leaked_threads`` — a silent leak is a
-        bug, a loud one is a diagnosable event.  With ``abort=True``
-        every live connection is reset first (simulating a crashed
-        depot), which unblocks handlers stuck in ``recv``.
+        Threads still alive afterwards are reported loudly: a warning
+        naming each leaked thread (and the handler it runs) is logged, a
+        :class:`ThreadLeakError` carrying those names is appended to
+        ``errors`` and the threads are listed in ``leaked_threads`` — a
+        silent leak is a bug, a loud one is a diagnosable event.  With
+        ``abort=True`` every live connection is reset first (simulating
+        a crashed depot), which unblocks handlers stuck in ``recv``.
         """
         self._stop.set()
         try:
@@ -256,19 +275,40 @@ class _Server:
         leaked: list[threading.Thread] = []
         if self._accept_thread.is_alive():  # pragma: no cover - defensive
             leaked.append(self._accept_thread)
-        for thread in list(self._threads):
+        with self._reg_lock:
+            threads = list(self._threads)
+        for thread in threads:
             thread.join(timeout=max(0.0, deadline - time.monotonic()))
             if thread.is_alive():
                 leaked.append(thread)
-        self._threads = [t for t in self._threads if t.is_alive()]
+        with self._reg_lock:
+            self._threads = [t for t in self._threads if t.is_alive()]
         if leaked:
             self.leaked_threads = leaked
+            detail = ", ".join(
+                self._describe_thread(thread) for thread in leaked
+            )
             message = (
                 f"{self.name}: {len(leaked)} handler thread(s) still alive "
-                f"after close(timeout={timeout})"
+                f"after close(timeout={timeout}): {detail}"
             )
             _LOG.warning(message)
-            self.errors.append(ThreadLeakError(message))
+            with self._reg_lock:
+                self.errors.append(ThreadLeakError(message))
+
+    def _describe_thread(self, thread: threading.Thread) -> str:
+        """``name (target=...)`` for the leak report.
+
+        Thread names encode the server and peer (``lsl:<server>:h<seq>:
+        <ip>:<port>``); the target is recovered from which loop the
+        thread runs, so the report says *which* handler wedged, not just
+        how many.
+        """
+        if thread is self._accept_thread:
+            target = type(self)._accept_loop.__qualname__
+        else:
+            target = type(self).handle.__qualname__
+        return f"{thread.name} (target={target})"
 
     def kill(self) -> None:
         """Simulate a crash: reset live connections, stop listening."""
@@ -370,8 +410,8 @@ class _DownstreamPump:
                 self._backoff(exc)
                 continue
             end = self._fwd + len(chunk)
-            self._depot.retransmitted_bytes += self._ledger.note_sent(
-                self._fwd, end
+            self._depot._note_retransmitted(
+                self._ledger.note_sent(self._fwd, end)
             )
             self._fwd = end
 
@@ -443,6 +483,9 @@ class DepotServer(_Server):
         self.retransmitted_bytes = 0
         #: fault-tolerant sessions that resumed after an interruption
         self.sessions_resumed = 0
+        #: guards the forwarding counters, which concurrent session
+        #: handlers update
+        self._stats_lock = threading.Lock()
         self.errors: list = []
         #: asynchronous sessions parked here, keyed by hex session id
         self.held: dict[str, bytes] = {}
@@ -480,6 +523,11 @@ class DepotServer(_Server):
     def _evict_ledger(self, hex_id: str) -> None:
         with self._ledger_lock:
             self._ledgers.pop(hex_id, None)
+
+    def _note_retransmitted(self, nbytes: int) -> None:
+        """Count downstream bytes sent more than once (recovery cost)."""
+        with self._stats_lock:
+            self.retransmitted_bytes += nbytes
 
     def handle(self, conn: socket.socket) -> None:
         """Serve one inbound session: park, pick up, resume, or forward."""
@@ -537,8 +585,10 @@ class DepotServer(_Server):
                                 f"injected drop at {self.name}"
                             )
                 out.sendall(data)
-                self.bytes_forwarded += len(data)
-        self.sessions_forwarded += 1
+                with self._stats_lock:
+                    self.bytes_forwarded += len(data)
+        with self._stats_lock:
+            self.sessions_forwarded += 1
 
     # -- fault-tolerant paths ------------------------------------------------
     def _park_resumable(
@@ -596,12 +646,17 @@ class DepotServer(_Server):
                             break
                 if not ledger.append(generation, data):
                     return  # a newer connection took over this session
-                self.bytes_forwarded += len(data)
+                with self._stats_lock:
+                    self.bytes_forwarded += len(data)
                 pump.flush()
             if ledger.complete and ledger.generation == generation:
                 pump.finish()
+                # Count before acking upstream: once the ack is out the
+                # whole chain unwinds, and callers joining on it must
+                # observe the forward as complete.
+                with self._stats_lock:
+                    self.sessions_forwarded += 1
                 conn.sendall(RESUME_ACK.pack(ledger.total))
-                self.sessions_forwarded += 1
                 self._evict_ledger(header.hex_id)
             elif interrupted:
                 raise TruncatedStream(

@@ -1,0 +1,46 @@
+"""Shared plumbing for the static-checker tests.
+
+Fixture modules live under ``fixtures/`` but are scanned from a
+temporary copy: several rules deliberately skip test code (anything
+under a ``tests`` directory), and the copy gives the fixtures a neutral
+path while preserving the directory names rules key on (``net/``).
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture(scope="session")
+def fixture_root(tmp_path_factory) -> Path:
+    root = tmp_path_factory.mktemp("rpr_fixtures")
+    copy = root / "fixtures"
+    shutil.copytree(FIXTURES, copy)
+    return copy
+
+
+@pytest.fixture
+def run_fixture(fixture_root):
+    """Run the checker over one fixture subdirectory; returns findings."""
+
+    def run(subdir: str, select=None):
+        result = run_paths([fixture_root / subdir], select=select)
+        return result
+
+    return run
+
+
+def hits(result, rule_id: str) -> list[tuple[str, int]]:
+    """``(filename, line)`` pairs of one rule's findings, sorted."""
+    return sorted(
+        (Path(f.path).name, f.line)
+        for f in result.findings
+        if f.rule == rule_id
+    )

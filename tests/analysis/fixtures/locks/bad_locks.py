@@ -1,0 +1,55 @@
+"""Lock-coverage violations for RPR002/RPR003; line numbers asserted."""
+
+import threading
+
+
+class HalfGuarded:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0
+        self.items = []
+
+    def bump_guarded(self) -> None:
+        with self._lock:
+            self.count += 1
+
+    def bump_unguarded(self) -> None:
+        self.count += 1
+
+    def fill(self) -> None:
+        with self._lock:
+            self.items.append(1)
+
+    def spill(self) -> None:
+        self.items.append(2)
+
+
+class Racy:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.log = []
+        self.thread = threading.Thread(target=self._run)
+
+    def start(self) -> None:
+        self.thread.start()
+
+    def _run(self) -> None:
+        self._step()
+
+    def _step(self) -> None:
+        self.log.append("tick")
+
+
+class Base:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def add_guarded(self, n: int) -> None:
+        with self._lock:
+            self.total += n
+
+
+class Sub(Base):
+    def add_fast(self, n: int) -> None:
+        self.total += n

@@ -1,0 +1,29 @@
+"""Fully guarded or lock-free classes: no findings expected."""
+
+import threading
+
+
+class Guarded:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self) -> None:
+        with self._lock:
+            self.count += 1
+
+    def run_forever(self) -> None:
+        thread = threading.Thread(target=self._tick)
+        thread.start()
+
+    def _tick(self) -> None:
+        with self._lock:
+            self.count += 1
+
+
+class NoLocks:
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set_value(self, value: int) -> None:
+        self.value = value

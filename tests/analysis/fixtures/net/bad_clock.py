@@ -1,0 +1,22 @@
+"""Wall-clock and unseeded-random calls inside simulator code."""
+
+import random
+import time
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.random()
+
+
+def shuffle(items: list) -> None:
+    np.random.shuffle(items)
+
+
+def now() -> float:
+    return time.time()
+
+
+def pause() -> None:
+    time.sleep(0.5)

@@ -1,0 +1,11 @@
+"""Virtual-time code: seeded streams only, no wall clock."""
+
+import numpy as np
+
+
+def make_stream(seed: int):
+    return np.random.default_rng(seed)
+
+
+def advance(clock_s: float, step_s: float) -> float:
+    return clock_s + step_s

@@ -1,0 +1,23 @@
+"""Swallowed errors and unbounded sockets; line numbers asserted."""
+
+import socket
+
+
+def risky(payload: bytes) -> bytes:
+    try:
+        return payload.decode().encode()
+    except:
+        return b""
+
+
+def quiet(payload: bytes) -> None:
+    try:
+        payload.decode()
+    except Exception:
+        pass
+
+
+def dial(host: str, port: int) -> socket.socket:
+    sock = socket.create_connection((host, port))
+    sock.settimeout(None)
+    return sock

@@ -1,0 +1,22 @@
+"""Handled errors and bounded sockets: no findings expected."""
+
+import socket
+
+
+def careful(payload: bytes, errors: list) -> bytes:
+    try:
+        return payload.decode().encode()
+    except UnicodeDecodeError as exc:
+        errors.append(exc)
+        return b""
+
+
+def logged(payload: bytes, errors: list) -> None:
+    try:
+        payload.decode()
+    except Exception as exc:
+        errors.append(exc)
+
+
+def dial(host: str, port: int) -> socket.socket:
+    return socket.create_connection((host, port), timeout=5.0)

@@ -1,0 +1,11 @@
+"""Inline suppressions mute findings but keep them counted."""
+
+import socket
+
+
+def dial(host: str, port: int) -> socket.socket:
+    return socket.create_connection((host, port))  # rpr: disable=RPR010
+
+
+def dial_any(host: str, port: int) -> socket.socket:
+    return socket.create_connection((host, port))  # rpr: disable

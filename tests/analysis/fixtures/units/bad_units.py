@@ -1,0 +1,14 @@
+"""Unit-suffix conflicts for RPR006; line numbers asserted."""
+
+
+def mix_sizes(total_bytes: int, size_mb: float) -> float:
+    return total_bytes + size_mb
+
+
+def compare_times(elapsed_s: float, timeout_ms: float) -> bool:
+    return elapsed_s > timeout_ms
+
+
+def accumulate(budget_ms: float, delta_s: float) -> float:
+    budget_ms += delta_s
+    return budget_ms

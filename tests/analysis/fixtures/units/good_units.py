@@ -1,0 +1,9 @@
+"""Suffix-consistent arithmetic: no findings expected."""
+
+
+def add_sizes(a_bytes: int, b_bytes: int) -> int:
+    return a_bytes + b_bytes
+
+
+def to_rate(size_bytes: int, window_s: float) -> float:
+    return size_bytes / window_s

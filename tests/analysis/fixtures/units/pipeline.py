@@ -1,0 +1,13 @@
+"""A literal fed positionally into a unit-suffixed parameter (RPR007)."""
+
+
+def wait_for(delay_s: float) -> float:
+    return delay_s
+
+
+def poll() -> float:
+    return wait_for(0.05)
+
+
+def poll_named() -> float:
+    return wait_for(delay_s=0.05)

@@ -1,0 +1,44 @@
+"""Deliberate wire-format violations; every line number is asserted."""
+
+import enum
+import struct
+
+from wire_defs import FIXED_SIZE
+
+_CODE = struct.Struct("!B")
+
+
+class ChunkKind(enum.IntEnum):
+    DATA = 1
+    ACK = 1
+    HUGE = 600
+
+
+class DataChunk:
+    kind = ChunkKind.DATA
+
+
+class AckChunk:
+    kind = ChunkKind.ACK
+
+
+_REGISTRY = {
+    int(ChunkKind.DATA): DataChunk,
+    int(ChunkKind.HUGE): DataChunk,
+}
+
+
+def native_pack(a: int, b: int) -> bytes:
+    return struct.pack("HH", a, b)
+
+
+def bad_endian(buf: bytes) -> int:
+    return int.from_bytes(buf[0:2], "little")
+
+
+def misaligned_peek(buf: bytes) -> int:
+    return int.from_bytes(buf[3:5], "big") + FIXED_SIZE
+
+
+def broken_format(flag: bool) -> bytes:
+    return struct.pack("!Z", flag)

@@ -1,0 +1,19 @@
+"""Aligned peeks and explicit byte orders: no findings expected."""
+
+import struct
+
+from wire_defs import FIXED_SIZE
+
+_TL = struct.Struct("!BH")
+
+
+def peek_hlen(buf: bytes) -> int:
+    return int.from_bytes(buf[4:6], "big")
+
+
+def pack_tl(kind: int, length: int) -> bytes:
+    return _TL.pack(kind, length)
+
+
+def total(buf: bytes) -> int:
+    return FIXED_SIZE + len(buf)

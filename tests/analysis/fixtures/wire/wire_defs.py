@@ -1,0 +1,7 @@
+"""Known-good wire definitions; the peek fixtures import from here."""
+
+import struct
+
+_FIXED = struct.Struct("!HHH16s")
+
+FIXED_SIZE = _FIXED.size

@@ -1,0 +1,5 @@
+"""First binding of the shared header constant (the canonical one)."""
+
+import struct
+
+_HDR = struct.Struct("!HH")

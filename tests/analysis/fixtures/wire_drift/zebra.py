@@ -1,0 +1,5 @@
+"""Second binding; the format has drifted from aardvark.py."""
+
+import struct
+
+_HDR = struct.Struct("!HI")

@@ -1,0 +1,80 @@
+"""The ratchet baseline: grandfather old findings, block new ones."""
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, run_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def dirty_dir(tmp_path):
+    """A mutable copy of the robustness fixtures outside ``tests/``."""
+    copy = tmp_path / "robustness"
+    shutil.copytree(FIXTURES / "robustness", copy)
+    return copy
+
+
+def test_baseline_mutes_recorded_findings(dirty_dir):
+    first = run_paths([dirty_dir])
+    assert len(first.findings) == 4
+    baseline = Baseline.from_findings(first.findings)
+
+    second = run_paths([dirty_dir], baseline=baseline)
+    assert second.clean
+    assert second.baselined == 4
+
+
+def test_grown_group_surfaces_whole(dirty_dir):
+    baseline = Baseline.from_findings(run_paths([dirty_dir]).findings)
+
+    bad = dirty_dir / "bad_robust.py"
+    bad.write_text(
+        bad.read_text()
+        + "\n\ndef worse(job):\n    try:\n        job()\n"
+        + "    except:\n        pass\n"
+    )
+    result = run_paths([dirty_dir], baseline=baseline)
+    # RPR008 for that file grew 1 -> 2: BOTH lines surface (the
+    # offender sees every candidate), other groups stay muted
+    assert sorted(f.rule for f in result.findings) == ["RPR008", "RPR008"]
+    assert result.baselined == 3
+
+
+def test_fixing_a_finding_needs_no_baseline_edit(dirty_dir):
+    baseline = Baseline.from_findings(run_paths([dirty_dir]).findings)
+
+    bad = dirty_dir / "bad_robust.py"
+    text = bad.read_text().replace("except:", "except ValueError:")
+    bad.write_text(text)
+    result = run_paths([dirty_dir], baseline=baseline)
+    assert result.clean  # fewer findings than allowed is progress
+
+
+def test_roundtrip_and_allowance(tmp_path):
+    baseline = Baseline(entries={"src/a.py::RPR001": 2})
+    path = tmp_path / "base.json"
+    baseline.save(path)
+    loaded = Baseline.load(path)
+    assert loaded.allowance("src/a.py", "RPR001") == 2
+    assert loaded.allowance("src/a.py", "RPR002") == 0
+    assert loaded.allowance("src/b.py", "RPR001") == 0
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        "[]",
+        '{"version": 2, "entries": {}}',
+        '{"version": 1, "entries": {"k": -1}}',
+        '{"version": 1, "entries": {"k": "many"}}',
+    ],
+)
+def test_malformed_baseline_is_an_error(tmp_path, payload):
+    path = tmp_path / "base.json"
+    path.write_text(payload)
+    with pytest.raises(ValueError):
+        Baseline.load(path)

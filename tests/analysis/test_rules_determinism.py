@@ -1,0 +1,47 @@
+"""RPR004/RPR005 determinism rules against the net fixtures.
+
+The fixtures sit under a ``net/`` directory in the temporary copy, so
+the simulator-scoped wall-clock rule applies to them.
+"""
+
+from tests.analysis.conftest import hits
+
+
+def test_unseeded_module_level_draws(run_fixture):
+    result = run_fixture("net")
+    assert hits(result, "RPR004") == [
+        ("bad_clock.py", 10),  # random.random()
+        ("bad_clock.py", 14),  # np.random.shuffle via the np alias
+    ]
+
+
+def test_alias_resolution_names_the_real_module(run_fixture):
+    result = run_fixture("net")
+    (aliased,) = [f for f in result.findings if f.line == 14]
+    assert "numpy.random.shuffle" in aliased.message
+
+
+def test_wall_clock_in_simulator_code(run_fixture):
+    result = run_fixture("net")
+    assert hits(result, "RPR005") == [
+        ("bad_clock.py", 18),  # time.time()
+        ("bad_clock.py", 22),  # time.sleep()
+    ]
+
+
+def test_seeded_constructors_and_virtual_time_are_clean(run_fixture):
+    result = run_fixture("net")
+    assert not any("good_clock" in f.path for f in result.findings)
+
+
+def test_rules_skip_test_modules():
+    """Scanning the fixtures in place — under ``tests/`` — must not
+    fire the production-only rules; that is the test-code exemption."""
+    from pathlib import Path
+
+    from repro.analysis import run_paths
+
+    here = Path(__file__).parent / "fixtures" / "net"
+    result = run_paths([here])
+    assert "RPR004" not in result.counts
+    assert "RPR005" not in result.counts

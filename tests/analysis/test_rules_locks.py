@@ -1,0 +1,36 @@
+"""RPR002/RPR003 lock-coverage rules against the locks fixtures."""
+
+from tests.analysis.conftest import hits
+
+
+def test_half_guarded_attributes(run_fixture):
+    result = run_fixture("locks")
+    assert hits(result, "RPR002") == [
+        ("bad_locks.py", 17),  # HalfGuarded.count, unguarded bump
+        ("bad_locks.py", 24),  # HalfGuarded.items, unguarded append
+        ("bad_locks.py", 55),  # Sub.total, guard lives in base class
+    ]
+
+
+def test_inherited_guard_is_folded_in(run_fixture):
+    """Sub's violation is found even though the guarded write and the
+    lock creation both live in Base."""
+    result = run_fixture("locks")
+    (finding,) = [f for f in result.findings if f.line == 55]
+    assert finding.rule == "RPR002"
+    assert "Sub.total" in finding.message
+    assert "add_guarded" in finding.message
+
+
+def test_thread_target_unguarded_write(run_fixture):
+    result = run_fixture("locks")
+    assert hits(result, "RPR003") == [("bad_locks.py", 40)]
+    (finding,) = [f for f in result.findings if f.rule == "RPR003"]
+    # the write is two self-calls deep from the Thread target
+    assert "_step()" in finding.message
+    assert finding.symbol == "log"
+
+
+def test_guarded_and_lock_free_classes_are_clean(run_fixture):
+    result = run_fixture("locks")
+    assert not any("good_locks" in f.path for f in result.findings)

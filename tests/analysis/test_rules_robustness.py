@@ -1,0 +1,41 @@
+"""RPR008/RPR009/RPR010 robustness rules against the fixtures."""
+
+from tests.analysis.conftest import hits
+
+
+def test_bare_except(run_fixture):
+    result = run_fixture("robustness")
+    assert hits(result, "RPR008") == [("bad_robust.py", 9)]
+
+
+def test_swallowed_broad_exception(run_fixture):
+    result = run_fixture("robustness")
+    assert hits(result, "RPR009") == [("bad_robust.py", 16)]
+
+
+def test_unbounded_sockets(run_fixture):
+    result = run_fixture("robustness")
+    assert hits(result, "RPR010") == [
+        ("bad_robust.py", 21),  # create_connection without timeout
+        ("bad_robust.py", 22),  # settimeout(None)
+    ]
+
+
+def test_handled_paths_are_clean(run_fixture):
+    """Specific except clauses, recorded broad excepts and bounded
+    connects must all pass."""
+    result = run_fixture("robustness")
+    assert not any("good_robust" in f.path for f in result.findings)
+
+
+def test_socket_rule_skips_test_code():
+    from pathlib import Path
+
+    from repro.analysis import run_paths
+
+    here = Path(__file__).parent / "fixtures" / "robustness"
+    result = run_paths([here])  # scanned in place, under tests/
+    assert "RPR010" not in result.counts
+    # the except rules are not test-exempt: sloppy tests hide failures
+    assert result.counts["RPR008"] == 1
+    assert result.counts["RPR009"] == 1

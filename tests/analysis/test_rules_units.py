@@ -1,0 +1,34 @@
+"""RPR006/RPR007 units-hygiene rules against the units fixtures."""
+
+from tests.analysis.conftest import hits
+
+
+def test_conflicting_suffix_arithmetic(run_fixture):
+    result = run_fixture("units")
+    assert hits(result, "RPR006") == [
+        ("bad_units.py", 5),  # total_bytes + size_mb
+        ("bad_units.py", 9),  # elapsed_s > timeout_ms
+        ("bad_units.py", 13),  # budget_ms += delta_s
+    ]
+
+
+def test_mix_message_names_both_units(run_fixture):
+    result = run_fixture("units")
+    (finding,) = [f for f in result.findings if f.line == 5]
+    assert "`total_bytes` is in bytes" in finding.message
+    assert "`size_mb` is in MB" in finding.message
+
+
+def test_bare_literal_into_suffixed_param(run_fixture):
+    result = run_fixture("units")
+    assert hits(result, "RPR007") == [("pipeline.py", 9)]
+    (finding,) = [f for f in result.findings if f.rule == "RPR007"]
+    assert finding.symbol == "delay_s"
+    assert "0.05" in finding.message
+
+
+def test_keyword_call_and_division_are_clean(run_fixture):
+    result = run_fixture("units")
+    lines = {(f.path.rsplit("/", 1)[-1], f.line) for f in result.findings}
+    assert ("pipeline.py", 13) not in lines  # wait_for(delay_s=0.05)
+    assert not any("good_units" in path for path, _ in lines)

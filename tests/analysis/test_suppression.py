@@ -1,0 +1,44 @@
+"""Inline and file-level ``# rpr: disable`` suppression handling."""
+
+import textwrap
+
+from repro.analysis import PARSE_ERROR, run_paths
+
+
+def test_inline_and_filewide_suppressions(run_fixture):
+    result = run_fixture("suppress")
+    assert result.clean
+    # two inline (one targeted, one blanket) + one file-wide
+    assert result.suppressed == 3
+
+
+def test_targeted_suppression_only_mutes_named_rule(tmp_path):
+    src = textwrap.dedent(
+        """\
+        import socket
+
+
+        def dial(host, port):
+            try:
+                return socket.create_connection((host, port))  # rpr: disable=RPR008
+            except:
+                return None
+        """
+    )
+    (tmp_path / "mod.py").write_text(src)
+    result = run_paths([tmp_path])
+    # the RPR008 tag sits on the connect line, not the except line:
+    # both findings must survive
+    assert result.suppressed == 0
+    assert sorted(f.rule for f in result.findings) == ["RPR008", "RPR010"]
+
+
+def test_parse_errors_cannot_be_suppressed(tmp_path):
+    (tmp_path / "broken.py").write_text(
+        "# rpr: disable-file\ndef oops(:\n"
+    )
+    result = run_paths([tmp_path])
+    (finding,) = result.findings
+    assert finding.rule == PARSE_ERROR
+    assert result.suppressed == 0
+    assert not result.clean

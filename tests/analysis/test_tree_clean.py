@@ -1,0 +1,28 @@
+"""Tier-1 gate: the live source tree must pass its own static checker.
+
+This is the self-check the whole subsystem exists for — a wire-format
+drift, a new unguarded write or a stray ``time.sleep`` in the simulator
+fails this test before it fails an experiment.
+"""
+
+from pathlib import Path
+
+from repro.analysis import Baseline, run_paths
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_source_tree_is_clean():
+    result = run_paths([REPO / "src"])
+    assert result.findings == [], "live-tree findings:\n" + "\n".join(
+        finding.render() for finding in result.findings
+    )
+    # sanity: the scan actually covered the tree
+    assert result.files_scanned >= 60
+
+
+def test_committed_baseline_is_valid_and_empty():
+    """The tree starts clean; the committed ratchet file must stay
+    loadable and must never quietly accumulate new debt."""
+    baseline = Baseline.load(REPO / ".rpr-baseline.json")
+    assert baseline.entries == {}

@@ -1,0 +1,26 @@
+"""Shared fixtures for the LSL socket-transport tests."""
+
+import threading
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def no_leaked_lsl_threads():
+    """Fail the session if any LSL server thread outlives its test.
+
+    Every transport thread is named ``lsl:<server>:...`` (accept loops
+    and per-connection handlers alike), so anything matching that
+    prefix when the session ends escaped a ``close()`` — exactly the
+    leak the fault-matrix tests are prone to.
+    """
+    yield
+    leaked = [
+        thread
+        for thread in threading.enumerate()
+        if thread.name.startswith("lsl:") and thread.is_alive()
+    ]
+    assert not leaked, (
+        "LSL threads leaked past the test session: "
+        + ", ".join(sorted(thread.name for thread in leaked))
+    )
