@@ -24,7 +24,7 @@ class Finding:
     line, col:
         1-based line and 0-based column of the offending node.
     rule:
-        Rule identifier (``RPR001`` … ``RPR010``; ``RPR000`` is
+        Rule identifier (``RPR001`` … ``RPR011``; ``RPR000`` is
         reserved for files the walker could not parse).
     message:
         Human-readable description of the defect.

@@ -8,6 +8,7 @@ decorator at import time.
 from repro.analysis.rules import (  # noqa: F401  (imported for side effect)
     determinism,
     locks,
+    metrics,
     robustness,
     units,
     wire,

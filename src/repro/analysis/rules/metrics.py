@@ -1,0 +1,92 @@
+"""Metric-hygiene rule for the observability layer.
+
+RPR011
+    An instrument factory call (``.counter("name")``, ``.gauge(...)``,
+    ``.histogram(...)``) with a literal metric name but no ``labels``
+    (missing, ``None`` or ``{}``) outside the :mod:`repro.obs` package.
+    The paper's evaluation is per-sublink, per-depot and per-session, so
+    an unlabelled series silently aggregates across all of them — the
+    measurement exists but answers no question.  Inside ``obs/`` the
+    bare form is allowed (the layer's own helpers and generic exporters
+    legitimately handle label-free series), as is test code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.walker import ModuleSource
+
+#: The registry factory method names the rule keys on.
+INSTRUMENT_FACTORIES = ("counter", "gauge", "histogram")
+
+
+def _labels_argument(node: ast.Call) -> ast.AST | None:
+    """The expression passed as ``labels``, positionally or by keyword."""
+    for keyword in node.keywords:
+        if keyword.arg == "labels":
+            return keyword.value
+    if len(node.args) >= 2:
+        return node.args[1]
+    return None
+
+
+def _is_empty_labels(expr: ast.AST | None) -> bool:
+    """True when the call provides no usable label set."""
+    if expr is None:
+        return True
+    if isinstance(expr, ast.Constant) and expr.value is None:
+        return True
+    return isinstance(expr, ast.Dict) and not expr.keys
+
+
+@register
+class UnlabelledMetricRule(Rule):
+    """RPR011: metric series outside ``obs/`` must carry labels."""
+
+    id = "RPR011"
+    name = "unlabelled-metric"
+    rationale = (
+        "a metric series without labels aggregates every sublink, depot "
+        "and session into one number nobody can attribute"
+    )
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        # the obs layer itself and test code may use bare series
+        return "obs" not in module.parts and not module.is_test_code
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                not isinstance(func, ast.Attribute)
+                or func.attr not in INSTRUMENT_FACTORIES
+            ):
+                continue
+            if not node.args:
+                continue
+            name_arg = node.args[0]
+            if not (
+                isinstance(name_arg, ast.Constant)
+                and isinstance(name_arg.value, str)
+            ):
+                continue
+            if _is_empty_labels(_labels_argument(node)):
+                yield Finding(
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.id,
+                    message=(
+                        f"metric {name_arg.value!r} is created without "
+                        f"labels; pass labels={{...}} naming the node/"
+                        f"sublink/session the series belongs to "
+                        f"(bare series are only allowed under obs/)"
+                    ),
+                    symbol=name_arg.value,
+                )

@@ -95,18 +95,46 @@ def cmd_simulate(args) -> int:
         raise ValueError("--via must be given at least twice (two hops)")
     if getattr(args, "fail_sublink", None) is not None:
         return _simulate_with_fault(args, sim, direct, relay, size)
-    d = sim.run_direct(direct, size, record_trace=False)
+    metrics_path = getattr(args, "metrics", None)
+    registry = timeline = None
+    if metrics_path is not None:
+        from repro.obs import Registry, SessionTimeline
+
+        registry, timeline = Registry(), SessionTimeline()
+    # sublink throughput series need the traces, so --metrics records them
+    d = sim.run_direct(
+        direct,
+        size,
+        record_trace=metrics_path is not None,
+        timeline=timeline,
+        session="direct",
+    )
     print(
         f"direct : {d.duration:8.2f} s   {format_rate(d.bandwidth)}   "
         f"(losses: {d.loss_events})"
     )
+    r = None
     if relay:
-        r = sim.run_relay(relay, size, record_trace=False)
+        r = sim.run_relay(
+            relay,
+            size,
+            record_trace=metrics_path is not None,
+            timeline=timeline,
+            session="relay",
+        )
         print(
             f"relayed: {r.duration:8.2f} s   {format_rate(r.bandwidth)}   "
             f"(losses: {r.loss_events})"
         )
         print(f"speedup: {r.bandwidth / d.bandwidth:.2f}x")
+    if metrics_path is not None:
+        from repro.obs import transfer_result_metrics, write_export
+
+        transfer_result_metrics(d, registry, run="direct")
+        if r is not None:
+            transfer_result_metrics(r, registry, run="relay")
+        write_export(metrics_path, registry=registry, timeline=timeline)
+        print(f"metrics written to {metrics_path}")
     return 0
 
 
@@ -159,26 +187,46 @@ def cmd_depot(args) -> int:
     """Run a real-socket LSL depot until interrupted."""
     from repro.lsl.socket_transport import DepotServer
 
+    metrics_path = getattr(args, "metrics", None)
+    registry = timeline = None
+    if metrics_path is not None:
+        from repro.obs import Registry, SessionTimeline
+
+        registry, timeline = Registry(), SessionTimeline()
     route_table = {}
     for entry in args.route:
         dst, _, hop = entry.partition("=")
         if not hop:
             raise ValueError(f"--route {entry!r}: expected DST=IP:PORT")
         route_table[dst] = hop
-    server = DepotServer(port=args.port, route_table=route_table)
+    server = DepotServer(
+        port=args.port,
+        route_table=route_table,
+        registry=registry,
+        timeline=timeline,
+    )
     print(f"depot listening on {server.host}:{server.port}", flush=True)
     try:
         while True:
             time.sleep(0.05)
-            if args.once and server.sessions_forwarded >= 1:
+            # the counters are only coherent under the server's stats
+            # lock, so every poll goes through the locked snapshot
+            if args.once and server.snapshot()["sessions_forwarded"] >= 1:
                 break
     except KeyboardInterrupt:  # pragma: no cover - interactive
         pass
     finally:
         server.close()
+    stats = server.snapshot()
+    if metrics_path is not None:
+        from repro.obs import write_export
+
+        server.fill_registry()
+        write_export(metrics_path, registry=registry, timeline=timeline)
+        print(f"metrics written to {metrics_path}")
     print(
-        f"forwarded {server.sessions_forwarded} session(s), "
-        f"{server.bytes_forwarded} bytes"
+        f"forwarded {stats['sessions_forwarded']} session(s), "
+        f"{stats['bytes_forwarded']} bytes"
     )
     return 0
 
@@ -186,10 +234,17 @@ def cmd_depot(args) -> int:
 # -- send ------------------------------------------------------------------------
 def cmd_send(args) -> int:
     """Send a file through LSL depots to a sink."""
+    from repro.lsl.faults import RetryPolicy
     from repro.lsl.header import SessionHeader, new_session_id
     from repro.lsl.options import LooseSourceRoute
     from repro.lsl.socket_transport import send_session
 
+    metrics_path = getattr(args, "metrics", None)
+    registry = timeline = None
+    if metrics_path is not None:
+        from repro.obs import Registry, SessionTimeline
+
+        registry, timeline = Registry(), SessionTimeline()
     with open(args.file, "rb") as fh:
         payload = fh.read()
     sink = parse_endpoint(args.to)
@@ -206,11 +261,29 @@ def cmd_send(args) -> int:
         options=options,
     )
     first_hop = hops[0] if hops else sink
-    send_session(payload, header, first_hop)
+    retry = RetryPolicy() if getattr(args, "resume", False) else None
+    report = send_session(
+        payload,
+        header,
+        first_hop,
+        retry=retry,
+        registry=registry,
+        timeline=timeline,
+    )
     print(
         f"sent {len(payload)} bytes as session {header.hex_id} via "
         f"{len(hops)} depot(s)"
     )
+    if report is not None:
+        print(
+            f"resume protocol: {report.attempts} attempt(s), "
+            f"{report.retransmitted} byte(s) retransmitted"
+        )
+    if metrics_path is not None:
+        from repro.obs import write_export
+
+        write_export(metrics_path, registry=registry, timeline=timeline)
+        print(f"metrics written to {metrics_path}")
     return 0
 
 
@@ -290,6 +363,59 @@ def cmd_pickup(args) -> int:
     with open(args.out, "wb") as fh:
         fh.write(payload)
     print(f"fetched {len(payload)} bytes into {args.out}")
+    return 0
+
+
+# -- stats -----------------------------------------------------------------------
+def _stats_text(doc: dict) -> str:
+    """Human-readable rendering of one export document."""
+    lines = []
+    if doc["metrics"]:
+        table = TextTable(["metric", "labels", "value"])
+        for sample in doc["metrics"]:
+            labels = ",".join(
+                f"{k}={v}" for k, v in sorted(sample["labels"].items())
+            )
+            if sample["type"] == "histogram":
+                value = f"count={sample['count']} sum={sample['sum']:.6g}"
+            else:
+                value = f"{sample['value']:.6g}"
+            table.add_row([sample["name"], labels, value])
+        lines.append(table.render())
+    else:
+        lines.append("no metric series")
+    events = doc["timeline"]
+    lines.append(f"timeline: {len(events)} event(s)")
+    sequences: dict[tuple[str, str, str], list[str]] = {}
+    for event in events:
+        key = (event["session"], event["node"], event["stream"])
+        sequences.setdefault(key, []).append(event["event"])
+    for (session, node, stream), names in sorted(sequences.items()):
+        label = f"{session} {node}/{stream}" if session else f"{node}/{stream}"
+        lines.append(f"  {label}: {' -> '.join(names)}")
+    return "\n".join(lines)
+
+
+def cmd_stats(args) -> int:
+    """Render an observability export file, optionally repeatedly."""
+    import json
+
+    from repro.obs import load_export, render_prometheus
+
+    if args.count < 1:
+        raise ValueError("--count must be at least 1")
+    if args.count > 1 and args.interval <= 0:
+        raise ValueError("--interval must be positive")
+    for i in range(args.count):
+        if i:
+            time.sleep(args.interval)
+        doc = load_export(args.file)
+        if args.format == "json":
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        elif args.format == "prom":
+            print(render_prometheus(doc["metrics"]), end="")
+        else:
+            print(_stats_text(doc))
     return 0
 
 

@@ -104,6 +104,16 @@ def build_parser() -> argparse.ArgumentParser:
             "(models plain TCP restart)"
         ),
     )
+    p.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write an observability export (JSON, schema in "
+            "docs/OBSERVABILITY.md) with per-sublink series and the "
+            "session timeline"
+        ),
+    )
     p.set_defaults(func=commands.cmd_simulate)
 
     p = sub.add_parser("depot", help="run a real-socket LSL depot")
@@ -120,6 +130,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit after the first forwarded session (for scripting)",
     )
+    p.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write an observability export (JSON) with the depot's "
+            "registry and timeline on exit"
+        ),
+    )
     p.set_defaults(func=commands.cmd_depot)
 
     p = sub.add_parser("send", help="send a file through LSL depots")
@@ -131,7 +150,54 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="IP:PORT[,IP:PORT...]",
         help="comma-separated depot chain",
     )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "send fault-tolerantly (resume protocol with retries) and "
+            "report attempts/retransmitted bytes"
+        ),
+    )
+    p.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write an observability export (JSON) with the source-side "
+            "series and session timeline"
+        ),
+    )
     p.set_defaults(func=commands.cmd_send)
+
+    p = sub.add_parser(
+        "stats",
+        help="render an observability export (see docs/OBSERVABILITY.md)",
+    )
+    p.add_argument(
+        "file",
+        help="export file written by --metrics or repro.obs.write_export",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "prom", "json"),
+        default="text",
+        help="text summary, Prometheus exposition text, or raw JSON",
+    )
+    p.add_argument(
+        "--count",
+        type=int,
+        default=1,
+        metavar="N",
+        help="re-read and re-render N times (watch a live file)",
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SEC",
+        help="seconds between re-reads when --count > 1",
+    )
+    p.set_defaults(func=commands.cmd_stats)
 
     p = sub.add_parser(
         "forecast",

@@ -51,7 +51,15 @@ from repro.lsl.faults import (
 )
 from repro.lsl.header import FIXED_HEADER_SIZE, SessionHeader, SessionType
 from repro.lsl.options import LooseSourceRoute, ResumeOffset
-from repro.util.validation import check_positive
+from repro.obs.registry import NULL_REGISTRY, Registry
+from repro.obs.timeline import (
+    DISABLED_TIMELINE,
+    STREAM_DOWN,
+    STREAM_UP,
+    ProgressWatermarks,
+    SessionTimeline,
+)
+from repro.util.validation import check_positive_int
 
 _LOG = logging.getLogger(__name__)
 
@@ -162,9 +170,15 @@ class _Server:
         port: int = 0,
         name: str | None = None,
         fault_plan: FaultPlan | None = None,
+        registry: Registry | None = None,
+        timeline: SessionTimeline | None = None,
     ) -> None:
         self.name = name or type(self).__name__.lower()
         self.fault_plan = fault_plan
+        #: metric series sink; defaults to the shared no-op registry
+        self.obs = registry if registry is not None else NULL_REGISTRY
+        #: session event log; defaults to the shared disabled timeline
+        self.timeline = timeline if timeline is not None else DISABLED_TIMELINE
         if not hasattr(self, "errors"):
             self.errors: list = []
         self.leaked_threads: list[threading.Thread] = []
@@ -222,9 +236,21 @@ class _Server:
                 _abort_socket(conn)
                 return
             self.handle(conn)
+        except SessionEnded:
+            # Clean EOF before any header byte: a probe or an idle
+            # connection closing at the unit boundary, not a failure.
+            # A header or payload cut mid-unit still raises
+            # TruncatedStream and lands in ``errors`` below.
+            _LOG.debug("%s: peer closed before sending a header", self.name)
         except (ConnectionError, OSError, ValueError) as exc:
             with self._reg_lock:
                 self.errors.append(exc)
+            self.timeline.record(
+                "error", node=self.name, stream=STREAM_UP, detail=str(exc)
+            )
+            self.obs.counter(
+                "lsl_handler_errors_total", labels={"node": self.name}
+            ).inc()
         finally:
             with self._conn_lock:
                 self._conns.discard(conn)
@@ -346,6 +372,9 @@ class _DownstreamPump:
         self._sock: socket.socket | None = None
         self._fwd = 0  # next session offset to send downstream
         self._attempts = 0
+        self._tx = depot.obs.counter(
+            "lsl_tx_bytes_total", labels={"node": depot.name}
+        )
 
     def _backoff(self, exc: Exception) -> None:
         self._drop_socket()
@@ -376,12 +405,34 @@ class _DownstreamPump:
                 )
                 sock.settimeout(policy.io_timeout)
                 _cap_buffers(sock)
+                timeline = self._depot.timeline
+                session = self._header.hex_id
+                timeline.record(
+                    "connect",
+                    node=self._depot.name,
+                    stream=STREAM_DOWN,
+                    session=session,
+                )
+                timeline.record(
+                    "header_tx",
+                    node=self._depot.name,
+                    stream=STREAM_DOWN,
+                    session=session,
+                )
                 encoded = self._header.encode()
                 plan = self._depot.fault_plan
                 if plan is not None:
                     encoded = plan.corrupt_header(self._depot.name, encoded)
                 sock.sendall(encoded)
                 ack = RESUME_ACK.unpack(_read_exact(sock, RESUME_ACK.size))[0]
+                if ack > 0:
+                    timeline.record(
+                        "resume",
+                        node=self._depot.name,
+                        stream=STREAM_DOWN,
+                        session=session,
+                        nbytes=ack,
+                    )
                 self._sock = sock
                 self._fwd = ack
             except (ConnectionError, OSError) as exc:
@@ -410,6 +461,7 @@ class _DownstreamPump:
                 self._backoff(exc)
                 continue
             end = self._fwd + len(chunk)
+            self._tx.inc(len(chunk))
             self._depot._note_retransmitted(
                 self._ledger.note_sent(self._fwd, end)
             )
@@ -430,6 +482,13 @@ class _DownstreamPump:
                         f"downstream acknowledged {final} of "
                         f"{self._ledger.total} bytes"
                     )
+                self._depot.timeline.record(
+                    "complete",
+                    node=self._depot.name,
+                    stream=STREAM_DOWN,
+                    session=self._header.hex_id,
+                    nbytes=final,
+                )
                 return
             except (ConnectionError, OSError) as exc:
                 self._backoff(exc)
@@ -472,10 +531,15 @@ class DepotServer(_Server):
         name: str | None = None,
         fault_plan: FaultPlan | None = None,
         retry: RetryPolicy | None = None,
+        registry: Registry | None = None,
+        timeline: SessionTimeline | None = None,
     ) -> None:
-        check_positive("buffer_size", buffer_size)
+        # An integer check, not just positivity: a fractional size like
+        # 0.5 used to truncate to recv(0), which reads as instant EOF
+        # and silently drops the session payload.
+        check_positive_int("buffer_size", buffer_size)
         self.route_table = dict(route_table or {})
-        self.buffer_size = int(buffer_size)
+        self.buffer_size = buffer_size
         self.retry = retry or RetryPolicy()
         self.sessions_forwarded = 0
         self.bytes_forwarded = 0
@@ -493,7 +557,14 @@ class DepotServer(_Server):
         #: staging ledgers of in-flight fault-tolerant sessions
         self._ledgers: dict[str, SessionLedger] = {}
         self._ledger_lock = threading.Lock()
-        super().__init__(host, port, name=name, fault_plan=fault_plan)
+        super().__init__(
+            host,
+            port,
+            name=name,
+            fault_plan=fault_plan,
+            registry=registry,
+            timeline=timeline,
+        )
 
     def _next_hop(self, header: SessionHeader) -> tuple[tuple[str, int], SessionHeader]:
         lsrr = header.option(LooseSourceRoute)
@@ -517,8 +588,43 @@ class DepotServer(_Server):
                 ledger = SessionLedger(total)
                 self._ledgers[hex_id] = ledger
             else:
-                self.sessions_resumed += 1
+                # _stats_lock nests inside _ledger_lock here; no other
+                # path takes them in the opposite order
+                with self._stats_lock:
+                    self.sessions_resumed += 1
             return ledger
+
+    def snapshot(self) -> dict[str, int]:
+        """A consistent view of the traffic counters, under the lock.
+
+        Every out-of-thread read of the forwarding counters (CLI status
+        loops, metric exports, tests polling for completion) must come
+        through here: the attributes themselves are only coherent while
+        ``_stats_lock`` is held.
+        """
+        with self._stats_lock:
+            return {
+                "sessions_forwarded": self.sessions_forwarded,
+                "bytes_forwarded": self.bytes_forwarded,
+                "retransmitted_bytes": self.retransmitted_bytes,
+                "sessions_resumed": self.sessions_resumed,
+            }
+
+    def fill_registry(self, registry: Registry | None = None) -> Registry:
+        """Publish the locked :meth:`snapshot` as labelled gauges.
+
+        Routes the legacy attribute counters through the obs layer:
+        gauges named ``lsl_depot_<counter>`` carry a ``node`` label so
+        exports from several depots can share one registry.  Uses the
+        server's own registry when none is given; returns the registry
+        written to.
+        """
+        target = registry if registry is not None else self.obs
+        for key, value in self.snapshot().items():
+            target.gauge(
+                f"lsl_depot_{key}", labels={"node": self.name}
+            ).set(value)
+        return target
 
     def _evict_ledger(self, hex_id: str) -> None:
         with self._ledger_lock:
@@ -532,6 +638,13 @@ class DepotServer(_Server):
     def handle(self, conn: socket.socket) -> None:
         """Serve one inbound session: park, pick up, resume, or forward."""
         header = read_header(conn)
+        self.timeline.record(
+            "header_rx", node=self.name, stream=STREAM_UP,
+            session=header.hex_id,
+        )
+        self.obs.counter(
+            "lsl_sessions_total", labels={"node": self.name}
+        ).inc()
         # asynchronous pickup: stream a held session back to the caller
         if header.session_type == SessionType.PICKUP:
             with self._held_lock:
@@ -546,12 +659,25 @@ class DepotServer(_Server):
             if resume is not None:
                 self._park_resumable(conn, header, resume)
                 return
+            rx = self.obs.counter(
+                "lsl_rx_bytes_total", labels={"node": self.name}
+            )
             chunks = bytearray()
             while True:
                 data = conn.recv(_IO_CHUNK)
                 if not data:
                     break
+                if not chunks:
+                    self.timeline.record(
+                        "first_byte", node=self.name, stream=STREAM_UP,
+                        session=header.hex_id, nbytes=len(data),
+                    )
                 chunks += data
+                rx.inc(len(data))
+            self.timeline.record(
+                "eof", node=self.name, stream=STREAM_UP,
+                session=header.hex_id, nbytes=len(chunks),
+            )
             with self._held_lock:
                 self.held[header.hex_id] = bytes(chunks)
             return
@@ -564,16 +690,36 @@ class DepotServer(_Server):
             if self.fault_plan is not None
             else None
         )
+        rx = self.obs.counter(
+            "lsl_rx_bytes_total", labels={"node": self.name}
+        )
+        tx = self.obs.counter(
+            "lsl_tx_bytes_total", labels={"node": self.name}
+        )
         with socket.create_connection(next_hop, timeout=10) as out:
+            self.timeline.record(
+                "connect", node=self.name, stream=STREAM_DOWN,
+                session=header.hex_id,
+            )
+            self.timeline.record(
+                "header_tx", node=self.name, stream=STREAM_DOWN,
+                session=header.hex_id,
+            )
             encoded = out_header.encode()
             if self.fault_plan is not None:
                 encoded = self.fault_plan.corrupt_header(self.name, encoded)
             out.sendall(encoded)
             # bounded store-and-forward pump
+            received = 0
             while True:
                 data = conn.recv(min(_IO_CHUNK, self.buffer_size))
                 if not data:
                     break
+                if received == 0:
+                    self.timeline.record(
+                        "first_byte", node=self.name, stream=STREAM_UP,
+                        session=header.hex_id, nbytes=len(data),
+                    )
                 if watch is not None:
                     rule = watch.advance(len(data))
                     if rule is not None:
@@ -585,8 +731,19 @@ class DepotServer(_Server):
                                 f"injected drop at {self.name}"
                             )
                 out.sendall(data)
+                received += len(data)
+                rx.inc(len(data))
+                tx.inc(len(data))
                 with self._stats_lock:
                     self.bytes_forwarded += len(data)
+        self.timeline.record(
+            "eof", node=self.name, stream=STREAM_UP,
+            session=header.hex_id, nbytes=received,
+        )
+        self.timeline.record(
+            "complete", node=self.name, stream=STREAM_DOWN,
+            session=header.hex_id, nbytes=received,
+        )
         with self._stats_lock:
             self.sessions_forwarded += 1
 
@@ -617,6 +774,12 @@ class DepotServer(_Server):
         ledger = self._ledger_for(header.hex_id, resume.total)
         generation, acked = ledger.claim()
         conn.sendall(RESUME_ACK.pack(acked))
+        if acked > 0:
+            self.timeline.record(
+                "resume", node=self.name, stream=STREAM_UP,
+                session=header.hex_id, nbytes=acked,
+            )
+        progress = _RxProgress(self, header.hex_id, ledger.total, acked)
         next_hop, out_header = self._next_hop(header)
         watch = (
             self.fault_plan.stream_watch(self.name)
@@ -646,10 +809,12 @@ class DepotServer(_Server):
                             break
                 if not ledger.append(generation, data):
                     return  # a newer connection took over this session
+                progress.note(ledger.acked, len(data))
                 with self._stats_lock:
                     self.bytes_forwarded += len(data)
                 pump.flush()
             if ledger.complete and ledger.generation == generation:
+                progress.eof()
                 pump.finish()
                 # Count before acking upstream: once the ack is out the
                 # whole chain unwinds, and callers joining on it must
@@ -665,6 +830,64 @@ class DepotServer(_Server):
                 )
         finally:
             pump.close()
+
+
+class _RxProgress:
+    """Receiver-side instrumentation shared by the resume-protocol paths.
+
+    Emits the canonical up-stream sequence (``first_byte`` →
+    ``progress`` watermarks → ``eof``) plus the received-byte counter
+    and, at EOF, the session's duration/throughput series.  Every call
+    degrades to a no-op when the server runs with the null registry and
+    disabled timeline.
+    """
+
+    def __init__(
+        self, server: _Server, session: str, total: int, acked: int
+    ) -> None:
+        self._server = server
+        self._session = session
+        self._total = total
+        self._rx = server.obs.counter(
+            "lsl_rx_bytes_total", labels={"node": server.name}
+        )
+        self._marks = ProgressWatermarks(total)
+        self._marks.advance(acked)  # staged bytes crossed these already
+        self._seen_first = acked > 0
+        self._t0 = time.monotonic()
+
+    def note(self, position: int, nbytes: int) -> None:
+        """Record a chunk of ``nbytes`` ending at cumulative ``position``."""
+        self._rx.inc(nbytes)
+        timeline = self._server.timeline
+        if not self._seen_first:
+            self._seen_first = True
+            timeline.record(
+                "first_byte", node=self._server.name, stream=STREAM_UP,
+                session=self._session, nbytes=position,
+            )
+        for fraction, threshold in self._marks.advance(position):
+            timeline.record(
+                "progress", node=self._server.name, stream=STREAM_UP,
+                session=self._session, nbytes=threshold,
+                detail=f"{fraction:g}",
+            )
+
+    def eof(self) -> None:
+        """Record session end plus its duration/throughput series."""
+        self._server.timeline.record(
+            "eof", node=self._server.name, stream=STREAM_UP,
+            session=self._session, nbytes=self._total,
+        )
+        elapsed = time.monotonic() - self._t0
+        labels = {"node": self._server.name}
+        self._server.obs.histogram(
+            "lsl_session_seconds", labels=labels
+        ).observe(elapsed)
+        if elapsed > 0:
+            self._server.obs.gauge(
+                "lsl_session_throughput_bytes_per_sec", labels=labels
+            ).set(self._total / elapsed)
 
 
 def _receive_into_ledger(
@@ -683,6 +906,12 @@ def _receive_into_ledger(
     """
     generation, acked = ledger.claim()
     conn.sendall(RESUME_ACK.pack(acked))
+    if acked > 0:
+        server.timeline.record(
+            "resume", node=server.name, stream=STREAM_UP,
+            session=header.hex_id, nbytes=acked,
+        )
+    progress = _RxProgress(server, header.hex_id, ledger.total, acked)
     watch = (
         server.fault_plan.stream_watch(server.name)
         if server.fault_plan is not None
@@ -709,7 +938,9 @@ def _receive_into_ledger(
                     break
         if not ledger.append(generation, data):
             return False  # superseded by a newer connection
+        progress.note(ledger.acked, len(data))
     if ledger.complete and ledger.generation == generation:
+        progress.eof()
         on_complete(bytes(ledger.data))
         conn.sendall(RESUME_ACK.pack(ledger.total))
         return True
@@ -730,6 +961,8 @@ class SinkServer(_Server):
         port: int = 0,
         name: str | None = None,
         fault_plan: FaultPlan | None = None,
+        registry: Registry | None = None,
+        timeline: SessionTimeline | None = None,
     ) -> None:
         self.payloads: dict[str, bytes] = {}
         self.headers: dict[str, SessionHeader] = {}
@@ -737,11 +970,25 @@ class SinkServer(_Server):
         self.errors: list = []
         self._ledgers: dict[str, SessionLedger] = {}
         self._ledger_lock = threading.Lock()
-        super().__init__(host, port, name=name, fault_plan=fault_plan)
+        super().__init__(
+            host,
+            port,
+            name=name,
+            fault_plan=fault_plan,
+            registry=registry,
+            timeline=timeline,
+        )
 
     def handle(self, conn: socket.socket) -> None:
         """Terminate one session and store its payload."""
         header = read_header(conn)
+        self.timeline.record(
+            "header_rx", node=self.name, stream=STREAM_UP,
+            session=header.hex_id,
+        )
+        self.obs.counter(
+            "lsl_sessions_total", labels={"node": self.name}
+        ).inc()
         resume = header.option(ResumeOffset)
         if resume is not None:
             self._receive_resumable(conn, header, resume)
@@ -750,6 +997,9 @@ class SinkServer(_Server):
             self.fault_plan.stream_watch(self.name)
             if self.fault_plan is not None
             else None
+        )
+        rx = self.obs.counter(
+            "lsl_rx_bytes_total", labels={"node": self.name}
         )
         chunks = bytearray()
         while True:
@@ -764,7 +1014,17 @@ class SinkServer(_Server):
                     elif rule.kind is FaultKind.DROP:
                         _abort_socket(conn)
                         raise TruncatedStream(f"injected drop at {self.name}")
+            if not chunks:
+                self.timeline.record(
+                    "first_byte", node=self.name, stream=STREAM_UP,
+                    session=header.hex_id, nbytes=len(data),
+                )
             chunks += data
+            rx.inc(len(data))
+        self.timeline.record(
+            "eof", node=self.name, stream=STREAM_UP,
+            session=header.hex_id, nbytes=len(chunks),
+        )
         with self._lock:
             self.payloads[header.hex_id] = bytes(chunks)
             self.headers[header.hex_id] = header
@@ -832,6 +1092,8 @@ def send_session(
     retry: RetryPolicy | None = None,
     fault_plan: FaultPlan | None = None,
     source_name: str = "source",
+    registry: Registry | None = None,
+    timeline: SessionTimeline | None = None,
 ) -> SendReport | None:
     """Open a session toward ``first_hop`` and stream the payload.
 
@@ -851,16 +1113,33 @@ def send_session(
     RetryExhausted
         The fault-tolerant path failed more times than the policy allows.
     """
-    check_positive("chunk_size", chunk_size)
+    check_positive_int("chunk_size", chunk_size)
+    obs = registry if registry is not None else NULL_REGISTRY
+    tl = timeline if timeline is not None else DISABLED_TIMELINE
+    tx = obs.counter("lsl_tx_bytes_total", labels={"node": source_name})
     resume = header.option(ResumeOffset)
     if retry is None and resume is None:
         with socket.create_connection(first_hop, timeout=10) as sock:
+            tl.record(
+                "connect", node=source_name, stream=STREAM_DOWN,
+                session=header.hex_id,
+            )
+            tl.record(
+                "header_tx", node=source_name, stream=STREAM_DOWN,
+                session=header.hex_id,
+            )
             encoded = header.encode()
             if fault_plan is not None:
                 encoded = fault_plan.corrupt_header(source_name, encoded)
             sock.sendall(encoded)
             for off in range(0, len(payload), chunk_size):
-                sock.sendall(payload[off : off + chunk_size])
+                chunk = payload[off : off + chunk_size]
+                sock.sendall(chunk)
+                tx.inc(len(chunk))
+        tl.record(
+            "complete", node=source_name, stream=STREAM_DOWN,
+            session=header.hex_id, nbytes=len(payload),
+        )
         return None
 
     policy = retry or RetryPolicy()
@@ -875,17 +1154,35 @@ def send_session(
         )
     report = SendReport(payload_bytes=len(payload))
     attempts = 0
+    t0 = time.monotonic()
     while True:
         try:
             _attempt_resumable_send(
                 payload, header, first_hop, chunk_size, policy,
-                fault_plan, source_name, report,
+                fault_plan, source_name, report, obs, tl,
             )
             report.attempts = attempts + 1
+            tl.record(
+                "complete", node=source_name, stream=STREAM_DOWN,
+                session=header.hex_id, nbytes=len(payload),
+            )
+            elapsed = time.monotonic() - t0
+            obs.histogram(
+                "lsl_session_seconds", labels={"node": source_name}
+            ).observe(elapsed)
+            if elapsed > 0:
+                obs.gauge(
+                    "lsl_session_throughput_bytes_per_sec",
+                    labels={"node": source_name},
+                ).set(len(payload) / elapsed)
             return report
         except (ConnectionError, OSError) as exc:
             attempts += 1
             if attempts > policy.max_retries:
+                tl.record(
+                    "error", node=source_name, stream=STREAM_DOWN,
+                    session=header.hex_id, detail=str(exc),
+                )
                 raise RetryExhausted(
                     f"session {header.hex_id} failed after "
                     f"{policy.max_retries} retries: {exc}"
@@ -902,13 +1199,24 @@ def _attempt_resumable_send(
     fault_plan: FaultPlan | None,
     source_name: str,
     report: SendReport,
+    obs: Registry = NULL_REGISTRY,
+    tl: SessionTimeline = DISABLED_TIMELINE,
 ) -> None:
     """One connection's worth of the resume protocol, source side."""
+    tx = obs.counter("lsl_tx_bytes_total", labels={"node": source_name})
     with socket.create_connection(
         first_hop, timeout=policy.connect_timeout
     ) as sock:
         sock.settimeout(policy.io_timeout)
         _cap_buffers(sock)
+        tl.record(
+            "connect", node=source_name, stream=STREAM_DOWN,
+            session=header.hex_id,
+        )
+        tl.record(
+            "header_tx", node=source_name, stream=STREAM_DOWN,
+            session=header.hex_id,
+        )
         encoded = header.encode()
         if fault_plan is not None:
             encoded = fault_plan.corrupt_header(source_name, encoded)
@@ -919,10 +1227,16 @@ def _attempt_resumable_send(
                 f"peer acknowledged {start} bytes of a "
                 f"{len(payload)}-byte payload"
             )
+        if start > 0:
+            tl.record(
+                "resume", node=source_name, stream=STREAM_DOWN,
+                session=header.hex_id, nbytes=start,
+            )
         previous_high = report.high_water
         for off in range(start, len(payload), chunk_size):
             chunk = payload[off : off + chunk_size]
             sock.sendall(chunk)
+            tx.inc(len(chunk))
             end = off + len(chunk)
             report.retransmitted += max(0, min(end, previous_high) - off)
             report.high_water = max(report.high_water, end)

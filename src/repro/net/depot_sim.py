@@ -207,8 +207,14 @@ class RelayPipeline:
         for flow in self.flows:
             flow.step(now, dt)
 
-    def run(self, dt: float, max_time: float = 3600.0) -> float:
+    def run(
+        self, dt: float, max_time: float = 3600.0, observer=None
+    ) -> float:
         """Step until completion; return the completion time in seconds.
+
+        ``observer``, when given, is called with the virtual time after
+        every step and once more after the trailing acknowledgements are
+        drained — the hook the timeline emitter watches state through.
 
         Raises
         ------
@@ -227,10 +233,15 @@ class RelayPipeline:
                     f"delivered)"
                 )
             self.step(now, dt)
+            if observer is not None:
+                observer(now)
         completion = self._refine_completion_time(now, dt)
         # flush trailing acknowledgements so traces end at the full size
+        drained = now + max(flow.path.rtt for flow in self.flows)
         for flow in self.flows:
             flow.drain(now + flow.path.rtt)
+        if observer is not None:
+            observer(drained)
         return completion
 
     def _refine_completion_time(self, now: float, dt: float) -> float:

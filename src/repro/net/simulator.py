@@ -14,6 +14,12 @@ from repro.net.depot_sim import RelayPipeline
 from repro.net.tcp import TcpConfig
 from repro.net.topology import PathSpec
 from repro.net.trace import SeqTrace
+from repro.obs.timeline import (
+    STREAM_DOWN,
+    STREAM_UP,
+    ProgressWatermarks,
+    SessionTimeline,
+)
 from repro.util.rng import RngStream
 from repro.util.units import bytes_per_sec_to_mbit_per_sec
 from repro.util.validation import check_non_negative, check_positive
@@ -113,6 +119,123 @@ class FaultedTransferResult(TransferResult):
     per_sublink_retransmitted: list[float] = field(default_factory=list)
 
 
+def default_node_names(n_sublinks: int) -> list[str]:
+    """Node labels for an ``n_sublinks``-hop relay.
+
+    ``["source", "depot0", ..., "sink"]`` — the same names the loopback
+    transport tests use, so timelines from both stacks line up key for
+    key.
+    """
+    if n_sublinks < 1:
+        raise ValueError("a relay has at least one sublink")
+    return (
+        ["source"]
+        + [f"depot{i}" for i in range(n_sublinks - 1)]
+        + ["sink"]
+    )
+
+
+class _TimelineEmitter:
+    """Mirrors a :class:`RelayPipeline`'s state into a session timeline.
+
+    Watches the pipeline after every step and emits the same per-stream
+    event sequences the socket transport records, on virtual time:
+    each sublink's sender logs ``connect``/``header_tx`` when the
+    sublink opens and ``complete`` when its last byte is acknowledged;
+    each receiver logs ``header_rx``, ``first_byte``, quarter
+    ``progress`` watermarks and ``eof`` as delivery advances.  Every
+    record passes an explicit ``t`` so the timeline's wall clock is
+    never consulted (virtual time only under ``net/``).
+    """
+
+    def __init__(
+        self,
+        pipeline: RelayPipeline,
+        timeline: SessionTimeline,
+        session: str = "",
+        node_names: list[str] | None = None,
+    ) -> None:
+        n = len(pipeline.flows)
+        names = node_names or default_node_names(n)
+        if len(names) != n + 1:
+            raise ValueError(
+                f"{n} sublinks need {n + 1} node names, got {len(names)}"
+            )
+        self._pipeline = pipeline
+        self._timeline = timeline
+        self._session = session
+        self._nodes = list(names)
+        self._opened = [False] * n
+        self._first = [False] * n
+        self._eof = [False] * n
+        self._complete = [False] * n
+        self._marks = [
+            ProgressWatermarks(pipeline.size) for _ in range(n)
+        ]
+
+    def observe(self, now: float) -> None:
+        """Emit every event the pipeline's state newly implies at ``now``."""
+        size = self._pipeline.size
+        record = self._timeline.record
+        for i, flow in enumerate(self._pipeline.flows):
+            sender, receiver = self._nodes[i], self._nodes[i + 1]
+            if not self._opened[i] and now >= flow.start_time:
+                for event in ("connect", "header_tx"):
+                    record(
+                        event, node=sender, stream=STREAM_DOWN,
+                        session=self._session, t=flow.start_time,
+                    )
+                # the header rides ahead of the first data chunk
+                record(
+                    "header_rx", node=receiver, stream=STREAM_UP,
+                    session=self._session,
+                    t=flow.start_time + flow.path.one_way_delay,
+                )
+                self._opened[i] = True
+            if not self._opened[i]:
+                continue
+            delivered = flow.delivered
+            if not self._first[i] and delivered > 0:
+                record(
+                    "first_byte", node=receiver, stream=STREAM_UP,
+                    session=self._session, t=now, nbytes=delivered,
+                )
+                self._first[i] = True
+            if self._first[i]:
+                for fraction, threshold in self._marks[i].advance(delivered):
+                    record(
+                        "progress", node=receiver, stream=STREAM_UP,
+                        session=self._session, t=now, nbytes=threshold,
+                        detail=f"{fraction:g}",
+                    )
+            if not self._eof[i] and delivered >= size - 0.5:
+                record(
+                    "eof", node=receiver, stream=STREAM_UP,
+                    session=self._session, t=now, nbytes=size,
+                )
+                self._eof[i] = True
+            if not self._complete[i] and flow.acked >= size - 0.5:
+                record(
+                    "complete", node=sender, stream=STREAM_DOWN,
+                    session=self._session, t=now, nbytes=size,
+                )
+                self._complete[i] = True
+
+    def resumed(self, sublink: int, now: float, at_bytes: float) -> None:
+        """Log a depot-resume reconnect on ``sublink`` (fault runs)."""
+        self._timeline.record(
+            "resume", node=self._nodes[sublink], stream=STREAM_DOWN,
+            session=self._session, t=now, nbytes=at_bytes,
+        )
+
+    def failed(self, sublink: int, now: float, detail: str) -> None:
+        """Log retry exhaustion on ``sublink`` (fault runs)."""
+        self._timeline.record(
+            "error", node=self._nodes[sublink], stream=STREAM_DOWN,
+            session=self._session, t=now, detail=detail,
+        )
+
+
 def choose_dt(paths: list[PathSpec]) -> float:
     """Pick a step size resolving the fastest RTT in the chain.
 
@@ -160,10 +283,19 @@ class NetworkSimulator:
         size: int,
         record_trace: bool = True,
         max_time: float = 3600.0,
+        timeline: SessionTimeline | None = None,
+        session: str = "",
+        node_names: list[str] | None = None,
     ) -> TransferResult:
         """Transfer ``size`` bytes over a single end-to-end connection."""
         return self.run_relay(
-            [path], size, record_trace=record_trace, max_time=max_time
+            [path],
+            size,
+            record_trace=record_trace,
+            max_time=max_time,
+            timeline=timeline,
+            session=session,
+            node_names=node_names,
         )
 
     def run_relay(
@@ -174,6 +306,9 @@ class NetworkSimulator:
         record_trace: bool = True,
         max_time: float = 3600.0,
         configs: list[TcpConfig] | None = None,
+        timeline: SessionTimeline | None = None,
+        session: str = "",
+        node_names: list[str] | None = None,
     ) -> TransferResult:
         """Transfer ``size`` bytes through ``len(paths) - 1`` depots.
 
@@ -181,7 +316,10 @@ class NetworkSimulator:
         adjacent kernel buffers; see
         :func:`~repro.net.depot_sim.default_depot_capacity`).  Per-sublink
         TCP parameters may be supplied via ``configs`` (kernels cache
-        ``ssthresh`` per destination).
+        ``ssthresh`` per destination).  With a ``timeline`` the run also
+        logs the schema events of ``docs/OBSERVABILITY.md`` on virtual
+        time, under ``session`` and ``node_names`` (defaulting to
+        :func:`default_node_names`).
         """
         pipeline = RelayPipeline(
             paths,
@@ -192,8 +330,19 @@ class NetworkSimulator:
             record_trace=record_trace,
             configs=configs,
         )
+        emitter = (
+            _TimelineEmitter(
+                pipeline, timeline, session=session, node_names=node_names
+            )
+            if timeline is not None
+            else None
+        )
         dt = self.dt if self.dt is not None else choose_dt(paths)
-        duration = pipeline.run(dt, max_time=max_time)
+        duration = pipeline.run(
+            dt,
+            max_time=max_time,
+            observer=emitter.observe if emitter is not None else None,
+        )
         traces = (
             [SeqTrace.from_flow(f) for f in pipeline.flows]
             if record_trace
@@ -218,6 +367,9 @@ class NetworkSimulator:
         record_trace: bool = False,
         max_time: float = 3600.0,
         configs: list[TcpConfig] | None = None,
+        timeline: SessionTimeline | None = None,
+        session: str = "",
+        node_names: list[str] | None = None,
     ) -> FaultedTransferResult:
         """Run a transfer with injected sublink failures and recovery.
 
@@ -265,6 +417,13 @@ class NetworkSimulator:
             record_trace=record_trace,
             configs=configs,
         )
+        emitter = (
+            _TimelineEmitter(
+                pipeline, timeline, session=session, node_names=node_names
+            )
+            if timeline is not None
+            else None
+        )
         recovery_rng = self._next_rng()
         dt = self.dt if self.dt is not None else choose_dt(paths)
         remaining = {i: f.times for i, f in enumerate(faults)}
@@ -280,6 +439,8 @@ class NetworkSimulator:
                     f"within {max_time}s simulated"
                 )
             pipeline.step(now, dt)
+            if emitter is not None:
+                emitter.observe(now)
             for i, fault in enumerate(faults):
                 if remaining[i] <= 0:
                     continue
@@ -292,6 +453,13 @@ class NetworkSimulator:
                 retries += 1
                 if attempt >= policy.max_retries:
                     completed = False
+                    if emitter is not None:
+                        emitter.failed(
+                            fault.sublink,
+                            now,
+                            f"retry budget exhausted after {attempt} "
+                            f"attempts",
+                        )
                     break
                 flow.inject_failure(
                     now,
@@ -301,6 +469,8 @@ class NetworkSimulator:
                         f"sublink{fault.sublink}-retry{attempt}"
                     ),
                 )
+                if emitter is not None and resume:
+                    emitter.resumed(fault.sublink, now, flow.delivered)
             if not completed:
                 break
         duration = (
@@ -310,6 +480,8 @@ class NetworkSimulator:
         )
         for flow in pipeline.flows:
             flow.drain(now + flow.path.rtt)
+        if emitter is not None and completed:
+            emitter.observe(now + max(p.rtt for p in paths))
         traces = (
             [SeqTrace.from_flow(f) for f in pipeline.flows]
             if record_trace

@@ -65,6 +65,19 @@ class SeqTrace:
         """Last acknowledged byte count (0 for an empty trace)."""
         return float(self.acked[-1]) if len(self.acked) else 0.0
 
+    @property
+    def mean_rate(self) -> float:
+        """Average acked-byte rate over the whole trace, in bytes/sec.
+
+        Returns 0.0 for empty, single-sample and zero-duration traces —
+        a stalled run contributes a zero rate instead of a ZeroDivision
+        or a NaN poisoning downstream averages.
+        """
+        span = self.duration
+        if span <= 0.0:
+            return 0.0
+        return (self.final_acked - float(self.acked[0])) / span
+
     def value_at(self, t: float) -> float:
         """Acknowledged bytes at time ``t`` (linear interpolation)."""
         if len(self.times) == 0:
@@ -120,8 +133,10 @@ def average_traces(traces: list[SeqTrace], n_points: int = 400) -> SeqTrace:
     """
     if not traces:
         raise ValueError("need at least one trace")
-    t_max = max(t.times[-1] for t in traces if len(t.times))
-    grid = np.linspace(0.0, t_max, n_points)
+    # default=0.0 keeps an all-empty batch (every iteration stalled
+    # before the first sample) from raising on the empty max()
+    t_max = max((t.times[-1] for t in traces if len(t.times)), default=0.0)
+    grid = np.linspace(0.0, float(t_max), n_points)
     stacked = np.vstack([resample_trace(t, grid).acked for t in traces])
     return SeqTrace(
         times=grid,

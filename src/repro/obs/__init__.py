@@ -1,0 +1,63 @@
+"""Observability layer: metrics, session timelines and exporters.
+
+The measurement substrate the paper's evaluation implies: labelled
+metric series (:mod:`repro.obs.registry`), per-session event timelines
+shared by the socket transport and the simulator
+(:mod:`repro.obs.timeline`), Prometheus/JSON exporters
+(:mod:`repro.obs.export`) and a bridge into the existing sequence-trace
+plotting machinery (:mod:`repro.obs.bridge`).  Documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.bridge import plot_timeline, timeline_to_seqtrace
+from repro.obs.export import (
+    SCHEMA_VERSION,
+    export_document,
+    load_export,
+    render_prometheus,
+    transfer_result_metrics,
+    validate_export,
+    write_export,
+)
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+)
+from repro.obs.timeline import (
+    DISABLED_TIMELINE,
+    EVENTS,
+    STREAM_DOWN,
+    STREAM_UP,
+    ProgressWatermarks,
+    SessionTimeline,
+    TimelineEvent,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "DISABLED_TIMELINE",
+    "EVENTS",
+    "Gauge",
+    "Histogram",
+    "NULL_REGISTRY",
+    "ProgressWatermarks",
+    "Registry",
+    "SCHEMA_VERSION",
+    "STREAM_DOWN",
+    "STREAM_UP",
+    "SessionTimeline",
+    "TimelineEvent",
+    "export_document",
+    "load_export",
+    "plot_timeline",
+    "render_prometheus",
+    "timeline_to_seqtrace",
+    "transfer_result_metrics",
+    "validate_export",
+    "write_export",
+]

@@ -1,0 +1,90 @@
+"""Bridge from session timelines to the figure machinery.
+
+The paper's Figures 4 and 5 are sequence-number-versus-time plots per
+sublink.  A :class:`~repro.obs.timeline.SessionTimeline` carries the
+same information at watermark granularity (``first_byte``/``progress``/
+``eof`` events record cumulative byte positions), so a live session —
+real or simulated — can be folded into the existing
+:class:`~repro.net.trace.SeqTrace` container and rendered with
+:mod:`repro.report.ascii_plot` without new plotting code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.trace import SeqTrace, resample_trace
+from repro.obs.timeline import STREAM_UP, SessionTimeline
+from repro.report.ascii_plot import Series, ascii_line_plot
+
+#: Events that pin a cumulative byte position in time.
+_WATERMARK_EVENTS = ("header_rx", "first_byte", "progress", "eof")
+
+
+def timeline_to_seqtrace(
+    timeline: SessionTimeline,
+    node: str,
+    session: str | None = None,
+    name: str = "",
+) -> SeqTrace:
+    """Build the receive-progress trace of one node from its timeline.
+
+    Uses the ``up``-stream watermark events of ``node``: ``header_rx``
+    anchors the trace at zero bytes; ``first_byte``/``progress``/``eof``
+    contribute their recorded cumulative positions.  Events without a
+    byte position are skipped.  Times are shifted so the node's first
+    event sits at t=0, making traces from different stacks comparable.
+    """
+    points: list[tuple[float, float]] = []
+    for event in timeline.events(session):
+        if event.node != node or event.stream != STREAM_UP:
+            continue
+        if event.event not in _WATERMARK_EVENTS:
+            continue
+        nbytes = 0.0 if event.event == "header_rx" else event.nbytes
+        if nbytes is None:
+            continue
+        points.append((event.t, float(nbytes)))
+    if not points:
+        return SeqTrace(
+            times=np.empty(0), acked=np.empty(0), name=name or node
+        )
+    points.sort()
+    t0 = points[0][0]
+    times = np.asarray([t - t0 for t, _ in points], dtype=float)
+    acked = np.maximum.accumulate(
+        np.asarray([b for _, b in points], dtype=float)
+    )
+    return SeqTrace(times=times, acked=acked, name=name or node)
+
+
+def plot_timeline(
+    timeline: SessionTimeline,
+    nodes: list[str],
+    session: str | None = None,
+    n_points: int = 13,
+    height: int = 12,
+    title: str = "session progress (bytes received vs. seconds)",
+) -> str:
+    """ASCII chart of per-node receive progress (the Fig. 4/5 shape).
+
+    Nodes with no watermark events are dropped; raises ``ValueError``
+    when none of the requested nodes recorded any.
+    """
+    traces = [
+        timeline_to_seqtrace(timeline, node, session=session)
+        for node in nodes
+    ]
+    traces = [t for t in traces if len(t.times)]
+    if not traces:
+        raise ValueError(
+            f"no watermark events for nodes {nodes!r} in this timeline"
+        )
+    t_max = max(t.duration for t in traces)
+    grid = np.linspace(0.0, t_max if t_max > 0 else 1.0, n_points)
+    series = [
+        Series(label=t.name, values=list(resample_trace(t, grid).acked))
+        for t in traces
+    ]
+    labels = [f"{t:.2g}" for t in grid]
+    return ascii_line_plot(labels, series, height=height, title=title)

@@ -1,0 +1,241 @@
+"""Exporters for the observability layer: Prometheus text and JSON.
+
+One export *document* bundles a registry snapshot and a timeline into
+the schema below (version 1, validated by :func:`validate_export` and
+documented in ``docs/OBSERVABILITY.md``)::
+
+    {
+      "version": 1,
+      "tool": "repro-obs",
+      "metrics":  [ {"name": ..., "type": ..., "labels": {...}, ...} ],
+      "timeline": [ {"t": ..., "event": ..., "node": ..., ...} ]
+    }
+
+The functions here operate on the *serialised* forms (plain dicts), so
+``repro stats`` can re-render a document written by another process —
+including as Prometheus text — without reconstructing live objects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.timeline import EVENTS, STREAM_DOWN, STREAM_UP
+
+#: Bumped on any shape change to the export document.
+SCHEMA_VERSION = 1
+
+TOOL_NAME = "repro-obs"
+
+_METRIC_TYPES = ("counter", "gauge", "histogram")
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    as_int = int(value)
+    return str(as_int) if value == as_int else repr(float(value))
+
+
+def _label_text(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def render_prometheus(metrics: list[dict]) -> str:
+    """Render serialised metric samples as Prometheus exposition text.
+
+    ``metrics`` is the list produced by ``Registry.series()`` (or read
+    back from an export document).  Series of the same name share one
+    ``# TYPE`` header; histograms expand to ``_bucket``/``_sum``/
+    ``_count`` with a terminal ``+Inf`` bucket.
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+    for sample in metrics:
+        name, kind = sample["name"], sample["type"]
+        if kind not in _METRIC_TYPES:
+            raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+        labels = sample.get("labels", {})
+        if kind == "histogram":
+            running = 0
+            for bound, cumulative in sample["buckets"]:
+                running = cumulative
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_label_text(labels, {'le': _format_value(bound)})} "
+                    f"{cumulative}"
+                )
+            lines.append(
+                f"{name}_bucket{_label_text(labels, {'le': '+Inf'})} "
+                f"{sample['count']}"
+            )
+            lines.append(
+                f"{name}_sum{_label_text(labels)} "
+                f"{_format_value(sample['sum'])}"
+            )
+            lines.append(f"{name}_count{_label_text(labels)} {sample['count']}")
+        else:
+            lines.append(
+                f"{name}{_label_text(labels)} "
+                f"{_format_value(sample['value'])}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def export_document(registry=None, timeline=None) -> dict:
+    """Bundle a registry and/or timeline into one schema-1 document."""
+    return {
+        "version": SCHEMA_VERSION,
+        "tool": TOOL_NAME,
+        "metrics": registry.series() if registry is not None else [],
+        "timeline": timeline.to_dicts() if timeline is not None else [],
+    }
+
+
+def write_export(path, registry=None, timeline=None) -> dict:
+    """Write the export document as JSON; returns the document."""
+    doc = export_document(registry=registry, timeline=timeline)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc
+
+
+def load_export(path) -> dict:
+    """Read and validate an export document written by :func:`write_export`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    validate_export(doc)
+    return doc
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(f"invalid obs export: {message}")
+
+
+def validate_export(doc: Any) -> None:
+    """Check a document against the schema in ``docs/OBSERVABILITY.md``.
+
+    Raises
+    ------
+    ValueError
+        On any shape violation, naming the offending element.
+    """
+    _require(isinstance(doc, dict), "document must be an object")
+    _require(
+        doc.get("version") == SCHEMA_VERSION,
+        f"version must be {SCHEMA_VERSION}, got {doc.get('version')!r}",
+    )
+    _require(doc.get("tool") == TOOL_NAME, f"tool must be {TOOL_NAME!r}")
+    metrics = doc.get("metrics")
+    _require(isinstance(metrics, list), "metrics must be a list")
+    for i, sample in enumerate(metrics):
+        where = f"metrics[{i}]"
+        _require(isinstance(sample, dict), f"{where} must be an object")
+        _require(
+            isinstance(sample.get("name"), str) and sample["name"],
+            f"{where}.name must be a non-empty string",
+        )
+        _require(
+            sample.get("type") in _METRIC_TYPES,
+            f"{where}.type must be one of {_METRIC_TYPES}",
+        )
+        labels = sample.get("labels")
+        _require(
+            isinstance(labels, dict)
+            and all(
+                isinstance(k, str) and isinstance(v, str)
+                for k, v in labels.items()
+            ),
+            f"{where}.labels must map strings to strings",
+        )
+        if sample["type"] == "histogram":
+            _require(
+                isinstance(sample.get("buckets"), list)
+                and isinstance(sample.get("count"), int)
+                and isinstance(sample.get("sum"), (int, float)),
+                f"{where} histogram needs buckets/count/sum",
+            )
+        else:
+            _require(
+                isinstance(sample.get("value"), (int, float)),
+                f"{where}.value must be a number",
+            )
+    timeline = doc.get("timeline")
+    _require(isinstance(timeline, list), "timeline must be a list")
+    for i, event in enumerate(timeline):
+        where = f"timeline[{i}]"
+        _require(isinstance(event, dict), f"{where} must be an object")
+        _require(
+            isinstance(event.get("t"), (int, float)),
+            f"{where}.t must be a number",
+        )
+        _require(
+            event.get("event") in EVENTS,
+            f"{where}.event must be one of the schema events",
+        )
+        _require(
+            isinstance(event.get("node"), str) and event["node"],
+            f"{where}.node must be a non-empty string",
+        )
+        _require(
+            event.get("stream") in (STREAM_UP, STREAM_DOWN),
+            f"{where}.stream must be 'up' or 'down'",
+        )
+        _require(
+            isinstance(event.get("session"), str),
+            f"{where}.session must be a string",
+        )
+        if "nbytes" in event:
+            _require(
+                isinstance(event["nbytes"], (int, float)),
+                f"{where}.nbytes must be a number",
+            )
+
+
+def transfer_result_metrics(result, registry, run: str = "sim") -> None:
+    """Publish a simulator ``TransferResult`` into ``registry``.
+
+    Emits per-sublink byte totals and mean throughputs (from the
+    recorded :class:`~repro.net.trace.SeqTrace` series), the end-to-end
+    duration/bandwidth, and per-depot peak occupancy — the quantities
+    the paper's tables are made of.
+    """
+    for i, trace in enumerate(result.traces):
+        labels = {"run": run, "sublink": trace.name or f"sublink{i}"}
+        registry.counter("sim_sublink_bytes_total", labels=labels).inc(
+            trace.final_acked
+        )
+        registry.gauge(
+            "sim_sublink_throughput_bytes_per_sec", labels=labels
+        ).set(trace.mean_rate)
+    registry.gauge("sim_transfer_seconds", labels={"run": run}).set(
+        result.duration
+    )
+    registry.gauge(
+        "sim_transfer_bandwidth_bytes_per_sec", labels={"run": run}
+    ).set(result.bandwidth)
+    for i, peak in enumerate(result.depot_peaks):
+        registry.gauge(
+            "sim_depot_peak_bytes", labels={"run": run, "depot": f"depot{i}"}
+        ).set(peak)

@@ -1,0 +1,259 @@
+"""Labelled metric series: counters, gauges and histograms.
+
+The paper's evaluation is built from per-sublink measurements — byte
+counts, throughputs, depot buffer occupancy — so every instrument here
+carries a label set (``{"node": "depot0"}``) identifying *which*
+sublink, depot or session a sample belongs to.  Rule RPR011 enforces
+that call sites outside this package always pass labels.
+
+A :class:`Registry` owns the series.  Instruments are created on first
+use and are cheap to re-request (the registry interns them by
+``(name, labels)``), so hot paths can either hoist the instrument out
+of the loop or call through the registry each time.
+
+No-op mode
+----------
+``Registry(enabled=False)`` (or the shared :data:`NULL_REGISTRY`)
+returns shared do-nothing instruments from every factory call: no dict
+lookups, no locking, no allocation per update.  Transports default to
+the null registry, so an uninstrumented run pays one attribute load and
+one no-op call per chunk — observability is free until asked for.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Iterable, Mapping
+
+#: Prometheus-compatible metric and label name shapes.
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets, in seconds (session durations).
+DEFAULT_BUCKETS = (0.005, 0.025, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0)
+
+#: Canonical key form of one label set.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, str] | None) -> LabelKey:
+    if not labels:
+        return ()
+    for name in labels:
+        if not _LABEL_RE.match(name):
+            raise ValueError(f"invalid label name {name!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (bytes, sessions, retries)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelKey, lock: threading.Lock):
+        self.name = name
+        self.labels = labels
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (>= 0) to the count."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def sample(self) -> dict:
+        """The serialised form used by the JSON exporter."""
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Gauge(Counter):
+    """A value that can go up and down (occupancy, throughput)."""
+
+    kind = "gauge"
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative) to the value."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the value."""
+        self.inc(-amount)
+
+    def set(self, value: float) -> None:
+        """Replace the value."""
+        with self._lock:
+            self._value = float(value)
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey,
+        lock: threading.Lock,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ):
+        self.name = name
+        self.labels = labels
+        self._lock = lock
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        self._counts = [0] * len(self.buckets)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation into its bucket."""
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            # per-bucket (non-cumulative) counts; sample() cumulates
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._counts[i] += 1
+                    break
+
+    def sample(self) -> dict:
+        """The serialised form: cumulative buckets plus sum/count."""
+        with self._lock:
+            cumulative = []
+            running = 0
+            for count, bound in zip(self._counts, self.buckets):
+                running += count
+                cumulative.append([bound, running])
+            return {
+                "name": self.name,
+                "type": self.kind,
+                "labels": dict(self.labels),
+                "sum": self._sum,
+                "count": self._count,
+                "buckets": cumulative,
+            }
+
+
+class _NullInstrument:
+    """Shared sink for disabled registries: every update is a no-op."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class Registry:
+    """A set of labelled metric series behind one lock.
+
+    Parameters
+    ----------
+    enabled:
+        ``False`` turns every factory into a constant returning the
+        shared no-op instrument — the near-zero-cost mode transports
+        default to.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._series: dict[tuple[str, LabelKey], object] = {}
+        self._kinds: dict[str, str] = {}
+
+    def _get(self, cls, name: str, labels, **kwargs):
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._series.get(key)
+            if instrument is None:
+                kind = self._kinds.get(name)
+                if kind is not None and kind != cls.kind:
+                    raise ValueError(
+                        f"metric {name!r} already registered as {kind}, "
+                        f"cannot re-register as {cls.kind}"
+                    )
+                # per-instrument lock: updates never contend with the
+                # registry-wide series map
+                instrument = cls(name, key[1], threading.Lock(), **kwargs)
+                self._series[key] = instrument
+                self._kinds[name] = cls.kind
+            elif not isinstance(instrument, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{instrument.kind}, cannot re-register as {cls.kind}"
+                )
+            return instrument
+
+    def counter(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> Counter:
+        """Get or create the counter series for ``(name, labels)``."""
+        return self._get(Counter, name, labels)
+
+    def gauge(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> Gauge:
+        """Get or create the gauge series for ``(name, labels)``."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        labels: Mapping[str, str] | None = None,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create the histogram series for ``(name, labels)``."""
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    def series(self) -> list[dict]:
+        """Serialised snapshot of every series, sorted by name then labels."""
+        with self._lock:
+            instruments = list(self._series.values())
+        samples = [inst.sample() for inst in instruments]
+        samples.sort(key=lambda s: (s["name"], sorted(s["labels"].items())))
+        return samples
+
+    def to_prometheus(self) -> str:
+        """Render the current state in the Prometheus text format."""
+        from repro.obs.export import render_prometheus
+
+        return render_prometheus(self.series())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._series)
+
+
+#: The shared disabled registry: instrument anything, measure nothing.
+NULL_REGISTRY = Registry(enabled=False)

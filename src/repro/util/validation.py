@@ -37,6 +37,21 @@ def check_non_negative(name: str, value: float) -> float:
     return value
 
 
+def check_positive_int(name: str, value: int) -> int:
+    """Require an integer ``value >= 1``; return it.
+
+    Stricter than :func:`check_positive` for parameters that feed byte
+    counts into ``recv()``/``range()``: a fractional value like ``0.5``
+    passes the positivity check but truncates to a zero-byte read,
+    silently discarding data.
+    """
+    if not isinstance(value, int) or isinstance(value, bool):
+        _fail(name, value, "a positive integer")
+    if value < 1:
+        _fail(name, value, "a positive integer")
+    return value
+
+
 def check_probability(name: str, value: float) -> float:
     """Require ``0 <= value <= 1``; return it."""
     if not isinstance(value, (int, float)) or isinstance(value, bool):

@@ -1,0 +1,7 @@
+"""Unlabelled metric factories: every series must say whose it is."""
+
+
+def publish(registry):
+    registry.counter("rx_chunk_count")
+    registry.gauge("occupancy_level", labels=None)
+    registry.histogram("session_duration", labels={})

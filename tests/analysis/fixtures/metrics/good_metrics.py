@@ -1,0 +1,12 @@
+"""Labelled, positional-dict, dynamic-name and computed-label sites."""
+
+
+def publish(registry, series_name):
+    registry.counter("rx_chunk_count", labels={"node": "depot0"})
+    registry.gauge("occupancy_level", {"node": "depot0"})
+    registry.counter(series_name)
+    registry.histogram("session_duration", labels=make_labels())
+
+
+def make_labels():
+    return {"node": "sink"}

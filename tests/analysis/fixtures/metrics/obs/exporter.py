@@ -1,0 +1,5 @@
+"""Inside an ``obs/`` directory the bare form is the layer's own business."""
+
+
+def selfcheck(registry):
+    registry.counter("obs_internal_count")

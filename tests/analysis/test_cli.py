@@ -12,7 +12,7 @@ from repro.cli.main import main
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
-ALL_RULE_IDS = [f"RPR{n:03d}" for n in range(1, 11)]
+ALL_RULE_IDS = [f"RPR{n:03d}" for n in range(1, 12)]
 
 
 @pytest.fixture

@@ -1,0 +1,26 @@
+"""RPR011 unlabelled-metric rule against the metrics fixtures."""
+
+from tests.analysis.conftest import hits
+
+
+def test_unlabelled_factories_flagged(run_fixture):
+    result = run_fixture("metrics", select=["RPR011"])
+    assert hits(result, "RPR011") == [
+        ("bad_metrics.py", 5),  # no labels argument at all
+        ("bad_metrics.py", 6),  # labels=None
+        ("bad_metrics.py", 7),  # labels={}
+    ]
+
+
+def test_message_names_the_metric(run_fixture):
+    result = run_fixture("metrics", select=["RPR011"])
+    finding = [f for f in result.findings if f.line == 5][0]
+    assert finding.symbol == "rx_chunk_count"
+    assert "labels" in finding.message
+
+
+def test_labelled_dynamic_and_obs_sites_clean(run_fixture):
+    """Label-carrying calls, dynamic names and obs/ modules all pass."""
+    result = run_fixture("metrics", select=["RPR011"])
+    files = {f.path.rsplit("/", 1)[-1] for f in result.findings}
+    assert files == {"bad_metrics.py"}

@@ -65,6 +65,21 @@ class TestSeqTrace:
         )
         assert tr.time_to_reach(200) == pytest.approx(2.5)
 
+    def test_mean_rate_of_ramp(self):
+        assert ramp_trace(rate=1000).mean_rate == pytest.approx(1000.0)
+
+    def test_mean_rate_ignores_resume_offset(self):
+        tr = SeqTrace(
+            times=np.array([0.0, 2.0]), acked=np.array([500.0, 700.0])
+        )
+        assert tr.mean_rate == pytest.approx(100.0)
+
+    def test_mean_rate_zero_duration_is_zero(self):
+        single = SeqTrace(times=np.array([3.0]), acked=np.array([100.0]))
+        assert single.mean_rate == 0.0
+        empty = SeqTrace(times=np.array([]), acked=np.array([]))
+        assert empty.mean_rate == 0.0
+
 
 class TestResample:
     def test_grid_values_match_interpolation(self):
@@ -110,6 +125,17 @@ class TestAverage:
     def test_empty_list_rejected(self):
         with pytest.raises(ValueError):
             average_traces([])
+
+    def test_all_empty_traces_average_to_zeros(self):
+        empty = SeqTrace(times=np.array([]), acked=np.array([]))
+        avg = average_traces([empty, empty], n_points=5)
+        assert np.all(avg.acked == 0.0)
+        assert avg.duration == 0.0
+
+    def test_empty_traces_mixed_with_real_ones(self):
+        empty = SeqTrace(times=np.array([]), acked=np.array([]))
+        avg = average_traces([ramp_trace(rate=10), empty])
+        assert avg.value_at(10.0) == pytest.approx(50.0, rel=0.02)
 
     @given(st.integers(min_value=2, max_value=6))
     def test_average_monotone_when_inputs_monotone(self, k):

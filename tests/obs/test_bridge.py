@@ -1,0 +1,65 @@
+"""Timeline → SeqTrace bridge and the ASCII figure path."""
+
+import pytest
+
+from repro.obs.bridge import plot_timeline, timeline_to_seqtrace
+from repro.obs.timeline import STREAM_DOWN, STREAM_UP, SessionTimeline
+
+
+def receiving_timeline():
+    tl = SessionTimeline(clock=lambda: 0.0)
+    tl.record("header_rx", "sink", STREAM_UP, session="a", t=10.0)
+    tl.record("first_byte", "sink", STREAM_UP, session="a", t=10.5, nbytes=64)
+    tl.record(
+        "progress", "sink", STREAM_UP, session="a", t=11.0, nbytes=256,
+        detail="0.25",
+    )
+    tl.record("eof", "sink", STREAM_UP, session="a", t=12.0, nbytes=1024)
+    # down-stream and foreign-node events must not leak into the trace
+    tl.record("connect", "sink", STREAM_DOWN, session="a", t=10.1)
+    tl.record("eof", "depot0", STREAM_UP, session="a", t=11.5, nbytes=1024)
+    return tl
+
+
+def test_trace_shifts_to_zero_and_accumulates():
+    trace = timeline_to_seqtrace(receiving_timeline(), "sink", session="a")
+    assert trace.name == "sink"
+    assert list(trace.times) == [0.0, 0.5, 1.0, 2.0]
+    assert list(trace.acked) == [0.0, 64.0, 256.0, 1024.0]
+    assert trace.final_acked == 1024.0
+    assert trace.duration == 2.0
+
+
+def test_trace_monotonic_even_with_out_of_order_records():
+    tl = SessionTimeline(clock=lambda: 0.0)
+    # recorded out of order (threads racing the append); positions regress
+    tl.record("eof", "sink", STREAM_UP, session="a", t=2.0, nbytes=100)
+    tl.record("first_byte", "sink", STREAM_UP, session="a", t=1.0, nbytes=10)
+    tl.record("progress", "sink", STREAM_UP, session="a", t=1.5, nbytes=5)
+    trace = timeline_to_seqtrace(tl, "sink", session="a")
+    assert list(trace.times) == [0.0, 0.5, 1.0]
+    # np.maximum.accumulate smooths the regressing sample
+    assert list(trace.acked) == [10.0, 10.0, 100.0]
+
+
+def test_empty_node_yields_empty_trace():
+    trace = timeline_to_seqtrace(receiving_timeline(), "nobody")
+    assert len(trace.times) == 0
+    assert trace.name == "nobody"
+
+
+def test_plot_timeline_renders_and_rejects_empty():
+    chart = plot_timeline(
+        receiving_timeline(), ["sink", "depot0"], session="a"
+    )
+    assert "sink" in chart
+    with pytest.raises(ValueError, match="no watermark events"):
+        plot_timeline(receiving_timeline(), ["nobody"], session="a")
+
+
+def test_plot_timeline_single_sample_node():
+    # one eof only: zero-duration trace must not crash the plotter
+    tl = SessionTimeline(clock=lambda: 0.0)
+    tl.record("eof", "sink", STREAM_UP, session="a", t=5.0, nbytes=100)
+    chart = plot_timeline(tl, ["sink"], session="a")
+    assert "sink" in chart

@@ -1,0 +1,121 @@
+"""Export document round-trip, validation and Prometheus rendering."""
+
+import pytest
+
+from repro.obs.export import (
+    SCHEMA_VERSION,
+    TOOL_NAME,
+    export_document,
+    load_export,
+    render_prometheus,
+    validate_export,
+    write_export,
+)
+from repro.obs.registry import Registry
+from repro.obs.timeline import STREAM_DOWN, STREAM_UP, SessionTimeline
+
+
+def populated():
+    reg = Registry()
+    reg.counter("rx_total", labels={"node": "depot0"}).inc(512)
+    reg.gauge("rate_bytes_per_sec", labels={"node": "depot0"}).set(2048.0)
+    reg.histogram(
+        "session_seconds", labels={"node": "sink"}, buckets=(0.1, 1.0)
+    ).observe(0.05)
+    tl = SessionTimeline(clock=lambda: 0.0)
+    tl.record("connect", "source", STREAM_DOWN, session="ab", t=0.0)
+    tl.record(
+        "first_byte", "sink", STREAM_UP, session="ab", t=0.5, nbytes=64
+    )
+    return reg, tl
+
+
+def test_round_trip_through_file(tmp_path):
+    reg, tl = populated()
+    path = tmp_path / "metrics.json"
+    written = write_export(path, registry=reg, timeline=tl)
+    loaded = load_export(path)
+    assert loaded == written
+    assert loaded["version"] == SCHEMA_VERSION
+    assert loaded["tool"] == TOOL_NAME
+    assert [m["name"] for m in loaded["metrics"]] == [
+        "rate_bytes_per_sec", "rx_total", "session_seconds",
+    ]
+    assert [e["event"] for e in loaded["timeline"]] == [
+        "connect", "first_byte",
+    ]
+
+
+def test_empty_document_is_valid():
+    doc = export_document()
+    validate_export(doc)
+    assert doc["metrics"] == [] and doc["timeline"] == []
+
+
+@pytest.mark.parametrize(
+    "mutate, message",
+    [
+        (lambda d: d.update(version=99), "version"),
+        (lambda d: d.update(tool="other"), "tool"),
+        (lambda d: d["metrics"].append({"name": "x"}), "type"),
+        (
+            lambda d: d["timeline"].append(
+                {"t": 0.0, "event": "teleport", "node": "n",
+                 "stream": "up", "session": ""}
+            ),
+            "event",
+        ),
+        (
+            lambda d: d["timeline"].append(
+                {"t": 0.0, "event": "eof", "node": "n",
+                 "stream": "sideways", "session": ""}
+            ),
+            "stream",
+        ),
+        (
+            lambda d: d["timeline"].append(
+                {"t": 0.0, "event": "eof", "node": "n",
+                 "stream": "up", "session": "", "nbytes": "lots"}
+            ),
+            "nbytes",
+        ),
+    ],
+)
+def test_validate_rejects_shape_violations(mutate, message):
+    reg, tl = populated()
+    doc = export_document(registry=reg, timeline=tl)
+    mutate(doc)
+    with pytest.raises(ValueError, match=message):
+        validate_export(doc)
+
+
+def test_prometheus_text_shape():
+    reg, _ = populated()
+    text = render_prometheus(reg.series())
+    assert '# TYPE rx_total counter' in text
+    assert 'rx_total{node="depot0"} 512' in text
+    assert 'rate_bytes_per_sec{node="depot0"} 2048' in text
+    # histogram expands to cumulative buckets plus +Inf/sum/count
+    assert 'session_seconds_bucket{le="0.1",node="sink"} 1' in text
+    assert 'session_seconds_bucket{le="1",node="sink"} 1' in text
+    assert 'session_seconds_bucket{le="+Inf",node="sink"} 1' in text
+    assert 'session_seconds_sum{node="sink"} 0.05' in text
+    assert 'session_seconds_count{node="sink"} 1' in text
+    assert text.endswith("\n")
+
+
+def test_prometheus_escapes_label_values():
+    text = render_prometheus(
+        [{
+            "name": "x_total", "type": "counter",
+            "labels": {"node": 'a"b\\c\nd'}, "value": 1,
+        }]
+    )
+    assert 'node="a\\"b\\\\c\\nd"' in text
+
+
+def test_prometheus_rejects_unknown_type():
+    with pytest.raises(ValueError, match="unknown metric type"):
+        render_prometheus(
+            [{"name": "x", "type": "summary", "labels": {}, "value": 1}]
+        )

@@ -1,0 +1,129 @@
+"""Registry semantics: interning, kinds, histograms and no-op mode."""
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+)
+
+
+def test_counter_counts_and_refuses_to_decrease():
+    reg = Registry()
+    c = reg.counter("rx_total", labels={"node": "depot0"})
+    c.inc(10)
+    c.inc(2.5)
+    assert c.value == 12.5
+    with pytest.raises(ValueError, match="cannot decrease"):
+        c.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    reg = Registry()
+    g = reg.gauge("occupancy", labels={"node": "depot0"})
+    g.set(100.0)
+    g.dec(30.0)
+    g.inc(5.0)
+    assert g.value == 75.0
+
+
+def test_series_interned_by_name_and_labels():
+    reg = Registry()
+    a = reg.counter("rx_total", labels={"node": "depot0"})
+    b = reg.counter("rx_total", labels={"node": "depot0"})
+    c = reg.counter("rx_total", labels={"node": "depot1"})
+    assert a is b
+    assert a is not c
+    assert len(reg) == 2
+
+
+def test_label_order_does_not_split_series():
+    reg = Registry()
+    a = reg.counter("rx_total", labels={"node": "d0", "run": "a"})
+    b = reg.counter("rx_total", labels={"run": "a", "node": "d0"})
+    assert a is b
+
+
+def test_kind_conflict_rejected():
+    reg = Registry()
+    reg.counter("rx_total", labels={"node": "depot0"})
+    # same name, same labels
+    with pytest.raises(ValueError, match="already registered as counter"):
+        reg.gauge("rx_total", labels={"node": "depot0"})
+    # same name, different labels: one name has one kind
+    with pytest.raises(ValueError, match="already registered as counter"):
+        reg.gauge("rx_total", labels={"node": "depot1"})
+
+
+def test_invalid_names_rejected():
+    reg = Registry()
+    with pytest.raises(ValueError, match="invalid metric name"):
+        reg.counter("rx-total", labels={"node": "d0"})
+    with pytest.raises(ValueError, match="invalid label name"):
+        reg.counter("rx_total", labels={"no de": "d0"})
+
+
+def test_histogram_buckets_are_cumulative_in_sample():
+    reg = Registry()
+    h = reg.histogram(
+        "session_seconds", labels={"node": "sink"}, buckets=(0.1, 1.0, 10.0)
+    )
+    for value in (0.05, 0.5, 0.7, 500.0):
+        h.observe(value)
+    sample = h.sample()
+    assert sample["count"] == 4
+    assert sample["sum"] == pytest.approx(501.25)
+    # one observation <= 0.1, three <= 1.0, the overflow only in +Inf
+    assert sample["buckets"] == [[0.1, 1], [1.0, 3], [10.0, 3]]
+
+
+def test_histogram_needs_a_bucket():
+    reg = Registry()
+    with pytest.raises(ValueError, match="at least one bucket"):
+        reg.histogram("h_seconds", labels={"node": "d0"}, buckets=())
+
+
+def test_disabled_registry_is_free_and_empty():
+    reg = Registry(enabled=False)
+    c = reg.counter("rx_total", labels={"node": "depot0"})
+    g = reg.gauge("occupancy", labels={"node": "depot0"})
+    h = reg.histogram("seconds", labels={"node": "depot0"})
+    # all factories hand back the same shared no-op sink
+    assert c is g is h
+    c.inc(5)
+    g.set(1.0)
+    g.dec()
+    h.observe(0.2)
+    assert len(reg) == 0
+    assert reg.series() == []
+    # the module-level singleton behaves the same way
+    NULL_REGISTRY.counter("anything", labels={"node": "x"}).inc()
+    assert len(NULL_REGISTRY) == 0
+
+
+def test_series_snapshot_is_sorted_and_typed():
+    reg = Registry()
+    reg.gauge("b_gauge", labels={"node": "d1"}).set(2)
+    reg.counter("a_total", labels={"node": "d0"}).inc(1)
+    reg.histogram("c_seconds", labels={"node": "d0"}).observe(0.01)
+    names = [s["name"] for s in reg.series()]
+    assert names == ["a_total", "b_gauge", "c_seconds"]
+    kinds = {s["name"]: s["type"] for s in reg.series()}
+    assert kinds == {
+        "a_total": "counter",
+        "b_gauge": "gauge",
+        "c_seconds": "histogram",
+    }
+
+
+def test_default_buckets_are_sorted():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+    assert isinstance(Registry().counter("x", labels={"a": "b"}), Counter)
+    assert isinstance(Registry().gauge("y", labels={"a": "b"}), Gauge)
+    assert isinstance(
+        Registry().histogram("z", labels={"a": "b"}), Histogram
+    )

@@ -1,0 +1,106 @@
+"""SessionTimeline: recording, sequences, watermarks, disabled mode."""
+
+import pytest
+
+from repro.obs.timeline import (
+    DISABLED_TIMELINE,
+    EVENTS,
+    STREAM_DOWN,
+    STREAM_UP,
+    ProgressWatermarks,
+    SessionTimeline,
+)
+
+
+def make_timeline():
+    ticks = iter(range(100))
+    return SessionTimeline(clock=lambda: float(next(ticks)))
+
+
+def test_record_uses_clock_or_explicit_time():
+    tl = make_timeline()
+    tl.record("connect", "source", STREAM_DOWN, session="ab")
+    tl.record("header_rx", "sink", STREAM_UP, session="ab", t=42.5)
+    first, second = tl.events()
+    assert first.t == 0.0
+    assert second.t == 42.5
+    assert len(tl) == 2
+
+
+def test_unknown_event_and_stream_rejected():
+    tl = make_timeline()
+    with pytest.raises(ValueError, match="unknown timeline event"):
+        tl.record("teleport", "source", STREAM_DOWN)
+    with pytest.raises(ValueError, match="unknown stream"):
+        tl.record("connect", "source", "sideways")
+
+
+def test_events_filter_by_session():
+    tl = make_timeline()
+    tl.record("connect", "source", STREAM_DOWN, session="a")
+    tl.record("connect", "source", STREAM_DOWN, session="b")
+    assert [e.session for e in tl.events("a")] == ["a"]
+    assert len(tl.events()) == 2
+
+
+def test_sequences_group_per_node_and_stream():
+    tl = make_timeline()
+    tl.record("connect", "source", STREAM_DOWN, session="a")
+    tl.record("header_rx", "sink", STREAM_UP, session="a")
+    tl.record("header_tx", "source", STREAM_DOWN, session="a")
+    tl.record("first_byte", "sink", STREAM_UP, session="a")
+    tl.record("eof", "sink", STREAM_UP, session="a")
+    tl.record("complete", "source", STREAM_DOWN, session="a")
+    assert tl.sequences("a") == {
+        ("source", STREAM_DOWN): ("connect", "header_tx", "complete"),
+        ("sink", STREAM_UP): ("header_rx", "first_byte", "eof"),
+    }
+
+
+def test_to_dicts_round_trips_optional_fields():
+    tl = make_timeline()
+    tl.record(
+        "progress", "sink", STREAM_UP, session="a", nbytes=256, detail="0.25"
+    )
+    tl.record("connect", "source", STREAM_DOWN, session="a")
+    with_bytes, bare = tl.to_dicts()
+    assert with_bytes["nbytes"] == 256
+    assert with_bytes["detail"] == "0.25"
+    assert "nbytes" not in bare and "detail" not in bare
+
+
+def test_disabled_timeline_keeps_nothing():
+    DISABLED_TIMELINE.record("connect", "source", STREAM_DOWN)
+    # even invalid records are dropped without raising: disabled means free
+    DISABLED_TIMELINE.record("not-an-event", "source", "sideways")
+    assert len(DISABLED_TIMELINE) == 0
+    assert DISABLED_TIMELINE.sequences() == {}
+
+
+def test_vocabulary_is_closed():
+    assert "progress" in EVENTS
+    assert len(set(EVENTS)) == len(EVENTS)
+
+
+def test_watermarks_fire_once_in_order():
+    marks = ProgressWatermarks(total=1000)
+    assert marks.advance(100) == []
+    assert marks.advance(500) == [(0.25, 250.0), (0.5, 500.0)]
+    assert marks.advance(500) == []
+    assert marks.advance(1000) == [(0.75, 750.0)]
+    assert marks.advance(10_000) == []
+
+
+def test_watermarks_pre_advanced_by_resume_offset():
+    # a resumed session must not re-emit watermarks for staged bytes
+    marks = ProgressWatermarks(total=1000)
+    marks.advance(600)
+    assert marks.advance(1000) == [(0.75, 750.0)]
+
+
+def test_watermarks_edge_totals():
+    with pytest.raises(ValueError, match="non-negative"):
+        ProgressWatermarks(total=-1)
+    # zero-byte session: every threshold is 0.0 and fires immediately
+    marks = ProgressWatermarks(total=0)
+    assert [f for f, _ in marks.advance(0)] == [0.25, 0.5, 0.75]
