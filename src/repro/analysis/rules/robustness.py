@@ -11,6 +11,11 @@ RPR009
 RPR010
     Socket connects with no timeout in non-test code — a depot that
     blocks forever on one dead peer stops forwarding everyone.
+RPR012
+    Socket timeouts given as bare numeric literals in non-test code —
+    a magic ``timeout=10`` cannot be tuned per deployment; route the
+    value through :class:`~repro.lsl.faults.RetryPolicy` or another
+    named configuration instead.
 """
 
 from __future__ import annotations
@@ -165,6 +170,75 @@ class SocketTimeoutRule(Rule):
                     message=(
                         "settimeout(None) makes the socket blocking "
                         "with no bound"
+                    ),
+                    symbol="settimeout",
+                )
+
+
+def _numeric_literal(node: ast.expr | None) -> bool:
+    """Whether ``node`` is a bare int/float constant (bools excluded)."""
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+    )
+
+
+@register
+class LiteralTimeoutRule(Rule):
+    """RPR012: socket timeouts must come from named configuration."""
+
+    id = "RPR012"
+    name = "literal-socket-timeout"
+    rationale = (
+        "a hard-coded `timeout=10` cannot be tuned for a slow WAN or a "
+        "fast LAN; socket timeouts belong in a RetryPolicy or another "
+        "named configuration value"
+    )
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return not module.is_test_code
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = imports.resolve_call(node)
+            if resolved == "socket.create_connection":
+                timeout_arg = None
+                if len(node.args) >= 2:
+                    timeout_arg = node.args[1]
+                for kw in node.keywords:
+                    if kw.arg == "timeout":
+                        timeout_arg = kw.value
+                if _numeric_literal(timeout_arg):
+                    yield Finding(
+                        path=module.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule=self.id,
+                        message=(
+                            "socket.create_connection() with a bare "
+                            "numeric timeout literal; route it through "
+                            "a RetryPolicy or named constant"
+                        ),
+                        symbol="create_connection",
+                    )
+            elif (
+                terminal_name(node.func) == "settimeout"
+                and len(node.args) == 1
+                and _numeric_literal(node.args[0])
+            ):
+                yield Finding(
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.id,
+                    message=(
+                        "settimeout() with a bare numeric literal; "
+                        "route the bound through a RetryPolicy or "
+                        "named constant"
                     ),
                     symbol="settimeout",
                 )

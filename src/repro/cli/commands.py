@@ -184,7 +184,9 @@ def _simulate_with_fault(args, sim, direct, relay, size) -> int:
 
 # -- depot ----------------------------------------------------------------------
 def cmd_depot(args) -> int:
-    """Run a real-socket LSL depot until interrupted."""
+    """Run a real-socket LSL depot until interrupted or terminated."""
+    import signal
+
     from repro.lsl.socket_transport import DepotServer
 
     metrics_path = getattr(args, "metrics", None)
@@ -205,25 +207,43 @@ def cmd_depot(args) -> int:
         registry=registry,
         timeline=timeline,
     )
-    print(f"depot listening on {server.host}:{server.port}", flush=True)
+
+    def _terminate(signum, frame):
+        # unwind through the poll loop so the shutdown path below runs
+        # (close the listener, flush --metrics) instead of dying mid-write
+        raise KeyboardInterrupt
+
     try:
+        previous_sigterm = signal.signal(signal.SIGTERM, _terminate)
+    except ValueError:
+        # only the main thread may set handlers; in-process test drivers
+        # run the poll loop elsewhere and stop it via --once
+        previous_sigterm = None
+    try:
+        # the banner sits inside the guarded block: a SIGTERM racing the
+        # startup print must still unwind into the flush path below
+        print(f"depot listening on {server.host}:{server.port}", flush=True)
         while True:
             time.sleep(0.05)
             # the counters are only coherent under the server's stats
             # lock, so every poll goes through the locked snapshot
             if args.once and server.snapshot()["sessions_forwarded"] >= 1:
                 break
-    except KeyboardInterrupt:  # pragma: no cover - interactive
+    except KeyboardInterrupt:
         pass
     finally:
         server.close()
-    stats = server.snapshot()
-    if metrics_path is not None:
-        from repro.obs import write_export
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
+        # flush metrics inside the shutdown path: a SIGTERM'd depot must
+        # still leave its export behind
+        if metrics_path is not None:
+            from repro.obs import write_export
 
-        server.fill_registry()
-        write_export(metrics_path, registry=registry, timeline=timeline)
-        print(f"metrics written to {metrics_path}")
+            server.fill_registry()
+            write_export(metrics_path, registry=registry, timeline=timeline)
+            print(f"metrics written to {metrics_path}", flush=True)
+    stats = server.snapshot()
     print(
         f"forwarded {stats['sessions_forwarded']} session(s), "
         f"{stats['bytes_forwarded']} bytes"
@@ -463,6 +483,29 @@ def cmd_lint(args) -> int:
     else:
         print(render_text(result, verbose=True))
     return 0 if result.clean else 1
+
+
+# -- chaos --------------------------------------------------------------------------
+def cmd_chaos(args) -> int:
+    """Soak the LSL stacks with randomized faults; exit 1 on violations."""
+    from repro.testbed.chaos import ChaosConfig, run_chaos
+
+    stacks = (
+        ("socket", "simulator")
+        if args.stack == "both"
+        else (args.stack,)
+    )
+    config = ChaosConfig(
+        episodes=args.episodes,
+        seed=args.seed,
+        stacks=stacks,
+        depots=args.depots,
+        max_size=args.max_size_kb << 10,
+        max_retries=args.retries,
+    )
+    report = run_chaos(config)
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 # -- campaign -----------------------------------------------------------------------

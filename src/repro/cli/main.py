@@ -282,6 +282,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=commands.cmd_lint)
 
     p = sub.add_parser(
+        "chaos",
+        help=(
+            "soak the LSL stacks with randomized fault schedules and "
+            "check integrity invariants"
+        ),
+    )
+    p.add_argument(
+        "--episodes",
+        type=int,
+        default=5,
+        help="episodes per stack (default 5)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--stack",
+        choices=("socket", "simulator", "both"),
+        default="both",
+        help="which stack(s) to soak",
+    )
+    p.add_argument(
+        "--depots",
+        type=int,
+        default=2,
+        help="relay chain length (intermediate depots)",
+    )
+    p.add_argument(
+        "--max-size-kb",
+        type=int,
+        default=1024,
+        metavar="KB",
+        help="largest episode payload",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=4,
+        help="per-sublink retry budget",
+    )
+    p.set_defaults(func=commands.cmd_chaos)
+
+    p = sub.add_parser(
         "campaign", help="run a synthetic measurement campaign"
     )
     p.add_argument(

@@ -20,7 +20,11 @@ Section 2 of the paper: a session-layer protocol binding one end-to-end
 * :mod:`~repro.lsl.socket_transport` — a real-TCP (localhost)
   implementation used for functional integration tests.  Performance
   experiments run on the simulator (:mod:`repro.net`) instead, where
-  BDP effects exist.
+  BDP effects exist;
+* :mod:`~repro.lsl.health` — the depot health control plane: liveness
+  probes, per-depot circuit breakers, heartbeat monitoring;
+* :mod:`~repro.lsl.failover` — automatic mid-transfer failover over
+  scheduler reroutes, resuming from depot ledgers.
 """
 
 from repro.lsl.header import (
@@ -46,6 +50,15 @@ from repro.lsl.options import (
     decode_options,
     encode_options,
 )
+from repro.lsl.health import (
+    BreakerOpen,
+    BreakerState,
+    CircuitBreaker,
+    HealthMonitor,
+    ProbeResult,
+    probe_depot,
+)
+from repro.lsl.failover import FailoverReport, FailoverSender, NoRouteLeft
 from repro.lsl.routetable import RouteTable
 from repro.lsl.depot import Depot, DepotConfig, ForwardingDecision, SessionState
 from repro.lsl.session import SourceEndpoint, SinkEndpoint
@@ -70,6 +83,15 @@ __all__ = [
     "ResumeOffset",
     "decode_options",
     "encode_options",
+    "BreakerOpen",
+    "BreakerState",
+    "CircuitBreaker",
+    "HealthMonitor",
+    "ProbeResult",
+    "probe_depot",
+    "FailoverReport",
+    "FailoverSender",
+    "NoRouteLeft",
     "RouteTable",
     "Depot",
     "DepotConfig",

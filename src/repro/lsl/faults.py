@@ -64,6 +64,13 @@ class FaultRule:
         Stall duration in seconds (``STALL`` only).
     times:
         How many times this rule fires before it is exhausted.
+    after_fired:
+        ``(site, kind)`` another rule must have fired before this one
+        arms; ``None`` (the default) arms immediately.  Sequencing is
+        what turns independent rules into a *scenario* — e.g. a depot
+        that dies mid-stream and then refuses reconnects is
+        ``DROP(after_bytes=N)`` followed by
+        ``REFUSE(after_fired=(site, DROP))``.
     """
 
     site: str
@@ -71,6 +78,7 @@ class FaultRule:
     after_bytes: int = 0
     delay: float = 0.0
     times: int = 1
+    after_fired: tuple[str, FaultKind] | None = None
 
     def __post_init__(self) -> None:
         check_non_negative("after_bytes", self.after_bytes)
@@ -103,6 +111,11 @@ class FaultPlan:
             for rule in self._rules:
                 if rule.site != site or rule.kind not in kinds or rule.times <= 0:
                     continue
+                if (
+                    rule.after_fired is not None
+                    and rule.after_fired not in self.fired
+                ):
+                    continue
                 if predicate is not None and not predicate(rule):
                     continue
                 rule.times -= 1
@@ -129,6 +142,15 @@ class FaultPlan:
     def stream_watch(self, site: str) -> "StreamWatch":
         """A per-connection byte counter for ``DROP``/``STALL`` rules."""
         return StreamWatch(self, site)
+
+    def pending(self) -> list[FaultRule]:
+        """Rules with firings left (armed or not) — empty when consumed.
+
+        The chaos harness uses this to tell a plan that ran to
+        completion from one whose faults never got the chance to fire.
+        """
+        with self._lock:
+            return [rule for rule in self._rules if rule.times > 0]
 
     def count(self, site: str | None = None, kind: FaultKind | None = None) -> int:
         """How many firings match ``site``/``kind`` (``None`` = any)."""

@@ -1,0 +1,410 @@
+"""Depot health control plane: probes, circuit breakers, monitoring.
+
+The paper's depots are unreliable wide-area hosts (PlanetLab), so a
+production relay stack needs *liveness tracking*: a cheap way to tell a
+dead or degraded depot from a healthy one, and a memory of recent
+failures so the scheduler stops routing sessions into a black hole
+while it is down — then lets traffic back in once it recovers.
+
+Three pieces, consumed by :mod:`repro.lsl.failover`:
+
+* :func:`probe_depot` — one lightweight liveness probe of a depot
+  listener.  The probe opens a TCP connection and half-closes it
+  without sending a header; a healthy server treats the clean EOF as a
+  unit boundary (:class:`~repro.lsl.socket_transport.SessionEnded`) and
+  closes quietly, so the probe costs one round trip and never pollutes
+  the server's error list or timeline.  A crashed depot refuses the
+  connect; a depot aborting sessions at accept (the ``REFUSE`` fault)
+  resets the probe's read — both read as unhealthy.
+* :class:`CircuitBreaker` — the classic closed/open/half-open state
+  machine, per depot (equivalently: per sublink toward that depot).
+  Consecutive failures past a threshold open the breaker; cooldowns are
+  driven by a :class:`~repro.lsl.faults.RetryPolicy` (the open interval
+  after the *n*-th trip is ``policy.delay(n)``), so breaker pacing and
+  reconnect pacing share one deterministic schedule.  After the
+  cooldown a single half-open trial decides: success closes the
+  breaker, failure re-opens it with a longer cooldown.
+* :class:`HealthMonitor` — a named set of depot targets, each with a
+  breaker; on-demand sweeps (:meth:`HealthMonitor.check_once`) and an
+  optional background heartbeat thread (``lsl:health:heartbeat``).
+
+Everything surfaces through :mod:`repro.obs`: breaker state gauges
+(``lsl_breaker_state``), transition counters, probe latency histograms
+and probe failure counters — the metric names are catalogued in
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Mapping
+
+from repro.lsl.faults import RetryPolicy
+from repro.obs.registry import NULL_REGISTRY, Registry
+
+#: Probe latency buckets, in seconds: loopback probes sit in the first
+#: few, wide-area probes in the tail.
+PROBE_BUCKETS = (0.001, 0.005, 0.025, 0.1, 0.25, 1.0, 5.0)
+
+
+class BreakerState(Enum):
+    """Circuit breaker states, with their exported gauge values."""
+
+    #: traffic flows; failures are counted
+    CLOSED = 0
+    #: one trial connection is allowed to test recovery
+    HALF_OPEN = 1
+    #: traffic is short-circuited until the cooldown elapses
+    OPEN = 2
+
+
+class BreakerOpen(ConnectionError):
+    """A sublink was short-circuited by an open breaker (no I/O tried)."""
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of one depot liveness probe.
+
+    Attributes
+    ----------
+    target:
+        Name of the probed depot.
+    ok:
+        True when the listener accepted and closed cleanly.
+    latency_s:
+        Connect-to-close round trip in seconds (failed probes report
+        the time until the failure surfaced).
+    error:
+        Diagnostic string for failed probes, empty on success.
+    """
+
+    target: str
+    ok: bool
+    latency_s: float
+    error: str = ""
+
+
+def probe_depot(
+    address: tuple[str, int],
+    timeout_s: float,
+    target: str = "",
+) -> ProbeResult:
+    """Probe one depot listener: connect, half-close, await clean EOF.
+
+    The probe sends no header, so the server side's clean-EOF path
+    (:class:`~repro.lsl.socket_transport.SessionEnded`) absorbs it
+    without recording an error.  Any connect failure, reset or timeout
+    marks the depot unhealthy.
+    """
+    name = target or f"{address[0]}:{address[1]}"
+    t0 = time.monotonic()
+    try:
+        with socket.create_connection(address, timeout=timeout_s) as sock:
+            sock.settimeout(timeout_s)
+            sock.shutdown(socket.SHUT_WR)
+            # a healthy server closes; EOF is the all-clear
+            while sock.recv(1024):
+                pass
+        return ProbeResult(name, True, time.monotonic() - t0)
+    except (ConnectionError, OSError) as exc:
+        return ProbeResult(name, False, time.monotonic() - t0, str(exc))
+
+
+class CircuitBreaker:
+    """A closed/open/half-open breaker for one depot (or sublink).
+
+    Parameters
+    ----------
+    target:
+        Label carried on every exported series.
+    failure_threshold:
+        Consecutive failures that trip a closed breaker open.
+    cooldown:
+        :class:`~repro.lsl.faults.RetryPolicy` whose deterministic
+        backoff schedule paces the open intervals: after the *n*-th
+        trip the breaker stays open for ``cooldown.delay(n)`` seconds
+        (the schedule saturates at the policy's last delay).
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+    registry:
+        Metric sink for the state gauge and transition counter.
+
+    Thread safety: every method takes the internal lock; breakers are
+    shared between probe threads and senders.
+    """
+
+    def __init__(
+        self,
+        target: str,
+        failure_threshold: int = 3,
+        cooldown: RetryPolicy | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        registry: Registry | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold={failure_threshold} must be >= 1"
+            )
+        self.target = target
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown or RetryPolicy()
+        self._clock = clock
+        self._obs = registry if registry is not None else NULL_REGISTRY
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._failures = 0
+        self._trips = 0
+        self._opened_at = 0.0
+        self._trial_inflight = False
+        self._publish(BreakerState.CLOSED)
+
+    # -- metric plumbing ---------------------------------------------------
+    def _publish(self, state: BreakerState) -> None:
+        self._obs.gauge(
+            "lsl_breaker_state", labels={"target": self.target}
+        ).set(state.value)
+
+    def _transition(self, state: BreakerState) -> None:
+        """Move to ``state`` (lock held) and export the change."""
+        if state is self._state:
+            return
+        self._state = state
+        self._obs.counter(
+            "lsl_breaker_transitions_total",
+            labels={"target": self.target, "to": state.name.lower()},
+        ).inc()
+        self._publish(state)
+
+    def _open_interval(self) -> float:
+        """Cooldown for the current trip count (saturating schedule)."""
+        attempt = min(self._trips - 1, max(self.cooldown.max_retries - 1, 0))
+        return self.cooldown.delay(max(attempt, 0))
+
+    # -- state machine -----------------------------------------------------
+    @property
+    def state(self) -> BreakerState:
+        """The current state, advancing OPEN → HALF_OPEN on cooldown."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        # callers hold self._lock (private state-machine helper)
+        if (
+            self._state is BreakerState.OPEN
+            and self._clock() - self._opened_at >= self._open_interval()
+        ):
+            self._trial_inflight = False  # rpr: disable=RPR002
+            self._transition(BreakerState.HALF_OPEN)
+
+    def allow(self) -> bool:
+        """Whether a request may proceed right now.
+
+        CLOSED always allows.  OPEN denies until the cooldown elapses,
+        then flips to HALF_OPEN.  HALF_OPEN admits exactly one trial at
+        a time; concurrent callers are denied until the trial reports.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state is BreakerState.CLOSED:
+                return True
+            if self._state is BreakerState.HALF_OPEN:
+                if self._trial_inflight:
+                    return False
+                self._trial_inflight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A request (or probe) against the target succeeded."""
+        with self._lock:
+            self._failures = 0
+            self._trial_inflight = False
+            if self._state is not BreakerState.CLOSED:
+                self._transition(BreakerState.CLOSED)
+
+    def record_failure(self) -> None:
+        """A request (or probe) against the target failed."""
+        with self._lock:
+            self._maybe_half_open()
+            self._failures += 1
+            self._trial_inflight = False
+            if self._state is BreakerState.HALF_OPEN or (
+                self._state is BreakerState.CLOSED
+                and self._failures >= self.failure_threshold
+            ):
+                self._trips += 1
+                self._opened_at = self._clock()
+                self._transition(BreakerState.OPEN)
+
+    def force_open(self) -> None:
+        """Trip the breaker immediately (diagnosed-dead fast path)."""
+        with self._lock:
+            self._failures = max(self._failures, self.failure_threshold)
+            self._trial_inflight = False
+            if self._state is not BreakerState.OPEN:
+                self._trips += 1
+                self._opened_at = self._clock()
+                self._transition(BreakerState.OPEN)
+
+    @property
+    def trips(self) -> int:
+        """How many times this breaker has opened."""
+        with self._lock:
+            return self._trips
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CircuitBreaker({self.target!r}, state={self.state.name}, "
+            f"trips={self.trips})"
+        )
+
+
+class HealthMonitor:
+    """Liveness tracking for a named set of depot listeners.
+
+    Parameters
+    ----------
+    targets:
+        ``name -> (host, port)`` of every depot to watch.
+    probe_timeout_s:
+        Per-probe connect/read bound in seconds.
+    failure_threshold, cooldown:
+        Forwarded to each target's :class:`CircuitBreaker`.
+    registry:
+        Shared metric sink (probe latency histogram, failure counters,
+        breaker series).
+    clock:
+        Monotonic time source for the breakers (tests inject a fake).
+
+    Use :meth:`check_once` for an on-demand sweep, or
+    :meth:`start`/:meth:`stop` for a background heartbeat thread.  The
+    heartbeat thread is named ``lsl:health:heartbeat`` so the test
+    suite's leak fixture catches monitors left running.
+    """
+
+    def __init__(
+        self,
+        targets: Mapping[str, tuple[str, int]],
+        probe_timeout_s: float = 2.0,
+        failure_threshold: int = 3,
+        cooldown: RetryPolicy | None = None,
+        registry: Registry | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if probe_timeout_s <= 0:
+            raise ValueError(
+                f"probe_timeout_s={probe_timeout_s} must be positive"
+            )
+        self.probe_timeout_s = probe_timeout_s
+        self._targets = dict(targets)
+        self._obs = registry if registry is not None else NULL_REGISTRY
+        self._breakers = {
+            name: CircuitBreaker(
+                name,
+                failure_threshold=failure_threshold,
+                cooldown=cooldown,
+                clock=clock,
+                registry=self._obs,
+            )
+            for name in self._targets
+        }
+        self._last: dict[str, ProbeResult] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def targets(self) -> dict[str, tuple[str, int]]:
+        return dict(self._targets)
+
+    def breaker(self, name: str) -> CircuitBreaker:
+        """The breaker guarding ``name`` (KeyError for unknown names)."""
+        return self._breakers[name]
+
+    def allow(self, name: str) -> bool:
+        """Whether traffic toward ``name`` may proceed right now."""
+        return self._breakers[name].allow()
+
+    def probe(self, name: str) -> ProbeResult:
+        """Probe one target, feed its breaker, export the series."""
+        result = probe_depot(
+            self._targets[name], self.probe_timeout_s, target=name
+        )
+        self._obs.histogram(
+            "lsl_probe_seconds",
+            labels={"target": name},
+            buckets=PROBE_BUCKETS,
+        ).observe(result.latency_s)
+        if result.ok:
+            self._breakers[name].record_success()
+        else:
+            self._obs.counter(
+                "lsl_probe_failures_total", labels={"target": name}
+            ).inc()
+            self._breakers[name].record_failure()
+        with self._lock:
+            self._last[name] = result
+        return result
+
+    def check_once(self, names: list[str] | None = None) -> dict[str, ProbeResult]:
+        """Probe every (or the named) target once; returns the results."""
+        picked = list(self._targets) if names is None else list(names)
+        return {name: self.probe(name) for name in picked}
+
+    def diagnose(self, names: list[str] | None = None) -> set[str]:
+        """Probe and return the set of targets that failed the sweep."""
+        return {
+            name
+            for name, result in self.check_once(names).items()
+            if not result.ok
+        }
+
+    def last_result(self, name: str) -> ProbeResult | None:
+        """The most recent probe result for ``name`` (None if unprobed)."""
+        with self._lock:
+            return self._last.get(name)
+
+    def healthy(self) -> set[str]:
+        """Targets whose breakers currently admit traffic."""
+        return {name for name in self._targets if self.allow(name)}
+
+    # -- background heartbeat ---------------------------------------------
+    def start(self, interval_s: float = 1.0) -> None:
+        """Start the heartbeat thread (idempotent while running)."""
+        if interval_s <= 0:
+            raise ValueError(f"interval_s={interval_s} must be positive")
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(interval_s,),
+            name="lsl:health:heartbeat",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def _heartbeat_loop(self, interval_s: float) -> None:
+        while not self._stop.wait(interval_s):
+            self.check_once()
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        """Stop and join the heartbeat thread (no-op when not running)."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout_s)
+            self._thread = None
+
+    def __enter__(self) -> "HealthMonitor":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False

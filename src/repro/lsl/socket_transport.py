@@ -115,6 +115,28 @@ def _abort_socket(sock: socket.socket) -> None:
         pass
 
 
+def _connect_with_retry(
+    address: tuple[str, int], policy: RetryPolicy
+) -> socket.socket:
+    """Open a TCP connection under ``policy``'s timeout and retry budget.
+
+    Only the connect itself is retried (a refused or unreachable listener
+    often just restarted); once the socket is open, stream errors
+    propagate to the caller untouched.
+    """
+    attempts = 0
+    while True:
+        try:
+            return socket.create_connection(
+                address, timeout=policy.connect_timeout
+            )
+        except (ConnectionError, OSError):
+            attempts += 1
+            if attempts > policy.max_retries:
+                raise
+            time.sleep(policy.delay(attempts - 1))
+
+
 def _read_exact(sock: socket.socket, n: int) -> bytes:
     """Read exactly ``n`` bytes.
 
@@ -196,6 +218,10 @@ class _Server:
         #: guards the thread registry (_threads, _handler_seq) and the
         #: errors list, both shared between handler threads and close()
         self._reg_lock = threading.Lock()
+        #: serialises close() bodies so concurrent callers cannot race
+        #: the teardown; _closed makes repeat calls cheap no-ops
+        self._close_lock = threading.Lock()
+        self._closed = False
         self._accept_thread = threading.Thread(
             target=self._accept_loop,
             name=f"lsl:{self.name}:accept",
@@ -273,7 +299,19 @@ class _Server:
         silent leak is a bug, a loud one is a diagnosable event.  With
         ``abort=True`` every live connection is reset first (simulating
         a crashed depot), which unblocks handlers stuck in ``recv``.
+
+        Idempotent and safe under concurrent callers: the teardown is
+        serialised, a repeat ``close()`` returns immediately, and a
+        ``kill()`` *after* a graceful close still aborts any handler
+        that outlived the first call.
         """
+        with self._close_lock:
+            if self._closed and not abort:
+                return
+            self._closed = True
+            self._close_locked(timeout, abort)
+
+    def _close_locked(self, timeout: float, abort: bool) -> None:
         self._stop.set()
         try:
             # shutdown() (not just close()) is what actually wakes a
@@ -696,7 +734,7 @@ class DepotServer(_Server):
         tx = self.obs.counter(
             "lsl_tx_bytes_total", labels={"node": self.name}
         )
-        with socket.create_connection(next_hop, timeout=10) as out:
+        with _connect_with_retry(next_hop, self.retry) as out:
             self.timeline.record(
                 "connect", node=self.name, stream=STREAM_DOWN,
                 session=header.hex_id,
@@ -1119,7 +1157,9 @@ def send_session(
     tx = obs.counter("lsl_tx_bytes_total", labels={"node": source_name})
     resume = header.option(ResumeOffset)
     if retry is None and resume is None:
-        with socket.create_connection(first_hop, timeout=10) as sock:
+        # legacy fire-and-forget: no resume protocol, but the initial
+        # connect still gets the default policy's timeout and budget
+        with _connect_with_retry(first_hop, RetryPolicy()) as sock:
             tl.record(
                 "connect", node=source_name, stream=STREAM_DOWN,
                 session=header.hex_id,

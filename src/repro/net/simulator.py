@@ -119,6 +119,33 @@ class FaultedTransferResult(TransferResult):
     per_sublink_retransmitted: list[float] = field(default_factory=list)
 
 
+@dataclass
+class FailoverTransferResult(TransferResult):
+    """A :class:`TransferResult` for a transfer that switched routes.
+
+    Attributes
+    ----------
+    failovers:
+        Route switches performed (this runner models exactly one).
+    failed_node:
+        Name of the depot that died mid-transfer.
+    staged_at_failover:
+        Bytes each surviving node had staged when the primary route was
+        abandoned — the resume points the fallback route starts from.
+    handoff_time:
+        Virtual time at which the failover happened.
+    primary_route, fallback_route:
+        Node names of the two routes, source first.
+    """
+
+    failovers: int = 0
+    failed_node: str = ""
+    staged_at_failover: dict[str, float] = field(default_factory=dict)
+    handoff_time: float = 0.0
+    primary_route: list[str] = field(default_factory=list)
+    fallback_route: list[str] = field(default_factory=list)
+
+
 def default_node_names(n_sublinks: int) -> list[str]:
     """Node labels for an ``n_sublinks``-hop relay.
 
@@ -146,6 +173,14 @@ class _TimelineEmitter:
     ``progress`` watermarks and ``eof`` as delivery advances.  Every
     record passes an explicit ``t`` so the timeline's wall clock is
     never consulted (virtual time only under ``net/``).
+
+    With ``staged`` the emitter models a *resumed* leg (failover
+    phase 2): each node starts from its carried-over byte position, so
+    openings log ``resume`` on both sides of a sublink whose receiver
+    already holds bytes (mirroring the ResumeOffset handshake),
+    ``first_byte`` is suppressed at resumed receivers, and progress
+    watermarks count absolute session bytes (``staged + delivered``)
+    against ``total``, not this pipeline's remainder.
     """
 
     def __init__(
@@ -154,6 +189,9 @@ class _TimelineEmitter:
         timeline: SessionTimeline,
         session: str = "",
         node_names: list[str] | None = None,
+        staged: dict[str, float] | None = None,
+        t_offset: float = 0.0,
+        total: float | None = None,
     ) -> None:
         n = len(pipeline.flows)
         names = node_names or default_node_names(n)
@@ -165,13 +203,21 @@ class _TimelineEmitter:
         self._timeline = timeline
         self._session = session
         self._nodes = list(names)
+        self._t0 = t_offset
+        self._total = float(total if total is not None else pipeline.size)
+        self._staged = [
+            float((staged or {}).get(name, 0.0)) for name in names
+        ]
         self._opened = [False] * n
-        self._first = [False] * n
+        # a resumed receiver saw its first byte on the abandoned route
+        self._first = [self._staged[i + 1] > 0 for i in range(n)]
         self._eof = [False] * n
         self._complete = [False] * n
-        self._marks = [
-            ProgressWatermarks(pipeline.size) for _ in range(n)
-        ]
+        self._marks = []
+        for i in range(n):
+            marks = ProgressWatermarks(self._total)
+            marks.advance(self._staged[i + 1])
+            self._marks.append(marks)
 
     def observe(self, now: float) -> None:
         """Emit every event the pipeline's state newly implies at ``now``."""
@@ -179,45 +225,63 @@ class _TimelineEmitter:
         record = self._timeline.record
         for i, flow in enumerate(self._pipeline.flows):
             sender, receiver = self._nodes[i], self._nodes[i + 1]
+            base = self._staged[i + 1]
             if not self._opened[i] and now >= flow.start_time:
+                t_open = self._t0 + flow.start_time
                 for event in ("connect", "header_tx"):
                     record(
                         event, node=sender, stream=STREAM_DOWN,
-                        session=self._session, t=flow.start_time,
+                        session=self._session, t=t_open,
+                    )
+                if base > 0:
+                    # sender side of the ResumeOffset handshake: the
+                    # receiver acknowledged a nonzero staged prefix
+                    record(
+                        "resume", node=sender, stream=STREAM_DOWN,
+                        session=self._session, t=t_open, nbytes=base,
                     )
                 # the header rides ahead of the first data chunk
+                t_rx = t_open + flow.path.one_way_delay
                 record(
                     "header_rx", node=receiver, stream=STREAM_UP,
-                    session=self._session,
-                    t=flow.start_time + flow.path.one_way_delay,
+                    session=self._session, t=t_rx,
                 )
+                if base > 0:
+                    record(
+                        "resume", node=receiver, stream=STREAM_UP,
+                        session=self._session, t=t_rx, nbytes=base,
+                    )
                 self._opened[i] = True
             if not self._opened[i]:
                 continue
             delivered = flow.delivered
+            absolute = min(base + delivered, self._total)
             if not self._first[i] and delivered > 0:
                 record(
                     "first_byte", node=receiver, stream=STREAM_UP,
-                    session=self._session, t=now, nbytes=delivered,
+                    session=self._session, t=self._t0 + now,
+                    nbytes=absolute,
                 )
                 self._first[i] = True
             if self._first[i]:
-                for fraction, threshold in self._marks[i].advance(delivered):
+                for fraction, threshold in self._marks[i].advance(absolute):
                     record(
                         "progress", node=receiver, stream=STREAM_UP,
-                        session=self._session, t=now, nbytes=threshold,
-                        detail=f"{fraction:g}",
+                        session=self._session, t=self._t0 + now,
+                        nbytes=threshold, detail=f"{fraction:g}",
                     )
             if not self._eof[i] and delivered >= size - 0.5:
                 record(
                     "eof", node=receiver, stream=STREAM_UP,
-                    session=self._session, t=now, nbytes=size,
+                    session=self._session, t=self._t0 + now,
+                    nbytes=min(base + size, self._total),
                 )
                 self._eof[i] = True
             if not self._complete[i] and flow.acked >= size - 0.5:
                 record(
                     "complete", node=sender, stream=STREAM_DOWN,
-                    session=self._session, t=now, nbytes=size,
+                    session=self._session, t=self._t0 + now,
+                    nbytes=min(base + size, self._total),
                 )
                 self._complete[i] = True
 
@@ -500,6 +564,187 @@ class NetworkSimulator:
             retries=retries,
             completed=completed,
             per_sublink_retransmitted=per_sublink,
+        )
+
+    def run_relay_with_failover(
+        self,
+        primary_paths: list[PathSpec],
+        fallback_paths: list[PathSpec],
+        size: int,
+        fail_sublink: int,
+        fail_after_bytes: float,
+        primary_names: list[str] | None = None,
+        fallback_names: list[str] | None = None,
+        depot_capacities: list[int] | None = None,
+        configs: list[TcpConfig] | None = None,
+        fallback_configs: list[TcpConfig] | None = None,
+        max_time: float = 3600.0,
+        timeline: SessionTimeline | None = None,
+        session: str = "",
+    ) -> FailoverTransferResult:
+        """One transfer that loses a depot mid-stream and reroutes.
+
+        The virtual-time mirror of
+        :class:`repro.lsl.failover.FailoverSender`: the primary route
+        runs until the receiver of ``fail_sublink`` has taken in
+        ``fail_after_bytes`` (and every node has seen payload), then
+        that depot dies — every receiver's stream errors out (with no
+        session attribution, matching the socket servers), the source
+        records a session-scoped ``error`` and a ``failover``, and the
+        transfer re-opens over ``fallback_paths`` with each surviving
+        node resuming from the bytes it had staged.  Route diagnosis is
+        instantaneous in virtual time (the real stack spends a few
+        probe round-trips there).
+
+        Nodes are matched between the two routes *by name*: a fallback
+        node whose name appears in the primary route inherits its
+        staged bytes (and logs ``resume``); an unnamed newcomer starts
+        cold.  The fallback pipeline carries the bytes the sink still
+        needs, so upstream re-sends of already-staged spans are not
+        separately modelled.
+
+        Raises
+        ------
+        ValueError
+            When the failed node is an endpoint, still appears in the
+            fallback route, or the primary transfer finishes before
+            the fault can trip.
+        """
+        check_positive("fail_after_bytes", fail_after_bytes)
+        names = primary_names or default_node_names(len(primary_paths))
+        fnames = fallback_names or default_node_names(len(fallback_paths))
+        if len(names) != len(primary_paths) + 1:
+            raise ValueError(
+                f"{len(primary_paths)} sublinks need "
+                f"{len(primary_paths) + 1} primary names, got {len(names)}"
+            )
+        if len(fnames) != len(fallback_paths) + 1:
+            raise ValueError(
+                f"{len(fallback_paths)} sublinks need "
+                f"{len(fallback_paths) + 1} fallback names, got {len(fnames)}"
+            )
+        if not (0 <= fail_sublink < len(primary_paths) - 1):
+            raise ValueError(
+                f"fail_sublink={fail_sublink} must target an intermediate "
+                f"depot (0..{len(primary_paths) - 2}); the sink cannot be "
+                f"failed over"
+            )
+        failed_node = names[fail_sublink + 1]
+        if failed_node in fnames:
+            raise ValueError(
+                f"fallback route still traverses the failed depot "
+                f"{failed_node!r}"
+            )
+        if (names[0], names[-1]) != (fnames[0], fnames[-1]):
+            raise ValueError("both routes must share their endpoints")
+
+        pipeline = RelayPipeline(
+            primary_paths,
+            size,
+            config=self.config,
+            depot_capacities=depot_capacities,
+            rng=self._next_rng(),
+            record_trace=False,
+            configs=configs,
+        )
+        emitter = (
+            _TimelineEmitter(
+                pipeline, timeline, session=session, node_names=names
+            )
+            if timeline is not None
+            else None
+        )
+        dt = (
+            self.dt
+            if self.dt is not None
+            else choose_dt(list(primary_paths) + list(fallback_paths))
+        )
+        now = 0.0
+        while True:
+            now += dt
+            if now > max_time:
+                raise RuntimeError(
+                    f"primary leg of {size} bytes did not reach the fault "
+                    f"point within {max_time}s simulated"
+                )
+            pipeline.step(now, dt)
+            if emitter is not None:
+                emitter.observe(now)
+            if pipeline.flows[fail_sublink].delivered >= fail_after_bytes and all(
+                flow.delivered > 0 for flow in pipeline.flows
+            ):
+                break
+            if pipeline.complete:
+                raise ValueError(
+                    f"transfer of {size} bytes completed before sublink "
+                    f"{fail_sublink} delivered {fail_after_bytes} bytes; "
+                    f"lower fail_after_bytes"
+                )
+        staged = {
+            names[i + 1]: float(flow.delivered)
+            for i, flow in enumerate(pipeline.flows)
+        }
+        if timeline is not None:
+            for i in range(len(pipeline.flows)):
+                # server-side errors carry no session id (the socket
+                # transport's handlers record them before/outside any
+                # session scope)
+                timeline.record(
+                    "error", node=names[i + 1], stream=STREAM_UP,
+                    session="", t=now,
+                    detail=f"{failed_node} died mid-stream",
+                )
+            timeline.record(
+                "error", node=names[0], stream=STREAM_DOWN,
+                session=session, t=now,
+                detail=f"route through {failed_node} failed",
+            )
+            timeline.record(
+                "failover", node=names[0], stream=STREAM_DOWN,
+                session=session, t=now, detail=f"avoid={failed_node}",
+            )
+        handoff = now
+        remaining = size - staged[names[-1]]
+        fallback = RelayPipeline(
+            fallback_paths,
+            remaining,
+            config=self.config,
+            depot_capacities=depot_capacities,
+            rng=self._next_rng(),
+            record_trace=False,
+            configs=fallback_configs,
+        )
+        emitter2 = (
+            _TimelineEmitter(
+                fallback,
+                timeline,
+                session=session,
+                node_names=fnames,
+                staged=staged,
+                t_offset=handoff,
+                total=size,
+            )
+            if timeline is not None
+            else None
+        )
+        tail = fallback.run(
+            dt,
+            max_time=max_time - handoff,
+            observer=emitter2.observe if emitter2 is not None else None,
+        )
+        return FailoverTransferResult(
+            size=int(size),
+            duration=handoff + tail,
+            loss_events=(
+                pipeline.total_loss_events() + fallback.total_loss_events()
+            ),
+            depot_peaks=[d.peak_occupancy for d in fallback.depots],
+            failovers=1,
+            failed_node=failed_node,
+            staged_at_failover=staged,
+            handoff_time=handoff,
+            primary_route=list(names),
+            fallback_route=list(fnames),
         )
 
     def compare_recovery(

@@ -24,6 +24,9 @@ Event vocabulary
 ``complete``
     A sender finished (and, on the fault-tolerant path, had the full
     payload acknowledged).
+``failover``
+    The source abandoned the current route mid-transfer and re-issued
+    the session over a reroute (``detail`` names the avoided hosts).
 ``error``
     A node recorded a failure for the session.
 
@@ -55,6 +58,7 @@ EVENTS = (
     "progress",
     "eof",
     "complete",
+    "failover",
     "error",
 )
 

@@ -40,6 +40,12 @@ from repro.testbed.stats import (
     percentile_of_unity,
     box_stats,
 )
+from repro.testbed.chaos import (
+    ChaosConfig,
+    ChaosReport,
+    EpisodeResult,
+    run_chaos,
+)
 
 __all__ = [
     "Site",
@@ -63,4 +69,8 @@ __all__ = [
     "speedup_by_size",
     "percentile_of_unity",
     "box_stats",
+    "ChaosConfig",
+    "ChaosReport",
+    "EpisodeResult",
+    "run_chaos",
 ]

@@ -21,3 +21,9 @@ def dial(host: str, port: int) -> socket.socket:
     sock = socket.create_connection((host, port))
     sock.settimeout(None)
     return sock
+
+
+def dial_pinned(host: str, port: int) -> socket.socket:
+    sock = socket.create_connection((host, port), timeout=10)
+    sock.settimeout(30.0)
+    return sock

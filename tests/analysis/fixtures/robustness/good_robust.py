@@ -18,5 +18,10 @@ def logged(payload: bytes, errors: list) -> None:
         errors.append(exc)
 
 
-def dial(host: str, port: int) -> socket.socket:
-    return socket.create_connection((host, port), timeout=5.0)
+_DIAL_TIMEOUT_S = 5.0
+
+
+def dial(
+    host: str, port: int, timeout: float = _DIAL_TIMEOUT_S
+) -> socket.socket:
+    return socket.create_connection((host, port), timeout=timeout)

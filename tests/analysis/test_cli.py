@@ -12,7 +12,7 @@ from repro.cli.main import main
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
-ALL_RULE_IDS = [f"RPR{n:03d}" for n in range(1, 12)]
+ALL_RULE_IDS = [f"RPR{n:03d}" for n in range(1, 13)]
 
 
 @pytest.fixture
@@ -32,7 +32,7 @@ def test_findings_exit_one(bad_dir, capsys):
     assert main(["lint", str(bad_dir)]) == 1
     out = capsys.readouterr().out
     assert "RPR008" in out and "RPR010" in out
-    assert "4 finding(s) in 2 file(s)" in out
+    assert "6 finding(s) in 2 file(s)" in out
 
 
 def test_seeded_violations_report_rule_and_line(tmp_path, capsys):
@@ -110,10 +110,12 @@ def test_json_schema(bad_dir, capsys):
     assert payload["tool"] == "repro-lint"
     assert payload["files_scanned"] == 2
     assert payload["clean"] is False
-    assert payload["counts"] == {"RPR008": 1, "RPR009": 1, "RPR010": 2}
+    assert payload["counts"] == {
+        "RPR008": 1, "RPR009": 1, "RPR010": 2, "RPR012": 2,
+    }
     assert isinstance(payload["suppressed"], int)
     assert isinstance(payload["baselined"], int)
-    assert len(payload["findings"]) == 4
+    assert len(payload["findings"]) == 6
     for finding in payload["findings"]:
         assert set(finding) == {
             "path", "line", "col", "rule", "message", "symbol",
@@ -154,10 +156,10 @@ def test_baseline_workflow(bad_dir, tmp_path, capsys):
     assert main(
         ["lint", str(bad_dir), "--baseline", str(base), "--update-baseline"]
     ) == 0
-    assert "accepted 4 finding(s)" in capsys.readouterr().out
+    assert "accepted 6 finding(s)" in capsys.readouterr().out
 
     assert main(["lint", str(bad_dir), "--baseline", str(base)]) == 0
-    assert "4 baselined" in capsys.readouterr().out
+    assert "6 baselined" in capsys.readouterr().out
 
     # new debt in a baselined file still fails the run
     bad = bad_dir / "bad_robust.py"

@@ -1,4 +1,4 @@
-"""RPR008/RPR009/RPR010 robustness rules against the fixtures."""
+"""RPR008/RPR009/RPR010/RPR012 robustness rules against the fixtures."""
 
 from tests.analysis.conftest import hits
 
@@ -21,6 +21,14 @@ def test_unbounded_sockets(run_fixture):
     ]
 
 
+def test_literal_timeouts(run_fixture):
+    result = run_fixture("robustness")
+    assert hits(result, "RPR012") == [
+        ("bad_robust.py", 27),  # create_connection(..., timeout=10)
+        ("bad_robust.py", 28),  # settimeout(30.0)
+    ]
+
+
 def test_handled_paths_are_clean(run_fixture):
     """Specific except clauses, recorded broad excepts and bounded
     connects must all pass."""
@@ -36,6 +44,7 @@ def test_socket_rule_skips_test_code():
     here = Path(__file__).parent / "fixtures" / "robustness"
     result = run_paths([here])  # scanned in place, under tests/
     assert "RPR010" not in result.counts
+    assert "RPR012" not in result.counts
     # the except rules are not test-exempt: sloppy tests hide failures
     assert result.counts["RPR008"] == 1
     assert result.counts["RPR009"] == 1

@@ -379,3 +379,95 @@ class TestSimulateFaults:
         )
         assert rc == 2
         assert "sublink" in capsys.readouterr().err
+
+
+class TestChaos:
+    def test_clean_soak_exits_zero(self, capsys):
+        rc = main(
+            [
+                "chaos",
+                "--episodes",
+                "1",
+                "--seed",
+                "3",
+                "--stack",
+                "simulator",
+                "--max-size-kb",
+                "128",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[simulator #0]" in out
+        assert "1 episode(s), 1 clean, 0 violated (seed=3)" in out
+
+    def test_both_stacks_run_per_episode(self, capsys):
+        rc = main(
+            [
+                "chaos",
+                "--episodes",
+                "1",
+                "--seed",
+                "3",
+                "--max-size-kb",
+                "64",
+                "--retries",
+                "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[socket #0]" in out
+        assert "[simulator #1]" in out
+        assert "2 episode(s)" in out
+
+    def test_invalid_config_is_a_usage_error(self, capsys):
+        rc = main(["chaos", "--episodes", "0"])
+        assert rc == 2
+        assert "episodes" in capsys.readouterr().err
+
+
+class TestDepotSigterm:
+    def test_sigterm_flushes_metrics(self, tmp_path):
+        """A terminating depot must leave its --metrics export behind
+        (satellite of the failover PR: depots die by signal in real
+        deployments, not KeyboardInterrupt)."""
+        import json
+        import os
+        import signal
+        import subprocess
+        import sys
+
+        metrics = tmp_path / "depot-metrics.json"
+        env = dict(os.environ)
+        root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        env["PYTHONPATH"] = os.path.join(root, "src")
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli.main",
+                "depot",
+                "--metrics",
+                str(metrics),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "depot listening on" in banner
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=15) == 0
+        finally:
+            proc.stdout.close()
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        payload = json.loads(metrics.read_text())
+        assert "metrics" in payload and "timeline" in payload
+        names = {series["name"] for series in payload["metrics"]}
+        assert "lsl_depot_bytes_forwarded" in names

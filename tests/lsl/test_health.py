@@ -1,0 +1,268 @@
+"""Depot probes, circuit breakers and the health monitor."""
+
+import pytest
+
+from repro.lsl.faults import FaultKind, FaultPlan, FaultRule, RetryPolicy
+from repro.lsl.health import (
+    BreakerState,
+    CircuitBreaker,
+    HealthMonitor,
+    probe_depot,
+)
+from repro.lsl.socket_transport import DepotServer
+from repro.obs.registry import Registry
+
+#: Deterministic cooldown schedule for breaker tests: 0.1, 0.2, 0.4 …
+COOLDOWN = RetryPolicy(
+    max_retries=3, base_delay=0.1, multiplier=2.0, max_delay=10.0, jitter=0.0
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+# -- probe_depot ---------------------------------------------------------------
+class TestProbeDepot:
+    def test_healthy_listener_probes_ok(self):
+        with DepotServer(name="d1") as depot:
+            result = probe_depot(depot.address, 2.0, target="d1")
+            assert result.ok
+            assert result.target == "d1"
+            assert result.latency_s >= 0.0
+            assert result.error == ""
+
+    def test_probe_leaves_no_trace_on_the_server(self):
+        """The half-close probe rides the clean-EOF path: no errors, no
+        timeline pollution."""
+        with DepotServer(name="d1") as depot:
+            probe_depot(depot.address, 2.0)
+        assert depot.errors == []
+
+    def test_dead_listener_probes_failed(self):
+        depot = DepotServer(name="d1")
+        address = depot.address
+        depot.close()
+        result = probe_depot(address, 0.5, target="d1")
+        assert not result.ok
+        assert result.error
+
+    def test_refusing_depot_probes_failed(self):
+        """The REFUSE fault aborts *after* accept, so the failure shows
+        up as a reset on the probe's read, not a refused connect."""
+        plan = FaultPlan([FaultRule("d1", FaultKind.REFUSE, times=5)])
+        with DepotServer(name="d1", fault_plan=plan) as depot:
+            result = probe_depot(depot.address, 1.0, target="d1")
+        assert not result.ok
+
+    def test_default_target_is_the_address(self):
+        result = probe_depot(("127.0.0.1", 1), 0.2)
+        assert result.target == "127.0.0.1:1"
+
+
+# -- CircuitBreaker ------------------------------------------------------------
+class TestCircuitBreaker:
+    def make(self, clock, registry=None, threshold=3):
+        return CircuitBreaker(
+            "d1",
+            failure_threshold=threshold,
+            cooldown=COOLDOWN,
+            clock=clock,
+            registry=registry,
+        )
+
+    def test_starts_closed_and_allows(self):
+        breaker = self.make(FakeClock())
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_failures_below_threshold_stay_closed(self):
+        breaker = self.make(FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_threshold_trips_open_and_denies(self):
+        breaker = self.make(FakeClock())
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_success_resets_the_failure_count(self):
+        breaker = self.make(FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_cooldown_half_opens_with_single_trial(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(COOLDOWN.delay(0) + 0.001)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow()  # the single trial
+        assert not breaker.allow()  # concurrent caller denied
+
+    def test_trial_success_closes(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(COOLDOWN.delay(0) + 0.001)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_trial_failure_reopens_with_longer_cooldown(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(COOLDOWN.delay(0) + 0.001)
+        assert breaker.allow()
+        breaker.record_failure()  # trial failed
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 2
+        # the first cooldown is no longer enough
+        clock.advance(COOLDOWN.delay(0) + 0.001)
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(COOLDOWN.delay(1) - COOLDOWN.delay(0))
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_cooldown_schedule_saturates(self):
+        """Trips past the policy's budget reuse its last delay instead
+        of indexing off the schedule."""
+        clock = FakeClock()
+        breaker = self.make(clock, threshold=1)
+        for _ in range(6):
+            breaker.record_failure()
+            clock.advance(COOLDOWN.delay(COOLDOWN.max_retries - 1) + 0.001)
+            assert breaker.state is BreakerState.HALF_OPEN
+            assert breaker.allow()
+
+    def test_force_open(self):
+        breaker = self.make(FakeClock())
+        breaker.force_open()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow()
+
+    def test_metrics_exported(self):
+        registry = Registry()
+        clock = FakeClock()
+        breaker = self.make(clock, registry=registry)
+        for _ in range(3):
+            breaker.record_failure()
+        gauge = registry.gauge("lsl_breaker_state", labels={"target": "d1"})
+        assert gauge.value == BreakerState.OPEN.value
+        opened = registry.counter(
+            "lsl_breaker_transitions_total",
+            labels={"target": "d1", "to": "open"},
+        )
+        assert opened.value == 1
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("d1", failure_threshold=0)
+
+
+# -- HealthMonitor -------------------------------------------------------------
+class TestHealthMonitor:
+    def test_check_once_separates_live_from_dead(self):
+        with DepotServer(name="d1") as live:
+            dead = DepotServer(name="d2")
+            dead_address = dead.address
+            dead.close()
+            monitor = HealthMonitor(
+                {"d1": live.address, "d2": dead_address},
+                probe_timeout_s=0.5,
+            )
+            results = monitor.check_once()
+            assert results["d1"].ok
+            assert not results["d2"].ok
+            assert monitor.diagnose() == {"d2"}
+            assert monitor.last_result("d1").ok
+            assert monitor.last_result("d2") is not None
+
+    def test_probes_feed_the_breakers(self):
+        dead = DepotServer(name="d2")
+        address = dead.address
+        dead.close()
+        monitor = HealthMonitor(
+            {"d2": address}, probe_timeout_s=0.2, failure_threshold=2
+        )
+        monitor.check_once()
+        assert monitor.allow("d2")  # one failure, below threshold
+        monitor.check_once()
+        assert not monitor.allow("d2")
+        assert monitor.breaker("d2").state is BreakerState.OPEN
+        assert monitor.healthy() == set()
+
+    def test_probe_metrics_exported(self):
+        registry = Registry()
+        dead = DepotServer(name="d2")
+        address = dead.address
+        dead.close()
+        monitor = HealthMonitor(
+            {"d2": address}, probe_timeout_s=0.2, registry=registry
+        )
+        monitor.check_once()
+        failures = registry.counter(
+            "lsl_probe_failures_total", labels={"target": "d2"}
+        )
+        assert failures.value == 1
+        latency = registry.histogram(
+            "lsl_probe_seconds", labels={"target": "d2"}
+        )
+        assert latency.sample()["count"] == 1
+
+    def test_heartbeat_thread_lifecycle(self):
+        with DepotServer(name="d1") as depot:
+            monitor = HealthMonitor(
+                {"d1": depot.address}, probe_timeout_s=0.5
+            )
+            monitor.start(interval_s=0.02)
+            monitor.start(interval_s=0.02)  # idempotent while running
+            try:
+                deadline = 100
+                while monitor.last_result("d1") is None and deadline:
+                    import time
+
+                    time.sleep(0.01)
+                    deadline -= 1
+                assert monitor.last_result("d1") is not None
+            finally:
+                monitor.stop()
+        assert monitor.last_result("d1").ok
+
+    def test_context_manager_stops_the_heartbeat(self):
+        import threading
+
+        with DepotServer(name="d1") as depot:
+            with HealthMonitor({"d1": depot.address}) as monitor:
+                monitor.start(interval_s=0.05)
+        names = [t.name for t in threading.enumerate() if t.is_alive()]
+        assert "lsl:health:heartbeat" not in names
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            HealthMonitor({}, probe_timeout_s=0.0)
+        monitor = HealthMonitor({})
+        with pytest.raises(ValueError):
+            monitor.start(interval_s=0.0)
+        monitor.stop()  # no-op when never started

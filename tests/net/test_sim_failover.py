@@ -1,0 +1,104 @@
+"""run_relay_with_failover: the simulator's mid-transfer reroute mirror.
+
+The socket-vs-simulator event equivalence for the golden scenario lives
+in ``tests/lsl/test_failover.py``; these tests cover the runner's own
+contract — validation, staged accounting and timing.
+"""
+
+import pytest
+
+from repro.net.simulator import FailoverTransferResult, NetworkSimulator
+from repro.net.topology import PathSpec
+from repro.obs.timeline import SessionTimeline
+
+SPEC = PathSpec(rtt=0.02, bandwidth=1e7)
+SIZE = 4 << 20
+
+PRIMARY = ["source", "d1", "d2", "sink"]
+FALLBACK = ["source", "d1", "sink"]
+
+
+def run(sim=None, timeline=None, session="s", **overrides):
+    sim = sim or NetworkSimulator(seed=1)
+    kwargs = dict(
+        primary_paths=[SPEC] * 3,
+        fallback_paths=[SPEC] * 2,
+        size=SIZE,
+        fail_sublink=1,
+        fail_after_bytes=256 << 10,
+        primary_names=PRIMARY,
+        fallback_names=FALLBACK,
+        timeline=timeline,
+        session=session,
+    )
+    kwargs.update(overrides)
+    return sim.run_relay_with_failover(**kwargs)
+
+
+class TestContract:
+    def test_result_shape(self):
+        result = run()
+        assert isinstance(result, FailoverTransferResult)
+        assert result.failovers == 1
+        assert result.failed_node == "d2"
+        assert result.primary_route == PRIMARY
+        assert result.fallback_route == FALLBACK
+        assert 0.0 < result.handoff_time < result.duration
+        assert result.size == SIZE
+
+    def test_staged_bytes_cover_the_fault_point(self):
+        result = run()
+        staged = result.staged_at_failover
+        assert set(staged) == {"d1", "d2", "sink"}
+        # the failed sublink's receiver reached the trip threshold, and
+        # every downstream node had seen payload (the cut condition)
+        assert staged["d2"] >= 256 << 10
+        assert all(v > 0 for v in staged.values())
+        assert staged["sink"] < SIZE
+
+    def test_failover_is_slower_than_a_clean_relay(self):
+        clean = NetworkSimulator(seed=1).run_relay([SPEC] * 2, SIZE)
+        assert run().duration > clean.duration
+
+    def test_timeline_records_the_handoff(self):
+        timeline = SessionTimeline()
+        result = run(timeline=timeline, session="x")
+        names = [e.event for e in timeline.events("x")]
+        assert "failover" in names
+        sequences = timeline.sequences("x")
+        assert sequences[("d2", "up")] == ("header_rx", "first_byte")
+        assert sequences[("source", "down")][-1] == "complete"
+        # anonymous receiver errors at the moment of death
+        anon = [
+            e
+            for e in timeline.events()
+            if e.event == "error" and e.session == ""
+        ]
+        assert {e.node for e in anon} == {"d1", "d2", "sink"}
+        assert all(e.t == result.handoff_time for e in anon)
+
+
+class TestValidation:
+    def test_endpoint_sublinks_cannot_fail_over(self):
+        with pytest.raises(ValueError):
+            run(fail_sublink=2)  # the sink's own sublink
+        with pytest.raises(ValueError):
+            run(fail_sublink=-1)
+
+    def test_fallback_must_avoid_the_failed_node(self):
+        with pytest.raises(ValueError):
+            run(fallback_names=["source", "d2", "sink"])
+
+    def test_routes_must_share_endpoints(self):
+        with pytest.raises(ValueError):
+            run(fallback_names=["source", "d1", "elsewhere"])
+
+    def test_name_counts_must_match_paths(self):
+        with pytest.raises(ValueError):
+            run(primary_names=["source", "d1", "sink"])
+        with pytest.raises(ValueError):
+            run(fallback_names=["source", "sink"])
+
+    def test_completing_before_the_fault_is_an_error(self):
+        with pytest.raises(ValueError):
+            run(size=64 << 10, fail_after_bytes=1 << 30)

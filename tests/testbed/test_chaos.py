@@ -1,0 +1,120 @@
+"""The chaos soak harness: config validation, short soaks, determinism.
+
+The tier-1 tests keep episode counts and payloads small; the full soak
+rides behind the ``chaos`` marker (deselected by default, run by the CI
+soak job and ``repro chaos``).
+"""
+
+import pytest
+
+from repro.testbed.chaos import (
+    ChaosConfig,
+    ChaosReport,
+    EpisodeResult,
+    run_chaos,
+)
+
+#: Small-and-fast settings shared by the tier-1 soaks.
+QUICK = dict(
+    episodes=2,
+    depots=2,
+    min_size=16 << 10,
+    max_size=64 << 10,
+    max_retries=2,
+)
+
+
+class TestChaosConfig:
+    def test_defaults_are_valid(self):
+        config = ChaosConfig()
+        assert config.stacks == ("socket", "simulator")
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(episodes=0)
+        with pytest.raises(ValueError):
+            ChaosConfig(min_size=1 << 20, max_size=64 << 10)
+        with pytest.raises(ValueError):
+            ChaosConfig(stacks=("socket", "quantum"))
+        with pytest.raises(ValueError):
+            ChaosConfig(stacks=())
+
+
+class TestShortSoak:
+    def test_socket_stack_holds_invariants(self):
+        report = run_chaos(ChaosConfig(seed=3, stacks=("socket",), **QUICK))
+        assert len(report.episodes) == 2
+        assert report.ok, report.violations
+
+    def test_simulator_stack_holds_invariants(self):
+        report = run_chaos(
+            ChaosConfig(seed=3, stacks=("simulator",), **QUICK)
+        )
+        assert len(report.episodes) == 2
+        assert report.ok, report.violations
+
+    def test_episodes_record_their_schedule(self):
+        report = run_chaos(ChaosConfig(seed=5, stacks=("socket",), **QUICK))
+        for episode in report.episodes:
+            assert episode.faults  # at least one rule is always injected
+            assert episode.size >= QUICK["min_size"]
+            assert episode.duration_s > 0.0
+            assert episode.delivered or episode.error
+
+    def test_same_seed_reproduces_the_schedule(self):
+        a = run_chaos(ChaosConfig(seed=9, stacks=("simulator",), **QUICK))
+        b = run_chaos(ChaosConfig(seed=9, stacks=("simulator",), **QUICK))
+        assert [e.faults for e in a.episodes] == [
+            e.faults for e in b.episodes
+        ]
+        assert [e.size for e in a.episodes] == [e.size for e in b.episodes]
+        assert a.summary() == b.summary()
+
+    def test_different_seeds_differ(self):
+        a = run_chaos(ChaosConfig(seed=1, stacks=("simulator",), **QUICK))
+        b = run_chaos(ChaosConfig(seed=2, stacks=("simulator",), **QUICK))
+        assert [e.faults for e in a.episodes] != [
+            e.faults for e in b.episodes
+        ]
+
+    def test_summary_shape(self):
+        report = run_chaos(
+            ChaosConfig(seed=3, stacks=("simulator",), **QUICK)
+        )
+        summary = report.summary()
+        assert "[simulator #0]" in summary
+        assert "2 episode(s), 2 clean, 0 violated (seed=3)" in summary
+
+    def test_violations_carry_episode_and_seed(self):
+        report = ChaosReport(config=ChaosConfig(seed=42))
+        report.episodes.append(
+            EpisodeResult(
+                index=0,
+                stack="socket",
+                size=1,
+                faults=[],
+                delivered=False,
+                violations=["boom"],
+            )
+        )
+        assert not report.ok
+        assert report.violations == ["episode 0 (socket, seed=42): boom"]
+
+
+@pytest.mark.chaos
+class TestLongSoak:
+    """The long soak behind ``-m chaos``: both stacks, many seeds."""
+
+    def test_soak_across_seeds(self):
+        for seed in range(6):
+            report = run_chaos(
+                ChaosConfig(
+                    episodes=4,
+                    seed=seed,
+                    depots=2,
+                    min_size=32 << 10,
+                    max_size=512 << 10,
+                    max_retries=3,
+                )
+            )
+            assert report.ok, report.violations
