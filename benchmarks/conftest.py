@@ -3,11 +3,27 @@
 Every benchmark prints the reproduced table or figure (run pytest with
 ``-s`` to see them; they are also asserted on, so a silent green run
 still validates the shapes).
+
+Everything collected under this directory is auto-marked ``bench`` and
+deselected by the default ``addopts`` so ``pytest -x -q`` stays fast;
+run the full battery with ``pytest -m bench benchmarks``.  The quick
+seeded counterpart that *does* run in tier-1 lives in
+``tests/bench/test_bench_harness.py``.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
+
+_BENCH_DIR = Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if _BENCH_DIR in Path(item.fspath).parents:
+            item.add_marker(pytest.mark.bench)
 
 from repro.testbed.abilene import abilene_testbed
 from repro.testbed.experiment import CampaignConfig, run_campaign

@@ -1,0 +1,38 @@
+"""Pinned performance trajectory: the ``repro bench`` harness.
+
+* :mod:`~repro.bench.suite` — the fixed, seeded workload suite
+  (minimax build/reroute, fluid batch step rate, socket-relay
+  throughput, chaos wall-clock);
+* :mod:`~repro.bench.results` — the ``repro-bench/1`` JSON document
+  schema, ``BENCH_<timestamp>.json`` persistence, and the regression
+  comparison behind ``repro bench --compare``.
+"""
+
+from repro.bench.results import (
+    DEFAULT_THRESHOLD,
+    SCHEMA,
+    BenchReport,
+    BenchResult,
+    Comparison,
+    Delta,
+    compare,
+    default_path,
+    load,
+    validate,
+)
+from repro.bench.suite import WORKLOADS, run_suite
+
+__all__ = [
+    "SCHEMA",
+    "DEFAULT_THRESHOLD",
+    "BenchResult",
+    "BenchReport",
+    "Comparison",
+    "Delta",
+    "compare",
+    "default_path",
+    "load",
+    "validate",
+    "WORKLOADS",
+    "run_suite",
+]

@@ -1,0 +1,329 @@
+"""Benchmark result schema, persistence and regression comparison.
+
+A bench run produces a :class:`BenchReport` — a schema-versioned,
+self-describing JSON document written to ``BENCH_<timestamp>.json`` at
+the repo root.  Committing one per optimization PR pins the performance
+trajectory: ``repro bench --compare OLD NEW`` diffs any two documents
+and exits non-zero when a metric regressed past the threshold, which is
+what CI runs against the committed baseline.
+
+Schema ``repro-bench/1``::
+
+    {
+      "schema": "repro-bench/1",
+      "created": "2026-08-08T12:00:00+00:00",
+      "suite": "full" | "smoke",
+      "python": "3.11.9",
+      "platform": "Linux-...",
+      "results": [
+        {
+          "name": "sim.steprate.vectorized.f1000",
+          "value": 123456.0,
+          "unit": "flow-steps/s",
+          "kind": "throughput",
+          "higher_is_better": true,
+          "params": {"flows": 1000}
+        },
+        ...
+      ]
+    }
+
+``kind`` is a coarse filter (``latency``/``throughput``/``ratio``/
+``wall``); regression direction comes from ``higher_is_better`` alone.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform as _platform
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Current document schema identifier.
+SCHEMA = "repro-bench/1"
+
+#: Allowed ``kind`` values (a document with others fails validation).
+KINDS = ("latency", "throughput", "ratio", "wall")
+
+#: Default regression threshold: a metric must be worse by more than
+#: this fraction before --compare flags it.  10 % separates real
+#: regressions from same-machine run-to-run noise; comparisons across
+#: machines (CI runners vs the committed baseline) should pass a far
+#: more generous explicit ``--threshold``.
+DEFAULT_THRESHOLD = 0.10
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One measured metric.
+
+    ``name`` is a stable dotted identifier (``sim.steprate.scalar.f10``)
+    — comparisons join on it, so renaming a metric breaks trajectory
+    history.  ``params`` records the workload knobs behind the number
+    (flow count, mesh size, payload bytes) for human readers.
+    """
+
+    name: str
+    value: float
+    unit: str
+    kind: str
+    higher_is_better: bool
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"kind {self.kind!r} not in {KINDS}")
+        if not self.name:
+            raise ValueError("name must be non-empty")
+        if not (math.isfinite(self.value) and self.value >= 0):
+            raise ValueError(f"{self.name}: value {self.value!r} must be "
+                             "finite and non-negative")
+
+    def to_dict(self) -> dict:
+        """JSON-ready form of this metric."""
+        return {
+            "name": self.name,
+            "value": self.value,
+            "unit": self.unit,
+            "kind": self.kind,
+            "higher_is_better": self.higher_is_better,
+            "params": dict(self.params),
+        }
+
+
+@dataclass(frozen=True)
+class BenchReport:
+    """A full bench document (one run of the suite)."""
+
+    created: str
+    suite: str
+    results: tuple[BenchResult, ...]
+    schema: str = SCHEMA
+    python: str = field(
+        default_factory=lambda: _platform.python_version()
+    )
+    platform: str = field(default_factory=_platform.platform)
+
+    def result(self, name: str) -> BenchResult:
+        """Look one metric up by name (KeyError if absent)."""
+        for r in self.results:
+            if r.name == name:
+                return r
+        raise KeyError(f"no benchmark named {name!r}")
+
+    def to_dict(self) -> dict:
+        """JSON-ready form of the whole document."""
+        return {
+            "schema": self.schema,
+            "created": self.created,
+            "suite": self.suite,
+            "python": self.python,
+            "platform": self.platform,
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    def write(self, path: str | Path) -> Path:
+        """Serialise to ``path`` (pretty-printed, trailing newline)."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+
+def default_path(created: str, root: str | Path = ".") -> Path:
+    """``BENCH_<timestamp>.json`` under ``root`` for an ISO timestamp."""
+    stamp = created.split(".")[0].replace("-", "").replace(":", "")
+    if stamp.endswith("+0000"):  # ISO "+00:00" collapses to a Z marker
+        stamp = stamp[: -len("+0000")]
+    if not stamp.endswith("Z"):
+        stamp += "Z"
+    return Path(root) / f"BENCH_{stamp}.json"
+
+
+def validate(doc: dict) -> None:
+    """Raise :class:`ValueError` unless ``doc`` is a valid document."""
+    if not isinstance(doc, dict):
+        raise ValueError("bench document must be a JSON object")
+    schema = doc.get("schema")
+    if schema != SCHEMA:
+        raise ValueError(
+            f"unsupported bench schema {schema!r} (expected {SCHEMA!r})"
+        )
+    for key in ("created", "suite", "python", "platform"):
+        if not isinstance(doc.get(key), str) or not doc[key]:
+            raise ValueError(f"missing or non-string field {key!r}")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        raise ValueError("results must be a non-empty list")
+    seen: set[str] = set()
+    for i, entry in enumerate(results):
+        if not isinstance(entry, dict):
+            raise ValueError(f"results[{i}] is not an object")
+        name = entry.get("name")
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"results[{i}]: missing name")
+        if name in seen:
+            raise ValueError(f"duplicate benchmark name {name!r}")
+        seen.add(name)
+        value = entry.get("value")
+        if (
+            not isinstance(value, (int, float))
+            or isinstance(value, bool)
+            or not math.isfinite(value)
+            or value < 0
+        ):
+            raise ValueError(f"{name}: bad value {value!r}")
+        if entry.get("kind") not in KINDS:
+            raise ValueError(f"{name}: bad kind {entry.get('kind')!r}")
+        if not isinstance(entry.get("unit"), str):
+            raise ValueError(f"{name}: missing unit")
+        if not isinstance(entry.get("higher_is_better"), bool):
+            raise ValueError(f"{name}: missing higher_is_better")
+        if not isinstance(entry.get("params", {}), dict):
+            raise ValueError(f"{name}: params must be an object")
+
+
+def load(path: str | Path) -> BenchReport:
+    """Read and validate a bench document."""
+    doc = json.loads(Path(path).read_text())
+    validate(doc)
+    return BenchReport(
+        created=doc["created"],
+        suite=doc["suite"],
+        schema=doc["schema"],
+        python=doc["python"],
+        platform=doc["platform"],
+        results=tuple(
+            BenchResult(
+                name=e["name"],
+                value=float(e["value"]),
+                unit=e["unit"],
+                kind=e["kind"],
+                higher_is_better=e["higher_is_better"],
+                params=e.get("params", {}),
+            )
+            for e in doc["results"]
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One metric's change between two bench documents."""
+
+    name: str
+    unit: str
+    baseline: float
+    current: float
+    #: Signed fractional change in the *helpful* direction: positive is
+    #: an improvement regardless of the metric's polarity.
+    change: float
+    regressed: bool
+
+    def format(self) -> str:
+        """One aligned human-readable comparison line."""
+        arrow = "▲" if self.change > 0 else ("▼" if self.change < 0 else "=")
+        flag = "  REGRESSION" if self.regressed else ""
+        return (
+            f"{self.name:<40} {self.baseline:>14.4g} -> "
+            f"{self.current:>14.4g} {self.unit:<14} "
+            f"{arrow}{abs(self.change):>7.1%}{flag}"
+        )
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Outcome of :func:`compare`."""
+
+    deltas: tuple[Delta, ...]
+    #: Metric names present in only one of the two documents.
+    only_baseline: tuple[str, ...]
+    only_current: tuple[str, ...]
+    threshold: float
+
+    @property
+    def regressions(self) -> tuple[Delta, ...]:
+        return tuple(d for d in self.deltas if d.regressed)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def format(self) -> str:
+        """The full comparison table plus a one-line verdict."""
+        lines = [d.format() for d in self.deltas]
+        for name in self.only_baseline:
+            lines.append(f"{name:<40} dropped (baseline only)")
+        for name in self.only_current:
+            lines.append(f"{name:<40} new (current only)")
+        n = len(self.regressions)
+        lines.append(
+            f"{len(self.deltas)} compared, {n} regression(s) at "
+            f"threshold {self.threshold:.0%}"
+        )
+        return "\n".join(lines)
+
+
+def compare(
+    baseline: BenchReport,
+    current: BenchReport,
+    threshold: float = DEFAULT_THRESHOLD,
+    kinds: tuple[str, ...] | None = None,
+) -> Comparison:
+    """Diff two bench documents, joined on metric name.
+
+    A metric regresses when it moved in its harmful direction by more
+    than ``threshold`` (fractional).  Metrics whose baseline value is 0
+    can only regress if the current value is positive and the metric is
+    lower-is-better.  ``kinds`` restricts the comparison (e.g. only
+    ``("throughput",)``).
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold {threshold} must be >= 0")
+    base = {r.name: r for r in baseline.results}
+    cur = {r.name: r for r in current.results}
+    deltas: list[Delta] = []
+    for name in [n for n in base if n in cur]:
+        b, c = base[name], cur[name]
+        if kinds is not None and b.kind not in kinds:
+            continue
+        if b.higher_is_better != c.higher_is_better or b.unit != c.unit:
+            raise ValueError(
+                f"{name}: baseline and current disagree on unit/direction"
+            )
+        if b.value > 0:
+            raw = (c.value - b.value) / b.value
+        else:
+            raw = math.inf if c.value > 0 else 0.0
+        change = raw if b.higher_is_better else -raw
+        deltas.append(
+            Delta(
+                name=name,
+                unit=b.unit,
+                baseline=b.value,
+                current=c.value,
+                change=change,
+                regressed=change < -threshold,
+            )
+        )
+    return Comparison(
+        deltas=tuple(deltas),
+        only_baseline=tuple(n for n in base if n not in cur),
+        only_current=tuple(n for n in cur if n not in base),
+        threshold=threshold,
+    )
+
+
+def now_iso() -> str:
+    """Current UTC time in ISO-8601 (seconds precision)."""
+    import datetime
+
+    return datetime.datetime.now(datetime.timezone.utc).isoformat(
+        timespec="seconds"
+    )
+
+
+def interpreter() -> str:  # pragma: no cover - cosmetic
+    """Short interpreter description for reports."""
+    return f"{_platform.python_implementation()} {sys.version.split()[0]}"

@@ -1,0 +1,288 @@
+"""The fixed benchmark suite behind ``repro bench``.
+
+Five workloads cover the subsystems whose performance the project
+promises (ROADMAP item 3): minimax tree construction, incremental
+reroute repair, the fluid simulator's batch step rate (scalar and
+vectorized), loopback socket-relay throughput, and chaos episode
+wall-clock.  Every workload is seeded and fixed-size so two runs on the
+same machine measure the same work; ``smoke=True`` shrinks each to a
+couple of seconds total for CI and the tier-1 smoke test.
+
+Metric names are stable identifiers (``--compare`` joins on them); add
+new metrics freely, but never rename or repurpose one.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from collections.abc import Callable, Iterable
+
+from repro.bench.results import BenchReport, BenchResult, now_iso
+from repro.util.rng import RngStream
+
+
+def _bench_minimax(smoke: bool) -> list[BenchResult]:
+    """Tree build + reroute latency on a dense random mesh."""
+    from repro.core.scheduler import LogisticalScheduler
+    from repro.nws.matrix import PerformanceMatrix
+
+    n = 120 if smoke else 500
+    reroutes = 10 if smoke else 40
+    rng = RngStream(7, "bench/minimax")
+    hosts = [f"d{i:03d}" for i in range(n)]
+    pm = PerformanceMatrix(hosts)
+    pool = [1.0, 2.0, 4.0, 8.0, 16.0]
+    for a in hosts:
+        for b in hosts:
+            if a is not b:
+                pm.set_bandwidth(a, b, float(rng.choice(pool)))
+
+    sched = LogisticalScheduler(pm, epsilon=0.1)
+    t0 = time.perf_counter()
+    sched.tree(hosts[0])
+    build_s = time.perf_counter() - t0
+    sched._dense_cost()  # warm the matrix cache, as a sweep would
+
+    src, dst = hosts[0], hosts[-1]
+    candidates = [h for h in hosts if h not in (src, dst)]
+    inc: list[float] = []
+    full: list[float] = []
+    for _ in range(reroutes):
+        k = int(rng.integers(1, 4))
+        avoid = {str(h) for h in rng.choice(candidates, size=k, replace=False)}
+        t0 = time.perf_counter()
+        sched.reroute(src, dst, avoid)
+        inc.append(time.perf_counter() - t0)
+    for _ in range(3):
+        avoid = {str(h) for h in rng.choice(candidates, size=2, replace=False)}
+        t0 = time.perf_counter()
+        sched.reroute(src, dst, avoid, incremental=False)
+        full.append(time.perf_counter() - t0)
+
+    inc_ms = statistics.median(inc) * 1e3
+    full_ms = statistics.median(full) * 1e3
+    params = {"hosts": n, "epsilon": 0.1}
+    return [
+        BenchResult(
+            name=f"minimax.build.n{n}",
+            value=build_s * 1e3,
+            unit="ms",
+            kind="latency",
+            higher_is_better=False,
+            params=params,
+        ),
+        BenchResult(
+            name=f"reroute.incremental.n{n}",
+            value=inc_ms,
+            unit="ms",
+            kind="latency",
+            higher_is_better=False,
+            params={**params, "avoided_depots": "1-3", "samples": reroutes},
+        ),
+        BenchResult(
+            name=f"reroute.full_rebuild.n{n}",
+            value=full_ms,
+            unit="ms",
+            kind="latency",
+            higher_is_better=False,
+            params=params,
+        ),
+        BenchResult(
+            name=f"reroute.speedup.n{n}",
+            value=full_ms / inc_ms if inc_ms > 0 else 0.0,
+            unit="x",
+            kind="ratio",
+            higher_is_better=True,
+            params=params,
+        ),
+    ]
+
+
+def _sim_specs(flows: int, size_mb: float, rng: RngStream):
+    """A campaign-sweep-shaped batch: ``flows`` one-depot relays of the
+    same payload over narrowly jittered paths.
+
+    Co-terminating chains are the batch engine's target workload (a
+    campaign repeats one transfer size across many host pairs), and the
+    jitter keeps every lane numerically distinct so the run still
+    exercises per-lane state rather than degenerate identical arrays.
+    """
+    from repro.net.topology import PathSpec
+    from repro.net.vectorized import BatchSpec
+    from repro.util.units import mb
+
+    specs = []
+    for _ in range(flows):
+        paths = tuple(
+            PathSpec.from_mbit(
+                rtt_ms=rng.uniform(55, 65),
+                mbit_per_sec=rng.uniform(90, 110),
+            )
+            for _ in range(2)
+        )
+        specs.append(BatchSpec(paths=paths, size=int(mb(size_mb))))
+    return specs
+
+
+def _bench_simulator(smoke: bool) -> list[BenchResult]:
+    """Fluid batch step rate, scalar versus vectorized.
+
+    Rate is flow-steps per second: each chain contributes one step per
+    dt tick it was in flight, so the number of flow-steps is identical
+    on both paths (the results are pinned bit-equal by the equivalence
+    suite) and the ratio isolates pure engine overhead.
+    """
+    from repro.net.simulator import NetworkSimulator
+
+    dt = 0.01
+    size_mb = 4.0 if smoke else 32.0
+    flow_counts = (10, 100) if smoke else (10, 100, 1000)
+    out: list[BenchResult] = []
+    speedup_by_flows: dict[int, float] = {}
+    for flows in flow_counts:
+        specs = _sim_specs(flows, size_mb, RngStream(flows, "bench/sim"))
+        rates: dict[str, float] = {}
+        for label, vectorized in (("scalar", False), ("vectorized", True)):
+            sim = NetworkSimulator(dt=dt, seed=0)
+            t0 = time.perf_counter()
+            results = sim.run_batch(specs, vectorized=vectorized)
+            wall = time.perf_counter() - t0
+            flow_steps = sum(int(r.duration / dt) + 1 for r in results)
+            rates[label] = flow_steps / wall if wall > 0 else 0.0
+            out.append(
+                BenchResult(
+                    name=f"sim.steprate.{label}.f{flows}",
+                    value=rates[label],
+                    unit="flow-steps/s",
+                    kind="throughput",
+                    higher_is_better=True,
+                    params={"flows": flows, "dt": dt, "size_mb": size_mb},
+                )
+            )
+        speedup_by_flows[flows] = (
+            rates["vectorized"] / rates["scalar"]
+            if rates["scalar"] > 0
+            else 0.0
+        )
+    top = max(flow_counts)
+    out.append(
+        BenchResult(
+            name=f"sim.steprate.speedup.f{top}",
+            value=speedup_by_flows[top],
+            unit="x",
+            kind="ratio",
+            higher_is_better=True,
+            params={"flows": top, "dt": dt, "size_mb": size_mb},
+        )
+    )
+    return out
+
+
+def _bench_transport(smoke: bool) -> list[BenchResult]:
+    """Loopback relay throughput through one real-socket depot."""
+    from repro.lsl.header import SessionHeader, new_session_id
+    from repro.lsl.socket_transport import (
+        DepotServer,
+        SinkServer,
+        send_session,
+    )
+
+    size = (256 << 10) if smoke else (8 << 20)
+    payload = RngStream(11, "bench/transport").generator.bytes(size)
+    sink = SinkServer(name="bench-sink")
+    depot = DepotServer(name="bench-depot")
+    try:
+        header = SessionHeader(
+            session_id=new_session_id(),
+            src_ip="127.0.0.1",
+            dst_ip="127.0.0.1",
+            src_port=0,
+            dst_port=sink.port,
+        )
+        t0 = time.perf_counter()
+        send_session(payload, header, depot.address, chunk_size=64 << 10)
+        got = sink.wait_for(header.hex_id, timeout=60.0)
+        wall = time.perf_counter() - t0
+        if got != payload:  # pragma: no cover - would be a transport bug
+            raise RuntimeError("relay delivered a corrupted payload")
+    finally:
+        depot.kill()
+        sink.kill()
+    return [
+        BenchResult(
+            name="transport.relay.throughput",
+            value=size / wall if wall > 0 else 0.0,
+            unit="bytes/s",
+            kind="throughput",
+            higher_is_better=True,
+            params={"payload_bytes": size, "depots": 1},
+        )
+    ]
+
+
+def _bench_chaos(smoke: bool) -> list[BenchResult]:
+    """Mean wall-clock of a seeded simulator chaos episode."""
+    from repro.testbed.chaos import ChaosConfig, run_chaos
+
+    episodes = 2 if smoke else 5
+    config = ChaosConfig(
+        episodes=episodes,
+        seed=13,
+        stacks=("simulator",),
+        max_size=(64 << 10) if smoke else (512 << 10),
+    )
+    report = run_chaos(config)
+    if not report.ok:  # pragma: no cover - would be a chaos regression
+        raise RuntimeError(
+            "chaos soak violated invariants: "
+            + "; ".join(report.violations)
+        )
+    mean_s = statistics.fmean(e.duration_s for e in report.episodes)
+    return [
+        BenchResult(
+            name="chaos.episode.wall",
+            value=mean_s * 1e3,
+            unit="ms",
+            kind="wall",
+            higher_is_better=False,
+            params={"episodes": episodes, "stack": "simulator", "seed": 13},
+        )
+    ]
+
+
+#: name -> runner; ``repro bench --only`` selects by these keys.
+WORKLOADS: dict[str, Callable[[bool], list[BenchResult]]] = {
+    "minimax": _bench_minimax,
+    "simulator": _bench_simulator,
+    "transport": _bench_transport,
+    "chaos": _bench_chaos,
+}
+
+
+def run_suite(
+    smoke: bool = False,
+    only: Iterable[str] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> BenchReport:
+    """Run the (selected) fixed suite and return its report.
+
+    Raises :class:`KeyError` for an unknown ``--only`` name so typos
+    fail loudly instead of silently benchmarking nothing.
+    """
+    names = list(only) if only is not None else list(WORKLOADS)
+    unknown = [n for n in names if n not in WORKLOADS]
+    if unknown:
+        raise KeyError(
+            f"unknown workload(s) {unknown}; available: {list(WORKLOADS)}"
+        )
+    results: list[BenchResult] = []
+    for name in names:
+        if progress is not None:
+            progress(name)
+        results.extend(WORKLOADS[name](smoke))
+    return BenchReport(
+        created=now_iso(),
+        suite="smoke" if smoke else "full",
+        results=tuple(results),
+    )

@@ -534,3 +534,41 @@ def cmd_campaign(args) -> int:
         )
     print(table.render())
     return 0
+
+
+# -- bench --------------------------------------------------------------------------
+def cmd_bench(args) -> int:
+    """Run the fixed benchmark suite or compare two result documents."""
+    from repro.bench import (
+        compare,
+        default_path,
+        load,
+        run_suite,
+    )
+
+    if args.compare:
+        baseline, current = (load(p) for p in args.compare)
+        cmp = compare(
+            baseline,
+            current,
+            threshold=args.threshold,
+            kinds=tuple(args.kind) if args.kind else None,
+        )
+        print(cmp.format())
+        return 0 if cmp.ok else 1
+
+    report = run_suite(
+        smoke=args.smoke,
+        only=args.only or None,
+        progress=lambda name: print(f"running {name} ..."),
+    )
+    for r in report.results:
+        print(f"  {r.name:<40} {r.value:>14.4g} {r.unit}")
+    out = args.out or default_path(report.created)
+    path = report.write(out)
+    print(f"wrote {path}")
+    if args.baseline:
+        cmp = compare(load(args.baseline), report, threshold=args.threshold)
+        print(cmp.format())
+        return 0 if cmp.ok else 1
+    return 0

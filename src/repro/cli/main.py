@@ -323,6 +323,67 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=commands.cmd_chaos)
 
     p = sub.add_parser(
+        "bench",
+        help=(
+            "run the fixed performance suite and write a "
+            "BENCH_<timestamp>.json document (see docs/BENCHMARKS.md)"
+        ),
+    )
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrunken workloads (seconds, for CI and quick checks)",
+    )
+    p.add_argument(
+        "--only",
+        action="append",
+        default=[],
+        metavar="WORKLOAD",
+        help="run one workload group (repeatable): minimax, simulator, "
+        "transport, chaos",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="result path (default: BENCH_<timestamp>.json in cwd)",
+    )
+    p.add_argument(
+        "--compare",
+        nargs=2,
+        default=None,
+        metavar=("BASELINE", "CURRENT"),
+        help=(
+            "diff two result documents instead of benchmarking; exits 1 "
+            "when a metric regressed past the threshold"
+        ),
+    )
+    p.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "after running, compare against this document and exit 1 on "
+            "regression (the CI mode)"
+        ),
+    )
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="fractional regression threshold for comparisons "
+        "(default 0.10)",
+    )
+    p.add_argument(
+        "--kind",
+        action="append",
+        default=[],
+        choices=("latency", "throughput", "ratio", "wall"),
+        help="restrict --compare to these metric kinds (repeatable)",
+    )
+    p.set_defaults(func=commands.cmd_bench)
+
+    p = sub.add_parser(
         "campaign", help="run a synthetic measurement campaign"
     )
     p.add_argument(

@@ -15,7 +15,12 @@
   parallel-socket throughput model.
 """
 
-from repro.core.minimax import MinimaxTree, build_mmp_tree
+from repro.core.minimax import (
+    BuildTrace,
+    MinimaxTree,
+    build_mmp_tree,
+    repair_mmp_tree,
+)
 from repro.core.paths import extract_path, path_cost, tree_edges, tree_depths
 from repro.core.epsilon import (
     EpsilonPolicy,
@@ -33,8 +38,10 @@ from repro.core.baselines import (
 )
 
 __all__ = [
+    "BuildTrace",
     "MinimaxTree",
     "build_mmp_tree",
+    "repair_mmp_tree",
     "extract_path",
     "path_cost",
     "tree_edges",

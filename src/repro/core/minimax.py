@@ -20,6 +20,18 @@ on every path, trading that slack for stability.
 
 Complexity is ``O(E log V)`` with the lazy heap used here; the paper's
 fully connected graphs make ``E = V²``.
+
+Failure recovery needs the same tree minus a handful of depots, and a
+full rebuild per failover is the scheduler's hot path (ROADMAP item 3).
+:func:`build_mmp_tree` therefore records a :class:`BuildTrace` — the
+chronological list of successful adoptions — and
+:func:`repair_mmp_tree` replays it: only nodes whose adoption history
+is transitively touched by the avoided depots ("tainted" nodes) are
+re-run against the graph; everything else is copied from the original
+tree unchanged.  The repair is exact, not approximate — a verification
+step re-taints any clean node that a repaired node could newly reach
+(the ε filter makes costs non-monotone under node removal), and the
+property suite pins repair output to a from-scratch rebuild.
 """
 
 from __future__ import annotations
@@ -28,6 +40,8 @@ import heapq
 import math
 from dataclasses import dataclass, field
 from typing import Protocol
+
+import numpy as np
 
 from repro.util.validation import check_non_negative
 
@@ -40,6 +54,39 @@ class CostGraph(Protocol):
     def cost(self, src: str, dst: str) -> float:
         """Weight of the directed edge ``src -> dst`` (``inf`` if absent)."""
         ...  # pragma: no cover - protocol
+
+
+@dataclass
+class BuildTrace:
+    """Execution record of one :func:`build_mmp_tree` run.
+
+    ``events`` is the chronological list of successful adoptions as
+    ``(offerer_settle_cost, offerer, adoptee, relax_cost)`` tuples; an
+    offer is made the moment its offerer settles, so
+    ``(offerer_settle_cost, offerer)`` is the event's position in the
+    run's total settle order (heap ties break on the node name).
+    ``settles`` is the exact settle (pop) order of the run.  It is not
+    derivable from the costs: with tied final costs the heap's order
+    depends on *when* entries were pushed, so a repair that replays
+    clean nodes must interleave live events into this recorded order,
+    not into a ``(cost, name)`` sort.  ``relay_nodes`` preserves the
+    forwarding restriction the tree was built under so a repair can
+    subtract the avoided hosts from it.
+    """
+
+    relay_nodes: frozenset[str] | None
+    events: list[tuple[float, str, str, float]]
+    settles: list[str]
+    _offerers: frozenset[str] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    @property
+    def offerers(self) -> frozenset[str]:
+        """Every node that placed at least one winning offer (cached)."""
+        if self._offerers is None:
+            self._offerers = frozenset(ev[1] for ev in self.events)
+        return self._offerers
 
 
 @dataclass
@@ -58,12 +105,20 @@ class MinimaxTree:
         root).  Unreachable nodes are absent from both maps.
     epsilon:
         The edge-equivalence fraction used to build the tree.
+    trace:
+        Build-time adoption record consumed by :func:`repair_mmp_tree`;
+        ``None`` on hand-built or repaired trees (repairing those falls
+        back to a full rebuild).  Excluded from equality.
     """
 
     start: str
     parent: dict[str, str]
     cost: dict[str, float]
     epsilon: float = 0.0
+    trace: BuildTrace | None = field(default=None, repr=False, compare=False)
+    _first_hops: dict[str, str] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def reached(self, node: str) -> bool:
         """True if ``node`` is connected to the root."""
@@ -102,6 +157,40 @@ class MinimaxTree:
         if len(path) == 1:
             return self.start
         return path[1]
+
+    def first_hops(self) -> dict[str, str]:
+        """First hop out of the root for *every* reached node, in one pass.
+
+        Equivalent to ``{d: self.next_hop(d) for d in reached}`` but
+        flattens the whole tree with path-compression instead of one
+        root-ward walk per destination, and memoizes the result — this
+        is the route-table flattening of Section 4.2, done once per
+        tree instead of once per (depot, destination) lookup.  Callers
+        must treat the returned mapping as read-only.
+        """
+        if self._first_hops is not None:
+            return self._first_hops
+        hops: dict[str, str] = {self.start: self.start}
+        for node in self.parent:
+            if node in hops:
+                continue
+            stack: list[str] = []
+            cur = node
+            while cur != self.start and cur not in hops:
+                stack.append(cur)
+                cur = self.parent[cur]
+                if len(stack) > len(self.parent):  # pragma: no cover
+                    raise RuntimeError("cycle in parent pointers")
+            # cur is either the root (next stack entry is a direct child
+            # of the root, i.e. its own first hop) or a node whose hop
+            # is already known.
+            base = None if cur == self.start else hops[cur]
+            for n in reversed(stack):
+                if base is None:
+                    base = n
+                hops[n] = base
+        self._first_hops = hops
+        return hops
 
     def __len__(self) -> int:
         return len(self.parent)
@@ -146,6 +235,8 @@ def build_mmp_tree(
     best: dict[str, float] = {h: math.inf for h in hosts}
     best[start] = 0.0
     done: set[str] = set()
+    events: list[tuple[float, str, str, float]] = []
+    settles: list[str] = []
 
     # lazy-deletion heap of (tentative cost, node)
     heap: list[tuple[float, str]] = [(0.0, start)]
@@ -154,6 +245,7 @@ def build_mmp_tree(
         if node in done or node_cost > best[node]:
             continue  # stale entry
         done.add(node)
+        settles.append(node)
         cost[node] = node_cost
         if (
             relay_nodes is not None
@@ -172,6 +264,321 @@ def build_mmp_tree(
             if relax_cost * (1.0 + epsilon) < best[other]:
                 best[other] = relax_cost
                 parent[other] = node
+                events.append((node_cost, node, other, relax_cost))
                 heapq.heappush(heap, (relax_cost, other))
 
+    trace = BuildTrace(
+        relay_nodes=(
+            frozenset(relay_nodes) if relay_nodes is not None else None
+        ),
+        events=events,
+        settles=settles,
+    )
+    return MinimaxTree(
+        start=start, parent=parent, cost=cost, epsilon=epsilon, trace=trace
+    )
+
+
+def repair_mmp_tree(
+    graph: CostGraph,
+    tree: MinimaxTree,
+    avoid: set[str] | frozenset[str] | list[str],
+    dense: np.ndarray | None = None,
+) -> MinimaxTree:
+    """The tree ``build_mmp_tree`` would produce with ``avoid`` barred
+    from forwarding — computed by repairing ``tree`` instead of
+    rebuilding from scratch.
+
+    Equivalent to ``build_mmp_tree(graph, tree.start, tree.epsilon,
+    relay_nodes=R - avoid)`` where ``R`` is the relay set the tree was
+    built under (all hosts when unrestricted), but the work scales with
+    the number of nodes whose adoption history the avoided depots
+    actually touched, not with the graph.  Avoided hosts may still be
+    *reached* (as leaves); they just never forward — exactly the
+    semantics of :meth:`LogisticalScheduler.reroute`.
+
+    The graph must be unchanged since the tree was built (the same
+    contract as the scheduler's tree cache).  ``dense`` may carry a
+    precomputed ``graph.cost_matrix()`` aligned with ``graph.hosts`` to
+    spare the repair the dense-matrix rebuild; entries must equal
+    ``graph.cost`` bit-for-bit.  Trees without a build trace (hand-made
+    or themselves repaired) fall back to a full rebuild, as does any
+    repair whose tainted region grows past half the graph.
+    """
+    avoid = set(avoid)
+    hosts = list(graph.hosts)
+    start = tree.start
+    trace = tree.trace
+    if trace is not None and trace.relay_nodes is not None:
+        relay_new = set(trace.relay_nodes) - avoid
+    else:
+        relay_new = set(hosts) - avoid
+    if trace is None:
+        return build_mmp_tree(
+            graph, start, tree.epsilon, relay_nodes=relay_new
+        )
+
+    events = trace.events
+    seed = (avoid - {start}) & trace.offerers
+    if not seed:
+        # no avoided host ever placed a winning offer, so barring them
+        # from forwarding changes nothing: the original tree stands
+        return tree
+
+    if dense is None:
+        dense = _dense_of(graph)
+    for _ in range(len(hosts) + 1):
+        # taint closure: one chronological pass suffices, because a
+        # node's own offers are always later events than the adoptions
+        # that tainted it
+        tainted = set(seed)
+        for _, offerer, adoptee, _ in events:
+            if offerer in tainted:
+                tainted.add(adoptee)
+        if 2 * len(tainted) > len(hosts):
+            break  # repair would touch most of the graph anyway
+        out = _replay_tainted(graph, tree, tainted, relay_new, dense)
+        if isinstance(out, MinimaxTree):
+            return out
+        seed.update(out)  # verification re-tainted clean nodes; widen
+    if dense is not None:
+        return _dense_build(hosts, start, tree.epsilon, relay_new, dense)
+    return build_mmp_tree(graph, start, tree.epsilon, relay_nodes=relay_new)
+
+
+def _dense_of(graph: CostGraph) -> np.ndarray | None:
+    """``graph.cost_matrix()`` when available, else None."""
+    matfn = getattr(graph, "cost_matrix", None)
+    if matfn is None:
+        return None
+    try:
+        return matfn()
+    except AttributeError:
+        return None  # wrapper over a matrix-less graph
+
+
+def _dense_build(
+    hosts: list[str],
+    start: str,
+    epsilon: float,
+    relay_nodes: set[str],
+    dense: np.ndarray,
+) -> MinimaxTree:
+    """:func:`build_mmp_tree` with array relaxation — bit-identical.
+
+    The repair's fallback for blast radii past the taint threshold:
+    relaxing a settled node against every neighbour is one vector op
+    over the dense cost row instead of a python loop of ``graph.cost``
+    calls.  Heap entries, adoption tests (same ``relax*(1+ε) < best``
+    floats) and tie behaviour all match the scalar builder exactly; an
+    infinite edge relaxes to an infinite cost, which the strict
+    comparison rejects just as the scalar ``isfinite`` skip does.  No
+    trace is recorded — repaired trees are not themselves repairable.
+    """
+    one = 1.0 + epsilon
+    inf = math.inf
+    idx = {h: i for i, h in enumerate(hosts)}
+    n = len(hosts)
+    best = np.full(n, inf)
+    best[idx[start]] = 0.0
+    parent: dict[str, str] = {start: start}
+    cost: dict[str, float] = {start: 0.0}
+    done = np.zeros(n, dtype=bool)
+
+    heap: list[tuple[float, str]] = [(0.0, start)]
+    while heap:
+        node_cost, node = heapq.heappop(heap)
+        ni = idx[node]
+        if done[ni] or node_cost > best[ni]:
+            continue  # stale entry
+        done[ni] = True
+        cost[node] = node_cost
+        if node != start and node not in relay_nodes:
+            continue  # may be reached, but never forwards
+        relax = np.maximum(dense[ni], node_cost)
+        relax[ni] = inf  # no self edge
+        hits = np.nonzero((relax * one < best) & ~done)[0]
+        for h in hits:
+            other = hosts[int(h)]
+            val = float(relax[h])
+            best[h] = val
+            parent[other] = node
+            heapq.heappush(heap, (val, other))
+
     return MinimaxTree(start=start, parent=parent, cost=cost, epsilon=epsilon)
+
+
+def _replay_tainted(
+    graph: CostGraph,
+    tree: MinimaxTree,
+    tainted: set[str],
+    relay_new: set[str],
+    dense: np.ndarray | None,
+) -> MinimaxTree | list[str]:
+    """Re-run the MMP construction for ``tainted`` nodes only.
+
+    Clean nodes (everything else) behave identically in the original
+    run and the hypothetical rebuild: their adoptions all came from
+    clean offerers (guaranteed by the taint closure), so their settle
+    order, costs and outgoing offers are read straight off the recorded
+    trace.  Tainted nodes run live Dijkstra mechanics — against the
+    scripted offers of clean forwarders and against each other — with
+    live settles merged into the *recorded* clean settle sequence.  The
+    merge is exact: a live entry ``(b, v)`` pops before the next
+    recorded clean settle ``(c, w)`` iff ``(b, v) < (c, w)``, which is
+    precisely how the real heap would order them, because a clean
+    node's final entry is always pushed during an earlier clean settle.
+
+    Every offer a live node makes toward a clean node is checked
+    against that node's replayed best-so-far; a hit means the clean
+    node's rebuild would diverge after all (the ε filter makes costs
+    non-monotone under node removal), and the hit names are returned so
+    the caller can widen the taint set and retry.
+    """
+    start, eps = tree.start, tree.epsilon
+    one = 1.0 + eps
+    inf = math.inf
+    hosts = list(graph.hosts)
+    idx = {h: i for i, h in enumerate(hosts)}
+    cost_orig, parent_orig = tree.cost, tree.parent
+    trace = tree.trace
+
+    # the recorded clean settle sequence, in true pop order
+    clean_seq = [(cost_orig[w], w) for w in trace.settles if w not in tainted]
+
+    # replayed clean state, one array slot per non-root clean node:
+    # inf = not yet reached, -inf = settled (can never adopt again),
+    # anything else = current best.  This doubles as the verification
+    # bound — an exact one, since replay tracks the merged order.
+    ver_name = [w for w in hosts if w not in tainted and w != start]
+    vpos = {w: i for i, w in enumerate(ver_name)}
+    if dense is not None:
+        ver_idx = np.array([idx[w] for w in ver_name], dtype=np.intp)
+    best_arr = np.full(len(ver_name), inf)
+
+    # recorded adoptions grouped by offerer; clean adoptees only — the
+    # tainted ones are re-derived live from the graph
+    adopt_by: dict[str, list[tuple[int, float]]] = {}
+    for _, offerer, adoptee, val in trace.events:
+        if adoptee not in tainted:
+            adopt_by.setdefault(offerer, []).append((vpos[adoptee], val))
+
+    tainted_list = sorted(tainted)
+    tpos = {v: i for i, v in enumerate(tainted_list)}
+    if dense is not None:
+        t_idx = np.array([idx[v] for v in tainted_list], dtype=np.intp)
+
+    # Scripted offer from clean forwarder z to v is max(edge(z, v),
+    # cost(z)), delivered the moment z settles.  Only strict running
+    # minima can ever win: once an offer of value m has been delivered,
+    # best[v] <= m*(1+eps) forever, so a later offer succeeds only if
+    # strictly below m.  Each stream collapses to its prefix-minima
+    # subsequence, keyed by position in the clean settle sequence.
+    fwd_ci = [
+        ci
+        for ci, (_, z) in enumerate(clean_seq)
+        if z == start or z in relay_new
+    ]
+    fwd_cost = np.array([clean_seq[ci][0] for ci in fwd_ci])
+    if dense is not None:
+        fwd_idx = np.array(
+            [idx[clean_seq[ci][1]] for ci in fwd_ci], dtype=np.intp
+        )
+    deliver_at: dict[int, list[tuple[str, float]]] = {}
+    for v in tainted_list:
+        if dense is not None:
+            vals = np.maximum(dense[fwd_idx, idx[v]], fwd_cost)
+        else:
+            vals = np.array(
+                [
+                    max(graph.cost(clean_seq[ci][1], v), clean_seq[ci][0])
+                    for ci in fwd_ci
+                ]
+            )
+        if not vals.size:
+            continue
+        run_min = np.minimum.accumulate(vals)
+        prior = np.concatenate(([inf], run_min[:-1]))
+        for j in np.nonzero(vals < prior)[0]:
+            deliver_at.setdefault(fwd_ci[int(j)], []).append(
+                (v, float(vals[j]))
+            )
+
+    best = {v: inf for v in tainted_list}
+    bests = np.full(len(tainted_list), inf)
+    par: dict[str, str] = {}
+    new_cost: dict[str, float] = {}
+    settled: set[str] = set()
+    heap: list[tuple[float, str]] = []  # live tainted candidates
+
+    ci = 0
+    n_clean = len(clean_seq)
+    while True:
+        while heap and (
+            heap[0][1] in settled or heap[0][0] > best[heap[0][1]]
+        ):
+            heapq.heappop(heap)  # stale
+        have_clean = ci < n_clean
+        if not heap and not have_clean:
+            break
+        if have_clean and (
+            not heap or clean_seq[ci] < (heap[0][0], heap[0][1])
+        ):
+            # next event: a recorded clean settle
+            _, z = clean_seq[ci]
+            for p, val in adopt_by.get(z, ()):
+                best_arr[p] = val  # replayed clean adoption
+            pz = vpos.get(z)
+            if pz is not None:
+                best_arr[pz] = -inf  # z settles
+            for v, val in deliver_at.get(ci, ()):
+                if v not in settled and val * one < best[v]:
+                    best[v] = val
+                    bests[tpos[v]] = val
+                    par[v] = z
+                    heapq.heappush(heap, (val, v))
+            ci += 1
+            continue
+        # next event: a live tainted settle
+        b, v = heapq.heappop(heap)
+        settled.add(v)
+        new_cost[v] = b
+        bests[tpos[v]] = -inf
+        if v not in relay_new:
+            continue  # reached, but barred from forwarding
+        # live offers to the remaining tainted nodes
+        if dense is not None:
+            row = dense[idx[v], t_idx]
+        else:
+            row = np.array([graph.cost(v, w) for w in tainted_list])
+        vals = np.maximum(row, b)
+        for h in np.nonzero(vals * one < bests)[0]:
+            w = tainted_list[int(h)]
+            val = float(vals[h])
+            best[w] = val
+            bests[h] = val
+            par[w] = v
+            heapq.heappush(heap, (val, w))
+        # verification: would this repaired node's offer beat any clean
+        # node's replayed best right now?  best_arr is exact, so any
+        # hit is a true divergence
+        if dense is not None:
+            vrow = dense[idx[v], ver_idx]
+        else:
+            vrow = np.array([graph.cost(v, w) for w in ver_name])
+        hit = np.nonzero(np.maximum(vrow, b) * one < best_arr)[0]
+        if hit.size:
+            return [ver_name[int(h)] for h in hit]
+
+    parent_new: dict[str, str] = {}
+    cost_new: dict[str, float] = {}
+    for node, c in cost_orig.items():
+        if node not in tainted:
+            cost_new[node] = c
+            parent_new[node] = parent_orig[node]
+    for v in settled:
+        cost_new[v] = new_cost[v]
+        parent_new[v] = par[v]
+    return MinimaxTree(
+        start=start, parent=parent_new, cost=cost_new, epsilon=eps
+    )

@@ -25,7 +25,14 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.core.minimax import CostGraph, MinimaxTree, build_mmp_tree
+import numpy as np
+
+from repro.core.minimax import (
+    CostGraph,
+    MinimaxTree,
+    build_mmp_tree,
+    repair_mmp_tree,
+)
 from repro.core.epsilon import EpsilonPolicy, RelativeEpsilon
 from repro.util.validation import check_non_negative
 
@@ -90,6 +97,17 @@ class _HostCappedGraph:
         base = self._graph.cost(src, dst)
         return max(base, self._host_cost.get(src, 0.0))
 
+    def cost_matrix(self) -> np.ndarray:
+        """Dense capped costs, aligned with :attr:`hosts` order.
+
+        Only available when the wrapped graph exposes ``cost_matrix``
+        (raises :class:`AttributeError` otherwise, like a missing
+        method would).
+        """
+        base = self._graph.cost_matrix()
+        caps = np.array([self._host_cost.get(h, 0.0) for h in self.hosts])
+        return np.maximum(base, caps[:, None])
+
 
 class LogisticalScheduler:
     """Builds MMP trees over a performance matrix and issues routes.
@@ -141,6 +159,8 @@ class LogisticalScheduler:
         self._base_graph = graph
         self.depot_hosts = set(depot_hosts) if depot_hosts is not None else None
         self._trees: dict[str, MinimaxTree] = {}
+        self._route_tables: dict[str, tuple[float, dict[str, str]]] = {}
+        self._dense: np.ndarray | None = None
 
     # -- tree management ----------------------------------------------------
     @property
@@ -169,6 +189,17 @@ class LogisticalScheduler:
         experiment; the experiment harness calls this on each re-run.
         """
         self._trees.clear()
+        self._route_tables.clear()
+        self._dense = None
+
+    def _dense_cost(self) -> np.ndarray | None:
+        """Cached dense cost matrix for the repair fast path (or None)."""
+        if self._dense is None and hasattr(self._graph, "cost_matrix"):
+            try:
+                self._dense = self._graph.cost_matrix()
+            except AttributeError:
+                return None
+        return self._dense
 
     # -- decisions ------------------------------------------------------------
     def decide(self, source: str, dest: str) -> ScheduleDecision:
@@ -178,7 +209,11 @@ class LogisticalScheduler:
         return self._decision(self.tree(source), source, dest)
 
     def reroute(
-        self, source: str, dest: str, avoid: set[str] | list[str]
+        self,
+        source: str,
+        dest: str,
+        avoid: set[str] | list[str],
+        incremental: bool = True,
     ) -> ScheduleDecision:
         """Recompute the minimax route with failed depots excluded.
 
@@ -189,9 +224,13 @@ class LogisticalScheduler:
         only barred from serving as intermediate depots.  Falls back to
         the direct edge when no surviving depot route beats it.
 
-        The filtered tree is rebuilt per call and never cached — fault
-        handling must see the exclusion immediately, and the cache keeps
-        serving the fault-free topology.
+        The filtered tree is never cached — fault handling must see the
+        exclusion immediately, and the cache keeps serving the
+        fault-free topology.  By default it is *repaired* out of the
+        cached fault-free tree (:func:`repair_mmp_tree`), which scales
+        with the avoided depots' blast radius instead of the graph;
+        ``incremental=False`` forces the original from-scratch rebuild
+        and serves as the repair's conformance oracle in the tests.
         """
         avoid = set(avoid)
         if source in avoid or dest in avoid:
@@ -199,15 +238,23 @@ class LogisticalScheduler:
                 f"cannot avoid session endpoint(s): "
                 f"{sorted(avoid & {source, dest})}"
             )
-        allowed = (
-            set(self.depot_hosts)
-            if self.depot_hosts is not None
-            else set(self._graph.hosts)
-        )
-        allowed -= avoid
-        tree = build_mmp_tree(
-            self._graph, source, self.epsilon, relay_nodes=allowed
-        )
+        if incremental:
+            tree = repair_mmp_tree(
+                self._graph,
+                self.tree(source),
+                avoid,
+                dense=self._dense_cost(),
+            )
+        else:
+            allowed = (
+                set(self.depot_hosts)
+                if self.depot_hosts is not None
+                else set(self._graph.hosts)
+            )
+            allowed -= avoid
+            tree = build_mmp_tree(
+                self._graph, source, self.epsilon, relay_nodes=allowed
+            )
         return self._decision(tree, source, dest)
 
     def _decision(
@@ -255,14 +302,39 @@ class LogisticalScheduler:
         Walks the MMP tree rooted at ``node`` exactly as Section 4.2
         describes.  Destinations whose decision is direct map to
         themselves.
+
+        The flattening is memoized: the tree's first hops are computed
+        in one pass (:meth:`MinimaxTree.first_hops`) and the finished
+        table is cached per node until :meth:`invalidate` or an ε
+        change — a scheduler sweep touches every (node, dest) pair, and
+        per-pair ``decide()`` walks were the dominant cost.
         """
+        hit = self._route_tables.get(node)
+        if hit is not None and hit[0] == self.epsilon:
+            return dict(hit[1])
+        tree = self.tree(node)
+        hops = tree.first_hops()
         table: dict[str, str] = {}
         for dest in self._graph.hosts:
             if dest == node:
                 continue
-            decision = self.decide(node, dest)
-            table[dest] = decision.route[1]
-        return table
+            # mirror decide(): a depot hop is issued only for a reached,
+            # relayed destination whose predicted gain clears min_gain
+            first = hops.get(dest)
+            hop = dest
+            if first is not None and first != dest:
+                direct_cost = self._graph.cost(node, dest)
+                scheduled_cost = tree.cost_to(dest)
+                gain = (
+                    direct_cost / scheduled_cost
+                    if scheduled_cost > 0 and math.isfinite(direct_cost)
+                    else math.inf
+                )
+                if gain >= self.min_gain:
+                    hop = first
+            table[dest] = hop
+        self._route_tables[node] = (self.epsilon, table)
+        return dict(table)
 
     def all_route_tables(self) -> dict[str, dict[str, str]]:
         """Route tables for every host (one scheduler sweep)."""

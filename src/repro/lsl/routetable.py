@@ -117,7 +117,11 @@ class RouteTable:
         """Build from a :class:`~repro.core.scheduler.LogisticalScheduler`.
 
         Only relayed destinations get entries; direct ones rely on the
-        default route.
+        default route.  The scheduler memoizes the underlying MMP-tree
+        flattening (``MinimaxTree.first_hops`` + a per-node table
+        cache), so rebuilding every depot's ``RouteTable`` after a
+        5-minute sweep costs one tree walk per node, not one per
+        (node, destination) pair.
         """
         raw = scheduler.route_table(owner)
         entries = {dest: hop for dest, hop in raw.items() if hop != dest}

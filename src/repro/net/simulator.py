@@ -10,8 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.net.depot_sim import RelayPipeline
 from repro.net.tcp import TcpConfig
+from repro.net.vectorized import BatchSpec, VectorizedBatch
 from repro.net.topology import PathSpec
 from repro.net.trace import SeqTrace
 from repro.obs.timeline import (
@@ -565,6 +568,259 @@ class NetworkSimulator:
             completed=completed,
             per_sublink_retransmitted=per_sublink,
         )
+
+    def run_batch(
+        self,
+        specs: list[BatchSpec],
+        vectorized: bool = True,
+        record_trace: bool = False,
+        max_time: float = 3600.0,
+        timeline: SessionTimeline | None = None,
+        sessions: list[str] | None = None,
+        node_names: list[list[str] | None] | None = None,
+    ) -> list[TransferResult]:
+        """Run many independent transfers, optionally in numpy lockstep.
+
+        Each :class:`~repro.net.vectorized.BatchSpec` is the argument
+        set of one :meth:`run_relay` (or, when it carries faults, one
+        :meth:`run_relay_with_faults`) call.  With ``vectorized=False``
+        the specs dispatch to those scalar runners one at a time — the
+        conformance oracle.  With ``vectorized=True`` (the default) all
+        chains advance together as element-wise array operations; the
+        results are *identical*, not merely close (pinned by
+        ``tests/net/test_vectorized_equivalence.py``), because batching
+        independent chains only reorders their interleaving while every
+        per-chain float operation stays the same.
+
+        The vectorized path supports ``loss_mode="deterministic"`` only
+        and raises ``ValueError`` for random loss (whose per-flow RNG
+        streams are inherently sequential).  ``sessions`` and
+        ``node_names`` give each spec its timeline identity; give each
+        spec a distinct session so per-session event sequences are
+        independent of batch interleaving.  Results are returned in
+        spec order: plain specs yield :class:`TransferResult`, faulted
+        specs yield :class:`FaultedTransferResult` (including the
+        hidden clean-twin run that prices ``recovery_seconds``).
+        """
+        from repro.lsl.faults import RetryPolicy
+
+        specs = list(specs)
+        if sessions is not None and len(sessions) != len(specs):
+            raise ValueError("one session per spec required")
+        if node_names is not None and len(node_names) != len(specs):
+            raise ValueError("one node-name list per spec required")
+        if not vectorized:
+            results: list[TransferResult] = []
+            for i, spec in enumerate(specs):
+                session = sessions[i] if sessions is not None else ""
+                names = node_names[i] if node_names is not None else None
+                caps = (
+                    list(spec.depot_capacities)
+                    if spec.depot_capacities is not None
+                    else None
+                )
+                cfgs = (
+                    list(spec.configs) if spec.configs is not None else None
+                )
+                if spec.faults:
+                    results.append(
+                        self.run_relay_with_faults(
+                            list(spec.paths),
+                            spec.size,
+                            list(spec.faults),
+                            retry=spec.retry,
+                            resume=spec.resume,
+                            depot_capacities=caps,
+                            record_trace=record_trace,
+                            max_time=max_time,
+                            configs=cfgs,
+                            timeline=timeline,
+                            session=session,
+                            node_names=names,
+                        )
+                    )
+                else:
+                    results.append(
+                        self.run_relay(
+                            list(spec.paths),
+                            spec.size,
+                            depot_capacities=caps,
+                            record_trace=record_trace,
+                            max_time=max_time,
+                            configs=cfgs,
+                            timeline=timeline,
+                            session=session,
+                            node_names=names,
+                        )
+                    )
+            return results
+
+        engine_specs: list[BatchSpec] = []
+        dts: list[float] = []
+        flags: list[bool] = []
+        twin_lane: dict[int, int] = {}
+        for spec in specs:
+            engine_specs.append(spec)
+            dts.append(
+                self.dt
+                if self.dt is not None
+                else choose_dt(list(spec.paths))
+            )
+            flags.append(record_trace)
+        for i, spec in enumerate(specs):
+            if spec.faults:
+                # hidden clean twin pricing clean_duration, exactly like
+                # the scalar runner's fault-free pre-run
+                twin_lane[i] = len(engine_specs)
+                engine_specs.append(
+                    BatchSpec(
+                        paths=spec.paths,
+                        size=spec.size,
+                        depot_capacities=spec.depot_capacities,
+                        configs=spec.configs,
+                    )
+                )
+                dts.append(dts[i])
+                flags.append(False)
+        # mirror the scalar runners' per-run RNG consumption so scalar
+        # runs after a batch see the same child streams either way
+        for spec in specs:
+            for _ in range(3 if spec.faults else 1):
+                self._next_rng()
+
+        batch = VectorizedBatch(
+            engine_specs,
+            self.config,
+            dts,
+            max_time=max_time,
+            record=flags,
+        )
+        emitters: dict[int, _TimelineEmitter] = {}
+        if timeline is not None:
+            for i in range(len(specs)):
+                emitters[i] = _TimelineEmitter(
+                    batch.pipeline_view(i),
+                    timeline,
+                    session=sessions[i] if sessions is not None else "",
+                    node_names=(
+                        node_names[i] if node_names is not None else None
+                    ),
+                )
+        policies = {
+            i: (spec.retry or RetryPolicy())
+            for i, spec in enumerate(specs)
+            if spec.faults
+        }
+        completed = {i: True for i in policies}
+
+        while bool(batch.alive.any()):
+            batch.step_all()
+            for lane, emitter in emitters.items():
+                if batch.alive[lane]:
+                    emitter.observe(float(batch.now[lane]))
+            for lane, policy in policies.items():
+                if not batch.alive[lane]:
+                    continue
+                spec = specs[lane]
+                now_l = float(batch.now[lane])
+                remaining = batch.fault_remaining[lane]
+                per_sub = batch.fault_retries_per_sublink[lane]
+                for fi, fault in enumerate(spec.faults):
+                    if remaining[fi] <= 0:
+                        continue
+                    delivered = float(
+                        batch.slots[fault.sublink].delivered[lane]
+                    )
+                    if delivered < fault.after_bytes:
+                        continue
+                    remaining[fi] -= 1
+                    attempt = per_sub.get(fault.sublink, 0)
+                    per_sub[fault.sublink] = attempt + 1
+                    batch.fault_retries[lane] += 1
+                    if attempt >= policy.max_retries:
+                        completed[lane] = False
+                        if lane in emitters:
+                            emitters[lane].failed(
+                                fault.sublink,
+                                now_l,
+                                f"retry budget exhausted after {attempt} "
+                                f"attempts",
+                            )
+                        break
+                    batch.inject_failure(
+                        lane,
+                        fault.sublink,
+                        now_l,
+                        restart_delay=policy.delay(attempt),
+                        resume=spec.resume,
+                    )
+                    if lane in emitters and spec.resume:
+                        emitters[lane].resumed(
+                            fault.sublink,
+                            now_l,
+                            float(
+                                batch.slots[fault.sublink].delivered[lane]
+                            ),
+                        )
+                if not completed[lane]:
+                    # retry budget exhausted: freeze this lane now
+                    if (
+                        float(batch.received[lane])
+                        >= float(batch.sizes[lane]) - 0.5
+                    ):
+                        batch.durations[lane] = (
+                            batch.refine_completion_time(lane)
+                        )
+                    else:
+                        batch.durations[lane] = float(batch.now[lane])
+                    batch.drain_chain(lane)
+                    batch.aborted[lane] = True
+                    batch.alive[lane] = False
+            for lane in np.flatnonzero(batch.complete_mask()):
+                lane = int(lane)
+                batch.durations[lane] = batch.refine_completion_time(lane)
+                batch.drain_chain(lane)
+                if lane in emitters:
+                    emitters[lane].observe(
+                        float(batch.now[lane]) + batch.max_rtt(lane)
+                    )
+                batch.alive[lane] = False
+
+        results = []
+        for i, spec in enumerate(specs):
+            duration = float(batch.durations[i])
+            traces = batch.traces(i) if record_trace else []
+            loss = batch.total_loss_events(i)
+            peaks = batch.depot_peaks(i)
+            if spec.faults:
+                per_sublink = batch.per_sublink_retransmitted(i)
+                clean_duration = float(batch.durations[twin_lane[i]])
+                results.append(
+                    FaultedTransferResult(
+                        size=int(spec.size),
+                        duration=duration,
+                        traces=traces,
+                        loss_events=loss,
+                        depot_peaks=peaks,
+                        retransmitted_bytes=sum(per_sublink),
+                        clean_duration=clean_duration,
+                        recovery_seconds=duration - clean_duration,
+                        retries=batch.fault_retries[i],
+                        completed=completed[i],
+                        per_sublink_retransmitted=per_sublink,
+                    )
+                )
+            else:
+                results.append(
+                    TransferResult(
+                        size=int(spec.size),
+                        duration=duration,
+                        traces=traces,
+                        loss_events=loss,
+                        depot_peaks=peaks,
+                    )
+                )
+        return results
 
     def run_relay_with_failover(
         self,

@@ -1,0 +1,764 @@
+"""Batched fluid-model transfers stepped as numpy array operations.
+
+The scalar :class:`~repro.net.depot_sim.RelayPipeline` steps one flow at
+a time in interpreted Python — fine for a handful of sublinks, far too
+slow for campaigns with thousands of concurrent transfers.  This module
+steps a whole *batch* of independent relay chains in lockstep: all
+chains' sublink-``k`` flows advance together as element-wise operations
+on ``float64`` arrays.
+
+The vectorized engine is **not** an approximation.  Chains in a batch
+are independent, so stepping them slot-major is a pure reordering of
+the scalar per-chain loops, and every arithmetic operation (window
+growth, loss sawtooth, store accounting, delay lines) is the identical
+IEEE-754 double operation the scalar model performs, applied lane-wise.
+``tests/net/test_vectorized_equivalence.py`` pins the two paths to
+*exact* equality — durations, traces, depot peaks, retransmission
+accounting and per-(node, stream) timeline sequences — over seeded
+random topologies and fault plans.  The scalar path remains the
+conformance oracle; this path is the speed.
+
+Restrictions: the batch engine supports ``loss_mode="deterministic"``
+only (the repeatable sawtooth used by every figure benchmark).  Random
+per-packet loss draws one RNG stream per flow and stays on the scalar
+path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.depot_sim import default_depot_capacity
+from repro.net.tcp import TcpConfig
+from repro.net.topology import PathSpec
+from repro.net.trace import SeqTrace
+from repro.util.validation import check_positive
+
+__all__ = ["BatchSpec", "VectorizedBatch"]
+
+
+@dataclass(frozen=True)
+class BatchSpec:
+    """One transfer in a batch run.
+
+    Mirrors the arguments of
+    :meth:`~repro.net.simulator.NetworkSimulator.run_relay` /
+    :meth:`~repro.net.simulator.NetworkSimulator.run_relay_with_faults`:
+    ``paths`` (one :class:`PathSpec` per sublink), ``size`` in bytes,
+    optional injected ``faults`` with their ``retry`` policy and
+    ``resume`` mode, optional per-depot ``depot_capacities`` and
+    per-sublink TCP ``configs``.  Give every faulted spec its own
+    ``retry`` policy instance: a policy with jittered backoff draws
+    from internal state, and sharing one across specs would make the
+    delay sequence depend on scheduling order.
+    """
+
+    paths: tuple[PathSpec, ...]
+    size: int
+    faults: tuple = ()
+    retry: object | None = None
+    resume: bool = True
+    depot_capacities: tuple[int, ...] | None = None
+    configs: tuple[TcpConfig, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.paths:
+            raise ValueError("at least one path is required")
+        check_positive("size", self.size)
+        if self.configs is not None and len(self.configs) != len(self.paths):
+            raise ValueError(
+                f"{len(self.paths)} paths need {len(self.paths)} configs, "
+                f"got {len(self.configs)}"
+            )
+        if not self.resume and len(self.paths) > 1:
+            raise ValueError(
+                "restart-from-source recovery models a plain direct "
+                "connection; relays recover with resume=True"
+            )
+        for fault in self.faults:
+            if not (0 <= fault.sublink < len(self.paths)):
+                raise ValueError(
+                    f"fault targets sublink {fault.sublink} of "
+                    f"{len(self.paths)} paths"
+                )
+
+
+class _Ring:
+    """Per-lane FIFO delay lines as circular ``(lanes, cap)`` arrays.
+
+    Models the scalar flow's ``_transit``/``_acks`` deques for every
+    lane of one sublink slot at once.  Heads are popped in rounds — the
+    vector analogue of ``while queue and queue[0][0] <= now`` — so each
+    lane's chunk order (and therefore its float accumulation order) is
+    exactly the scalar one.
+    """
+
+    def __init__(self, lanes: int, cap: int) -> None:
+        self.cap = max(4, cap)
+        self.t = np.zeros((lanes, self.cap))
+        self.n = np.zeros((lanes, self.cap))
+        self.head = np.zeros(lanes, dtype=np.int64)
+        self.count = np.zeros(lanes, dtype=np.int64)
+        #: cheap upper bound on max(count) so pushes skip the full scan
+        self._hiwater = 0
+
+    def _grow(self) -> None:
+        lanes, cap = self.t.shape
+        new_cap = cap * 2
+        t = np.zeros((lanes, new_cap))
+        n = np.zeros((lanes, new_cap))
+        # re-linearise each lane so head moves to column 0
+        cols = (self.head[:, None] + np.arange(cap)[None, :]) % cap
+        rows = np.arange(lanes)[:, None]
+        t[:, :cap] = self.t[rows, cols]
+        n[:, :cap] = self.n[rows, cols]
+        self.t, self.n, self.cap = t, n, new_cap
+        self.head[:] = 0
+
+    def push(self, idx: np.ndarray, times: np.ndarray, amounts: np.ndarray) -> None:
+        if idx.size == 0:
+            return
+        if self._hiwater + 1 > self.cap:
+            self._hiwater = int(self.count.max())
+            if self._hiwater + 1 > self.cap:
+                self._grow()
+        tail = (self.head[idx] + self.count[idx]) % self.cap
+        self.t[idx, tail] = times
+        self.n[idx, tail] = amounts
+        self.count[idx] += 1
+        self._hiwater += 1
+
+    def head_times(self, idx: np.ndarray) -> np.ndarray:
+        return self.t[idx, self.head[idx]]
+
+    def head_amounts(self, idx: np.ndarray) -> np.ndarray:
+        return self.n[idx, self.head[idx]]
+
+    def pop(self, idx: np.ndarray) -> None:
+        self.head[idx] = (self.head[idx] + 1) % self.cap
+        self.count[idx] -= 1
+
+    # -- single-lane helpers (inject/drain paths, called rarely) -----------
+    def lane_values(self, lane: int) -> list[tuple[float, float]]:
+        out = []
+        h, c = int(self.head[lane]), int(self.count[lane])
+        for i in range(c):
+            j = (h + i) % self.cap
+            out.append((float(self.t[lane, j]), float(self.n[lane, j])))
+        return out
+
+    def lane_pop_head(self, lane: int) -> tuple[float, float]:
+        h = int(self.head[lane])
+        value = (float(self.t[lane, h]), float(self.n[lane, h]))
+        self.head[lane] = (h + 1) % self.cap
+        self.count[lane] -= 1
+        return value
+
+    def lane_head_time(self, lane: int) -> float:
+        return float(self.t[lane, int(self.head[lane])])
+
+    def lane_len(self, lane: int) -> int:
+        return int(self.count[lane])
+
+    def clear_lane(self, lane: int) -> None:
+        self.count[lane] = 0
+
+
+class _Slot:
+    """State of sublink position ``k`` across all chains that have it."""
+
+    def __init__(self, lanes: int) -> None:
+        z = lambda: np.zeros(lanes)  # noqa: E731 - terse array factory
+        self.member = np.zeros(lanes, dtype=bool)
+        self.is_last = np.zeros(lanes, dtype=bool)
+        # path constants
+        self.owd, self.rtt, self.bw, self.wlim = z(), z(), z(), z()
+        # tcp constants
+        self.mss, self.mss2 = z(), z()
+        self.init_cwnd = z()
+        self.init_ssthresh = np.full(lanes, math.inf)
+        self.loss_spacing = np.full(lanes, math.inf)
+        # dynamics
+        self.start_time, self.data_start = z(), z()
+        self.sent, self.delivered, self.acked = z(), z(), z()
+        self.retransmitted = z()
+        self.cwnd, self.ssthresh = z(), np.full(lanes, math.inf)
+        self.pkts_since_loss, self.losses = z(), z()
+        self.transit: _Ring | None = None
+        self.acks: _Ring | None = None
+        # batch-shape metadata precomputed once construction is complete:
+        # member lanes, whether they are uniformly last/relay sublinks,
+        # loss-process presence, and the constant per-step wire budget
+        self.member_idx: np.ndarray | None = None
+        self.uniform_last = True
+        self.uniform_relay = True
+        self.any_lossy = False
+        self.all_lossy = False
+        self.all_started = False
+        self.wire: np.ndarray | None = None
+
+
+class _LaneFlowView:
+    """Read-only flow facade over one (chain, sublink) lane.
+
+    Exposes exactly what :class:`~repro.net.simulator._TimelineEmitter`
+    and :meth:`SeqTrace.from_flow` read from a scalar
+    :class:`~repro.net.flow.FluidTcpFlow`.
+    """
+
+    __slots__ = ("_batch", "_c", "_k", "path")
+
+    def __init__(self, batch: "VectorizedBatch", c: int, k: int) -> None:
+        self._batch, self._c, self._k = batch, c, k
+        self.path = batch.chain_paths[c][k]
+
+    @property
+    def start_time(self) -> float:
+        return float(self._batch.slots[self._k].start_time[self._c])
+
+    @property
+    def delivered(self) -> float:
+        return float(self._batch.slots[self._k].delivered[self._c])
+
+    @property
+    def acked(self) -> float:
+        return float(self._batch.slots[self._k].acked[self._c])
+
+    @property
+    def trace_times(self) -> list[float]:
+        return self._batch.trace_t[self._c][self._k]
+
+    @property
+    def trace_acked(self) -> list[float]:
+        return self._batch.trace_a[self._c][self._k]
+
+
+class _LanePipelineView:
+    """Pipeline facade for one chain (what the timeline emitter sees)."""
+
+    __slots__ = ("flows", "size")
+
+    def __init__(self, batch: "VectorizedBatch", c: int) -> None:
+        self.flows = [
+            _LaneFlowView(batch, c, k)
+            for k in range(len(batch.chain_paths[c]))
+        ]
+        self.size = int(batch.sizes[c])
+
+
+class VectorizedBatch:
+    """Lockstep batch of independent relay chains on numpy state.
+
+    Parameters
+    ----------
+    specs:
+        One :class:`BatchSpec` per transfer.
+    config:
+        Shared TCP parameters (per-spec ``configs`` override).
+    dts:
+        Per-chain step size (the scalar path's ``choose_dt`` result).
+    record_trace:
+        Record per-step ``(now, acked)`` per flow (python lists — meant
+        for conformance tests, not throughput runs).
+    max_time:
+        Per-chain simulated-time budget; exceeding it raises, exactly
+        like the scalar runners.
+    """
+
+    def __init__(
+        self,
+        specs: list[BatchSpec],
+        config: TcpConfig,
+        dts: list[float],
+        record_trace: bool = False,
+        max_time: float = 3600.0,
+        record: list[bool] | None = None,
+    ) -> None:
+        if len(dts) != len(specs):
+            raise ValueError("one dt per spec required")
+        self.specs = list(specs)
+        if record is None:
+            record = [record_trace] * len(specs)
+        if len(record) != len(specs):
+            raise ValueError("one record flag per spec required")
+        self.record = np.asarray(record, dtype=bool)
+        self.any_record = bool(self.record.any())
+        self.max_time = float(max_time)
+        lanes = len(specs)
+        self.lanes = lanes
+        self.chain_paths: list[tuple[PathSpec, ...]] = [s.paths for s in specs]
+        self.n_sublinks = np.array([len(s.paths) for s in specs])
+        max_k = int(self.n_sublinks.max()) if lanes else 0
+        max_d = max(max_k - 1, 0)
+
+        self.sizes = np.array([float(s.size) for s in specs])
+        self.remaining = self.sizes.copy()
+        self.received = np.zeros(lanes)
+        self.now = np.zeros(lanes)
+        self.prev_now = np.zeros(lanes)
+        self.dt = np.array([float(d) for d in dts])
+        self.steps = np.zeros(lanes, dtype=np.int64)
+        self.alive = np.ones(lanes, dtype=bool)
+        self.aborted = np.zeros(lanes, dtype=bool)
+        self.durations = np.zeros(lanes)
+
+        # depot pools
+        self.depot_capacity = np.zeros((lanes, max_d))
+        self.depot_occ = np.zeros((lanes, max_d))
+        self.depot_res = np.zeros((lanes, max_d))
+        self.depot_peak = np.zeros((lanes, max_d))
+
+        self.slots: list[_Slot] = [_Slot(lanes) for _ in range(max_k)]
+        self.trace_t: list[list[list[float]]] = [
+            [[] for _ in s.paths] for s in specs
+        ]
+        self.trace_a: list[list[list[float]]] = [
+            [[] for _ in s.paths] for s in specs
+        ]
+
+        for c, spec in enumerate(specs):
+            n_depots = len(spec.paths) - 1
+            caps = spec.depot_capacities
+            if caps is None:
+                caps = [
+                    default_depot_capacity(spec.paths[i], spec.paths[i + 1])
+                    for i in range(n_depots)
+                ]
+            if len(caps) != n_depots:
+                raise ValueError(
+                    f"{len(spec.paths)} paths need {n_depots} depot "
+                    f"capacities, got {len(caps)}"
+                )
+            for d, cap in enumerate(caps):
+                check_positive("capacity", cap)
+                self.depot_capacity[c, d] = float(cap)
+            start = 0.0
+            for k, path in enumerate(spec.paths):
+                slot = self.slots[k]
+                cfg = spec.configs[k] if spec.configs is not None else config
+                if cfg.loss_mode != "deterministic":
+                    raise ValueError(
+                        "the vectorized batch supports "
+                        "loss_mode='deterministic' only; random loss "
+                        "stays on the scalar path"
+                    )
+                slot.member[c] = True
+                slot.is_last[c] = k == len(spec.paths) - 1
+                slot.owd[c] = path.one_way_delay
+                slot.rtt[c] = path.rtt
+                slot.bw[c] = path.bandwidth
+                slot.wlim[c] = path.window_limit
+                slot.mss[c] = cfg.mss
+                slot.mss2[c] = 2.0 * cfg.mss
+                slot.init_cwnd[c] = float(cfg.mss * cfg.initial_cwnd_segments)
+                slot.init_ssthresh[c] = (
+                    float(cfg.initial_ssthresh)
+                    if cfg.initial_ssthresh is not None
+                    else math.inf
+                )
+                slot.loss_spacing[c] = (
+                    math.inf if path.loss_rate == 0.0 else 1.0 / path.loss_rate
+                )
+                slot.start_time[c] = start
+                slot.data_start[c] = start + path.rtt
+                slot.cwnd[c] = slot.init_cwnd[c]
+                slot.ssthresh[c] = slot.init_ssthresh[c]
+                if k < len(spec.paths) - 1:
+                    start += path.rtt + path.one_way_delay
+
+        # delay-line capacity: one chunk per step, alive for one-way-delay
+        for k, slot in enumerate(self.slots):
+            members = np.flatnonzero(slot.member)
+            if members.size:
+                depth = np.ceil(
+                    slot.owd[members] / self.dt[members]
+                ).astype(int)
+                cap = int(depth.max()) + 4
+            else:
+                cap = 4
+            slot.transit = _Ring(lanes, cap)
+            slot.acks = _Ring(lanes, cap)
+
+        # fault bookkeeping (scalar run_relay_with_faults mirror)
+        self.fault_remaining: dict[int, list[int]] = {}
+        self.fault_retries_per_sublink: dict[int, dict[int, int]] = {}
+        self.fault_retries: dict[int, int] = {}
+        for c, spec in enumerate(specs):
+            if spec.faults:
+                self.fault_remaining[c] = [f.times for f in spec.faults]
+                self.fault_retries_per_sublink[c] = {}
+                self.fault_retries[c] = 0
+
+        self._has_faults = bool(self.fault_remaining)
+        for slot in self.slots:
+            m = np.flatnonzero(slot.member)
+            slot.member_idx = m
+            last = slot.is_last[m]
+            slot.uniform_last = bool(last.all()) if m.size else True
+            slot.uniform_relay = bool((~last).all()) if m.size else False
+            lossy = np.isfinite(slot.loss_spacing[m])
+            slot.any_lossy = bool(lossy.any()) if m.size else False
+            slot.all_lossy = bool(lossy.all()) if m.size else False
+            slot.wire = slot.bw * self.dt
+
+        #: emitters attached per chain (index -> _TimelineEmitter)
+        self.emitters: dict[int, object] = {}
+
+    # -- per-chain views ---------------------------------------------------
+    def pipeline_view(self, c: int) -> _LanePipelineView:
+        """The flow/pipeline facade the timeline emitter observes."""
+        return _LanePipelineView(self, c)
+
+    # -- stepping ----------------------------------------------------------
+    def _step_slot(self, k: int, alive_all: bool) -> None:
+        slot = self.slots[k]
+        if alive_all:
+            mi = slot.member_idx
+        else:
+            mi = slot.member_idx[self.alive[slot.member_idx]]
+        if mi.size == 0:
+            return
+        now = self.now
+        transit, acks = slot.transit, slot.acks
+        # 1. deliveries reaching the receiver (ACK clocking: before sends)
+        t_t, t_n = transit.t, transit.n
+        t_head, t_count = transit.head, transit.count
+        cand = mi[t_count[mi] > 0]
+        while cand.size:
+            h = t_head[cand]
+            ht = t_t[cand, h]
+            due = ht <= now[cand]
+            didx = cand[due]
+            if didx.size == 0:
+                break
+            if didx.size == cand.size:
+                hd, htd = h, ht
+            else:
+                hd, htd = h[due], ht[due]
+            n = t_n[didx, hd]
+            slot.delivered[didx] += n
+            if slot.uniform_last:
+                self.received[didx] += n
+            elif slot.uniform_relay:
+                self.depot_res[didx, k] = np.maximum(
+                    0.0, self.depot_res[didx, k] - n
+                )
+                self.depot_occ[didx, k] += n
+                self.depot_peak[didx, k] = np.maximum(
+                    self.depot_peak[didx, k], self.depot_occ[didx, k]
+                )
+            else:
+                last = slot.is_last[didx]
+                sink_idx = didx[last]
+                self.received[sink_idx] += n[last]
+                dep_idx = didx[~last]
+                if dep_idx.size:
+                    nd = n[~last]
+                    self.depot_res[dep_idx, k] = np.maximum(
+                        0.0, self.depot_res[dep_idx, k] - nd
+                    )
+                    self.depot_occ[dep_idx, k] += nd
+                    self.depot_peak[dep_idx, k] = np.maximum(
+                        self.depot_peak[dep_idx, k],
+                        self.depot_occ[dep_idx, k],
+                    )
+            acks.push(didx, htd + slot.owd[didx], n)
+            t_head[didx] = (hd + 1) % transit.cap
+            t_count[didx] -= 1
+            cand = didx[t_count[didx] > 0]
+        # 2. acknowledgements reaching the sender (captured after the
+        # transit pushes above, which may have grown the ring arrays)
+        a_t, a_n = acks.t, acks.n
+        a_head, a_count = acks.head, acks.count
+        cand = mi[a_count[mi] > 0]
+        while cand.size:
+            h = a_head[cand]
+            at = a_t[cand, h]
+            due = at <= now[cand]
+            aidx = cand[due]
+            if aidx.size == 0:
+                break
+            hd = h if aidx.size == cand.size else h[due]
+            n = a_n[aidx, hd]
+            slot.acked[aidx] += n
+            # on_ack: slow start doubles, congestion avoidance is linear
+            ss = slot.cwnd[aidx] < slot.ssthresh[aidx]
+            if ss.all():
+                slot.cwnd[aidx] += n
+                over = slot.cwnd[aidx] >= slot.ssthresh[aidx]
+                clamp = aidx[over]
+                if clamp.size:
+                    slot.cwnd[clamp] = slot.ssthresh[clamp]
+            else:
+                ss_idx = aidx[ss]
+                if ss_idx.size:
+                    slot.cwnd[ss_idx] += n[ss]
+                    over = slot.cwnd[ss_idx] >= slot.ssthresh[ss_idx]
+                    clamp = ss_idx[over]
+                    slot.cwnd[clamp] = slot.ssthresh[clamp]
+                ca_idx = aidx[~ss]
+                if ca_idx.size:
+                    slot.cwnd[ca_idx] += (
+                        slot.mss[ca_idx] * n[~ss] / slot.cwnd[ca_idx]
+                    )
+            a_head[aidx] = (hd + 1) % acks.cap
+            a_count[aidx] -= 1
+            cand = aidx[a_count[aidx] > 0]
+        # 3. desired send
+        if slot.all_started:
+            si = mi
+        else:
+            started = now[mi] >= slot.data_start[mi]
+            if started.all():
+                si = mi
+                if not self._has_faults:
+                    # faults reset data_start; without them this latches
+                    slot.all_started = True
+            else:
+                si = mi[started]
+        if si.size:
+            window = np.minimum(slot.cwnd[si], slot.wlim[si])
+            in_flight = slot.sent[si] - slot.acked[si]
+            can_window = np.maximum(0.0, window - in_flight)
+            avail = (
+                self.remaining[si] if k == 0 else self.depot_occ[si, k - 1]
+            )
+            amount = np.minimum(
+                np.minimum(avail, can_window), slot.wire[si]
+            )
+            if not slot.uniform_last:
+                # a chain with a non-last slot k has >= k + 2 sublinks,
+                # so depot column k exists whenever this branch is taken
+                free = np.maximum(
+                    0.0,
+                    self.depot_capacity[si, k]
+                    - self.depot_occ[si, k]
+                    - self.depot_res[si, k],
+                )
+                if not slot.uniform_relay:
+                    free = np.where(slot.is_last[si], math.inf, free)
+                amount = np.minimum(amount, free)
+            # 4. commit
+            pos = amount > 0.0
+            if pos.all():
+                pi, amt = si, amount
+            else:
+                pi, amt = si[pos], amount[pos]
+            if pi.size:
+                if k == 0:
+                    self.remaining[pi] = np.maximum(
+                        0.0, self.remaining[pi] - amt
+                    )
+                else:
+                    self.depot_occ[pi, k - 1] = np.maximum(
+                        0.0, self.depot_occ[pi, k - 1] - amt
+                    )
+                if slot.uniform_relay:
+                    self.depot_res[pi, k] += amt
+                elif not slot.uniform_last:
+                    dl = ~slot.is_last[pi]
+                    dpi = pi[dl]
+                    if dpi.size:
+                        self.depot_res[dpi, k] += amt[dl]
+                slot.sent[pi] += amt
+                transit.push(pi, now[pi] + slot.owd[pi], amt)
+                # on_send: deterministic sawtooth (at most one event/send)
+                if slot.any_lossy:
+                    if slot.all_lossy:
+                        li, amt_l = pi, amt
+                    else:
+                        lossy = np.isfinite(slot.loss_spacing[pi])
+                        li, amt_l = pi[lossy], amt[lossy]
+                    if li.size:
+                        slot.pkts_since_loss[li] += amt_l / slot.mss[li]
+                        fire = (
+                            slot.pkts_since_loss[li]
+                            >= slot.loss_spacing[li]
+                        )
+                        fi = li[fire]
+                        if fi.size:
+                            slot.pkts_since_loss[fi] -= (
+                                slot.loss_spacing[fi]
+                            )
+                            slot.ssthresh[fi] = np.maximum(
+                                slot.cwnd[fi] / 2.0, slot.mss2[fi]
+                            )
+                            slot.cwnd[fi] = slot.ssthresh[fi]
+                            slot.losses[fi] += 1.0
+        # 5. traces (conformance runs only)
+        if self.any_record:
+            for c in mi:
+                ci = int(c)
+                if self.record[ci]:
+                    self.trace_t[ci][k].append(float(now[ci]))
+                    self.trace_a[ci][k].append(float(slot.acked[ci]))
+
+    def step_all(self) -> None:
+        """Advance every live chain by one step (all slots, in order).
+
+        Dead lanes' clocks advance too (their state is never read again);
+        restricting the update to live lanes costs more than it saves.
+        """
+        np.copyto(self.prev_now, self.now)
+        self.now += self.dt
+        self.steps += 1
+        alive = self.alive
+        alive_all = bool(alive.all())
+        if alive_all:
+            over = self.now > self.max_time
+        else:
+            over = alive & (self.now > self.max_time)
+        if over.any():
+            c = int(np.flatnonzero(over)[0])
+            raise RuntimeError(
+                f"transfer of {int(self.sizes[c])} bytes (batch lane {c}) "
+                f"did not complete within {self.max_time}s simulated "
+                f"({self.received[c]:.0f} delivered)"
+            )
+        for k in range(len(self.slots)):
+            self._step_slot(k, alive_all)
+
+    # -- failure injection (scalar FluidTcpFlow.inject_failure mirror) -----
+    def inject_failure(
+        self, c: int, k: int, now: float, restart_delay: float, resume: bool
+    ) -> float:
+        """Fail sublink ``k`` of chain ``c``; returns bytes to resend.
+
+        Mirrors the scalar ``FluidTcpFlow.inject_failure`` float for
+        float: in-flight data is dropped, the sender rewinds to the
+        delivered (resume) or zero (restart) point, and congestion
+        state is reset as if the TCP connection were replaced.
+        """
+        slot = self.slots[k]
+        in_flight_data = 0.0
+        for _, n in slot.transit.lane_values(c):
+            in_flight_data = in_flight_data + n
+        if not slot.is_last[c]:
+            self.depot_res[c, k] = max(0.0, self.depot_res[c, k] - in_flight_data)
+        slot.transit.clear_lane(c)
+        slot.acks.clear_lane(c)
+        if resume:
+            lost = float(slot.sent[c] - slot.delivered[c])
+            if k == 0:
+                self.remaining[c] = min(
+                    float(self.sizes[c]), self.remaining[c] + lost
+                )
+            else:
+                self.depot_occ[c, k - 1] += lost
+                self.depot_peak[c, k - 1] = max(
+                    self.depot_peak[c, k - 1], self.depot_occ[c, k - 1]
+                )
+            slot.sent[c] = slot.delivered[c]
+            slot.acked[c] = slot.delivered[c]
+            retransmit = lost
+        else:
+            retransmit = float(slot.sent[c])
+            self.received[c] = max(0.0, self.received[c] - slot.delivered[c])
+            self.remaining[c] = min(
+                float(self.sizes[c]), self.remaining[c] + slot.sent[c]
+            )
+            slot.sent[c] = slot.delivered[c] = slot.acked[c] = 0.0
+        # fresh congestion state, exactly like replacing the TcpState
+        slot.cwnd[c] = slot.init_cwnd[c]
+        slot.ssthresh[c] = slot.init_ssthresh[c]
+        slot.pkts_since_loss[c] = 0.0
+        slot.losses[c] = 0.0
+        slot.start_time[c] = now + restart_delay
+        slot.data_start[c] = slot.start_time[c] + slot.rtt[c]
+        slot.retransmitted[c] += retransmit
+        return retransmit
+
+    # -- completion --------------------------------------------------------
+    def complete_mask(self) -> np.ndarray:
+        """Chains whose last byte reached the sink (half-byte tolerance)."""
+        return self.alive & (self.received >= self.sizes - 0.5)
+
+    def refine_completion_time(self, c: int) -> float:
+        """Scalar ``RelayPipeline._refine_completion_time`` per lane."""
+        now = float(self.now[c])
+        if self.record[c] and int(self.steps[c]) >= 2:
+            t1, t0 = float(self.now[c]), float(self.prev_now[c])
+            excess = self.received[c] - self.sizes[c]
+            if excess > 0 and t1 > t0:
+                rate = self.received[c] / max(now, float(self.dt[c]))
+                if rate > 0:
+                    return float(max(t0, now - excess / rate))
+        return now
+
+    def drain_chain(self, c: int) -> None:
+        """Flush trailing data/acks for chain ``c`` (per-flow ``drain``)."""
+        now = float(self.now[c])
+        for k in range(int(self.n_sublinks[c])):
+            slot = self.slots[k]
+            until = now + float(slot.rtt[c])
+            transit, acks = slot.transit, slot.acks
+            while transit.lane_len(c) and transit.lane_head_time(c) <= until:
+                arrival, n = transit.lane_pop_head(c)
+                slot.delivered[c] += n
+                if slot.is_last[c]:
+                    self.received[c] += n
+                else:
+                    self.depot_res[c, k] = max(0.0, self.depot_res[c, k] - n)
+                    self.depot_occ[c, k] += n
+                    self.depot_peak[c, k] = max(
+                        self.depot_peak[c, k], self.depot_occ[c, k]
+                    )
+                acks.push(
+                    np.array([c]),
+                    np.array([arrival + float(slot.owd[c])]),
+                    np.array([n]),
+                )
+            while acks.lane_len(c) and acks.lane_head_time(c) <= until:
+                _, n = acks.lane_pop_head(c)
+                slot.acked[c] += n
+                if slot.cwnd[c] < slot.ssthresh[c]:
+                    slot.cwnd[c] += n
+                    if slot.cwnd[c] >= slot.ssthresh[c]:
+                        slot.cwnd[c] = slot.ssthresh[c]
+                else:
+                    slot.cwnd[c] += slot.mss[c] * n / slot.cwnd[c]
+            if self.record[c]:
+                self.trace_t[c][k].append(until)
+                self.trace_a[c][k].append(float(slot.acked[c]))
+
+    # -- results -----------------------------------------------------------
+    def traces(self, c: int) -> list[SeqTrace]:
+        """Per-sublink ack sequence traces for chain ``c``."""
+        return [
+            SeqTrace(
+                times=np.asarray(self.trace_t[c][k], dtype=float),
+                acked=np.asarray(self.trace_a[c][k], dtype=float),
+                name=self.chain_paths[c][k].name,
+            )
+            for k in range(int(self.n_sublinks[c]))
+        ]
+
+    def total_loss_events(self, c: int) -> int:
+        """Loss events summed over chain ``c``'s sublinks."""
+        return int(
+            sum(
+                self.slots[k].losses[c]
+                for k in range(int(self.n_sublinks[c]))
+            )
+        )
+
+    def depot_peaks(self, c: int) -> list[float]:
+        """Peak depot occupancy per intermediate hop of chain ``c``."""
+        return [
+            float(self.depot_peak[c, d])
+            for d in range(int(self.n_sublinks[c]) - 1)
+        ]
+
+    def per_sublink_retransmitted(self, c: int) -> list[float]:
+        """Bytes each sublink of chain ``c`` sent more than once."""
+        return [
+            float(self.slots[k].retransmitted[c])
+            for k in range(int(self.n_sublinks[c]))
+        ]
+
+    def max_rtt(self, c: int) -> float:
+        """Largest sublink RTT of chain ``c`` (drain horizon)."""
+        return max(p.rtt for p in self.chain_paths[c])
