@@ -17,12 +17,18 @@ from repro.analysis.baseline import DEFAULT_BASELINE, Baseline
 from repro.analysis.findings import PARSE_ERROR, Finding
 from repro.analysis.registry import all_rules, get_rule, select_rules
 from repro.analysis.report import SCHEMA_VERSION, render_json, render_text
-from repro.analysis.walker import RunResult, discover, run_paths
+from repro.analysis.walker import (
+    IGNORED_DIRS,
+    RunResult,
+    discover,
+    run_paths,
+)
 
 __all__ = [
     "Baseline",
     "DEFAULT_BASELINE",
     "Finding",
+    "IGNORED_DIRS",
     "PARSE_ERROR",
     "RunResult",
     "SCHEMA_VERSION",

@@ -1,0 +1,197 @@
+"""Runtime lock-order sanitizer — the dynamic half of RPR013.
+
+The static lock-order graph (:mod:`repro.analysis.program`) admits a
+set of (holder, acquired) orders; this module observes the orders a
+*live* process actually takes and checks them against that set.  Each
+side covers the other's blind spots: the static pass sees paths the
+test run never exercises, the runtime pass sees acquisitions the AST
+cannot attribute (locks reached through parameters, module-level
+functions, cross-object nesting).
+
+Usage (opt-in, from a test)::
+
+    watch = LockWatch()
+    depot._ledger_lock = watch.wrap(
+        "DepotServer._ledger_lock", depot._ledger_lock
+    )
+    depot._stats_lock = watch.wrap(
+        "DepotServer._stats_lock", depot._stats_lock
+    )
+    ... exercise the transport ...
+    nodes, admitted = static_admitted_edges([path_to_module])
+    assert watch.validate(nodes, admitted) == []
+
+:class:`WatchedLock` is a drop-in wrapper for ``threading.Lock`` —
+``acquire``/``release``/``locked`` and the context-manager protocol all
+delegate to the wrapped lock; the wrapper only maintains a per-thread
+stack of held watched locks and records an edge from every held lock
+to each newly acquired one (exactly the static graph's edge
+semantics).  Recording is lock-free per thread plus one internal lock
+for the shared edge set, so the perturbation to the code under test is
+a dict update per acquisition.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class ObservedEdge:
+    """``holder`` was held while ``acquired`` was taken, on ``thread``."""
+
+    holder: str
+    acquired: str
+    thread: str
+
+
+class LockOrderViolation(AssertionError):
+    """An observed acquisition order the static graph does not admit."""
+
+
+@dataclass
+class LockWatch:
+    """Records lock-acquisition orders across wrapped locks.
+
+    With ``strict=True`` and a non-None ``admitted`` set, an
+    unadmitted order raises :class:`LockOrderViolation` at the
+    acquisition site (the most debuggable moment); by default edges
+    are only recorded, for a post-hoc :meth:`validate`.
+    """
+
+    admitted: set[tuple[str, str]] | None = None
+    strict: bool = False
+    edges: set[ObservedEdge] = field(default_factory=set)
+    _edge_lock: threading.Lock = field(default_factory=threading.Lock)
+    _held: threading.local = field(default_factory=threading.local)
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def wrap(self, name: str, inner=None) -> "WatchedLock":
+        """A watched lock named ``name`` (wrapping ``inner`` or a fresh
+        ``threading.Lock``)."""
+        return WatchedLock(self, name, inner or threading.Lock())
+
+    def note_acquired(self, name: str) -> None:
+        """Record ``name``'s acquisition after every lock already held."""
+        stack = self._stack()
+        if stack:
+            thread = threading.current_thread().name
+            with self._edge_lock:
+                for holder in stack:
+                    self.edges.add(ObservedEdge(holder, name, thread))
+            if self.strict and self.admitted is not None:
+                for holder in stack:
+                    if (holder, name) not in self.admitted:
+                        raise LockOrderViolation(
+                            f"{thread} acquired {name} while holding "
+                            f"{holder}; the static lock-order graph "
+                            "does not admit this order"
+                        )
+        stack.append(name)
+
+    def note_released(self, name: str) -> None:
+        """Drop ``name`` from this thread's held stack."""
+        stack = self._stack()
+        # release order may differ from acquisition order; remove the
+        # most recent matching entry
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == name:
+                del stack[i]
+                return
+
+    def observed_pairs(self) -> set[tuple[str, str]]:
+        """The distinct (holder, acquired) orders seen so far."""
+        with self._edge_lock:
+            return {(e.holder, e.acquired) for e in self.edges}
+
+    def validate(
+        self,
+        known_nodes: set[str],
+        admitted: set[tuple[str, str]],
+    ) -> list[str]:
+        """Observed orders between *statically known* locks that the
+        static graph does not admit (empty list = consistent).
+
+        Orders touching a lock the static pass never saw are skipped —
+        the runtime watch may wrap locks (or name them) outside the
+        static universe, and a mismatch there is a naming problem, not
+        a deadlock.
+        """
+        problems = []
+        for holder, acquired in sorted(self.observed_pairs()):
+            if holder not in known_nodes or acquired not in known_nodes:
+                continue
+            if (holder, acquired) not in admitted:
+                problems.append(
+                    f"observed {holder} -> {acquired}, which the static "
+                    "lock-order graph does not admit"
+                )
+        return problems
+
+
+class WatchedLock:
+    """Instrumented drop-in for ``threading.Lock``."""
+
+    def __init__(
+        self, watch: LockWatch, name: str, inner: threading.Lock
+    ) -> None:
+        self._watch = watch
+        self._name = name
+        self._inner = inner
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        """Acquire the wrapped lock, then record the order taken."""
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._watch.note_acquired(self._name)
+        return acquired
+
+    def release(self) -> None:
+        """Release the wrapped lock and pop it from the held stack."""
+        self._inner.release()
+        self._watch.note_released(self._name)
+
+    def locked(self) -> bool:
+        """Whether the wrapped lock is currently held by anyone."""
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc) -> bool:
+        self.release()
+        return False
+
+
+def static_admitted_edges(
+    paths: Sequence[str | Path],
+) -> tuple[set[str], set[tuple[str, str]]]:
+    """(lock nodes, admitted orders) of the static graph over ``paths``.
+
+    Runs the walker's discovery/parsing over the given files or
+    directories and returns the whole-program lock universe in the
+    ``Class.attr`` naming :meth:`LockWatch.validate` expects.
+    """
+    from repro.analysis.program import program_graph
+    from repro.analysis.walker import Project, discover, load_module
+
+    modules = []
+    for path in discover(paths):
+        module, _ = load_module(path)
+        if module is not None:
+            modules.append(module)
+    graph = program_graph(Project(modules=modules))
+    return graph.lock_nodes(), graph.admitted_edges()

@@ -1,0 +1,387 @@
+"""The LSL session protocol as an explicit, checkable state machine.
+
+Both stacks — the socket transport (``lsl/``) and the fluid simulator
+(``net/``) — narrate every session into a
+:class:`~repro.obs.timeline.SessionTimeline` with the same event
+vocabulary.  This module models the *legal orders* of that narration as
+two finite state machines (one per stream direction) and provides a
+symbolic checker that walks a function's ``record(...)`` calls and
+flags any order the machines do not admit.  RPR014 runs the checker;
+RPR017 reuses the extraction half for cross-stack parity.
+
+Downstream (sender side, ``stream="down"``)::
+
+            connect          header_tx           complete
+    idle ────────▶ connected ────────▶ header_sent ────────▶ done
+     ▲                                   │   ▲                 │
+     │              error/failover       │   │ resume          │ connect
+     └──────────── (from any state) ◀────┘   └──(self-loop)    ▼
+                                                         (next session)
+
+Upstream (receiver side, ``stream="up"``)::
+
+            header_rx            first_byte           eof
+    idle ────────▶ header_seen ────────▶ streaming ────────▶ done
+     ▲                │    │               ▲   │progress       │
+     │          resume│    └──eof──▶ done  │   ▼(self-loop)    │ header_rx
+     │                ▼                    │                   ▼
+     │             resumed ── first_byte/progress        (next session)
+     │                └─────────── eof ──▶ done
+     └───────────────── error (from any state)
+
+``error`` (both streams) and ``failover`` (downstream only) are
+wildcards: a failure may interrupt any state and resets the machine, so
+a reconnect can follow.  The checker is deliberately conservative about
+control flow it cannot order statically: a function body starts in the
+*any* state, loop bodies and ``try`` suites re-enter *any*, and
+branches union their outcomes — so only statically certain
+misorderings (straight-line code) are reported.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.astutil import terminal_name
+from repro.obs.timeline import EVENTS, STREAM_DOWN, STREAM_UP
+
+DOWN_STATES = frozenset({"idle", "connected", "header_sent", "done"})
+DOWN_TRANSITIONS: dict[tuple[str, str], str] = {
+    ("idle", "connect"): "connected",
+    ("done", "connect"): "connected",
+    ("connected", "header_tx"): "header_sent",
+    ("header_sent", "resume"): "header_sent",
+    ("header_sent", "complete"): "done",
+}
+#: Events legal in any downstream state (failures interrupt anything).
+DOWN_WILDCARDS: dict[str, str] = {"error": "idle", "failover": "idle"}
+
+UP_STATES = frozenset(
+    {"idle", "header_seen", "resumed", "streaming", "done"}
+)
+UP_TRANSITIONS: dict[tuple[str, str], str] = {
+    ("idle", "header_rx"): "header_seen",
+    ("done", "header_rx"): "header_seen",
+    ("header_seen", "resume"): "resumed",
+    ("header_seen", "first_byte"): "streaming",
+    ("header_seen", "eof"): "done",  # empty payload: no data chunks
+    ("resumed", "first_byte"): "streaming",
+    ("resumed", "progress"): "streaming",
+    ("resumed", "eof"): "done",  # fully staged resume: nothing to send
+    ("streaming", "progress"): "streaming",
+    ("streaming", "eof"): "done",
+}
+UP_WILDCARDS: dict[str, str] = {"error": "idle"}
+
+_MACHINES = {
+    STREAM_DOWN: (DOWN_STATES, DOWN_TRANSITIONS, DOWN_WILDCARDS),
+    STREAM_UP: (UP_STATES, UP_TRANSITIONS, UP_WILDCARDS),
+}
+
+_STREAM_CONSTS = {"STREAM_UP": STREAM_UP, "STREAM_DOWN": STREAM_DOWN}
+
+
+@dataclass(frozen=True)
+class RecordCall:
+    """One statically resolved ``SessionTimeline.record`` call."""
+
+    event: str
+    stream: str  #: ``"up"`` or ``"down"``
+    node_key: str  #: source text of the ``node=`` argument ("" if absent)
+    line: int
+    col: int
+
+
+def _stream_of(value: ast.AST) -> str | None:
+    if isinstance(value, ast.Constant) and value.value in _MACHINES:
+        return str(value.value)
+    name = terminal_name(value)
+    if name in _STREAM_CONSTS:
+        return _STREAM_CONSTS[name]
+    return None
+
+
+def _event_literals(
+    arg: ast.AST, for_bindings: dict[str, tuple[str, ...]]
+) -> tuple[str, ...]:
+    """Event names a record call's first argument can take.
+
+    A string literal is itself; a loop variable bound by an enclosing
+    ``for event in ("connect", "header_tx"):`` expands to the literals
+    it iterates (the simulator's emitter uses exactly this shape).
+    Anything else is statically unknowable and yields nothing.
+    """
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return (arg.value,) if arg.value in EVENTS else ()
+    if isinstance(arg, ast.Name) and arg.id in for_bindings:
+        return for_bindings[arg.id]
+    return ()
+
+
+def _record_call(
+    node: ast.Call, for_bindings: dict[str, tuple[str, ...]]
+) -> list[RecordCall]:
+    """Resolve one AST call to RecordCalls, or [] when it is not a
+    statically recognisable timeline record."""
+    if terminal_name(node.func) != "record" or not node.args:
+        return []
+    stream: str | None = None
+    node_key = ""
+    for kw in node.keywords:
+        if kw.arg == "stream":
+            stream = _stream_of(kw.value)
+        elif kw.arg == "node":
+            node_key = ast.unparse(kw.value)
+    if stream is None:
+        return []
+    return [
+        RecordCall(
+            event=event,
+            stream=stream,
+            node_key=node_key,
+            line=node.lineno,
+            col=node.col_offset,
+        )
+        for event in _event_literals(node.args[0], for_bindings)
+    ]
+
+
+_NESTED_DEFS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                ast.Lambda)
+
+
+def record_calls(root: ast.AST) -> list[RecordCall]:
+    """Every resolvable record call under ``root``, in source order.
+
+    Descends into nested definitions (every call site records, whenever
+    it runs) while tracking ``for``-loop literal bindings for the
+    variable-event shape.
+    """
+    out: list[RecordCall] = []
+
+    def walk(node: ast.AST, bindings: dict[str, tuple[str, ...]]) -> None:
+        if isinstance(node, (ast.For, ast.AsyncFor)) and isinstance(
+            node.target, ast.Name
+        ):
+            literals: tuple[str, ...] = ()
+            if isinstance(node.iter, (ast.Tuple, ast.List)):
+                values = [
+                    e.value
+                    for e in node.iter.elts
+                    if isinstance(e, ast.Constant)
+                    and isinstance(e.value, str)
+                ]
+                if len(values) == len(node.iter.elts):
+                    literals = tuple(v for v in values if v in EVENTS)
+            if literals:
+                bindings = {**bindings, node.target.id: literals}
+        if isinstance(node, ast.Call):
+            out.extend(_record_call(node, bindings))
+        for child in ast.iter_child_nodes(node):
+            walk(child, bindings)
+
+    walk(root, {})
+    out.sort(key=lambda r: (r.line, r.col))
+    return out
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One order the machines do not admit."""
+
+    call: RecordCall
+    prior: str  #: the event that led to the offending state(s)
+    states: tuple[str, ...]
+
+    def message(self) -> str:
+        """Render the violation for a :class:`Finding` message."""
+        where = (
+            f"after '{self.prior}'" if self.prior else "as the first event"
+        )
+        node = f" (node {self.call.node_key})" if self.call.node_key else ""
+        return (
+            f"protocol violation: '{self.call.event}' on the "
+            f"{self.call.stream} stream{node} "
+            f"is not admitted {where} — legal successors are "
+            f"{_successors(self.call.stream, self.states)}"
+        )
+
+
+def _successors(stream: str, states: tuple[str, ...]) -> str:
+    _, transitions, wildcards = _MACHINES[stream]
+    events = {
+        event
+        for (state, event) in transitions
+        if state in states
+    } | set(wildcards)
+    return "{" + ", ".join(sorted(events)) + "}"
+
+
+class _Machine:
+    """Symbolic per-(stream, node) machine state during a walk."""
+
+    def __init__(self, stream: str) -> None:
+        states, transitions, wildcards = _MACHINES[stream]
+        self._all = states
+        self._transitions = transitions
+        self._wildcards = wildcards
+        self.states: frozenset[str] = states  # entry = any state
+        self.prior = ""
+
+    def reset(self) -> None:
+        self.states = self._all
+        self.prior = ""
+
+    def feed(self, call: RecordCall) -> Violation | None:
+        if call.event in self._wildcards:
+            self.states = frozenset({self._wildcards[call.event]})
+            self.prior = call.event
+            return None
+        nxt = {
+            self._transitions[(s, call.event)]
+            for s in self.states
+            if (s, call.event) in self._transitions
+        }
+        if not nxt:
+            violation = Violation(
+                call=call,
+                prior=self.prior,
+                states=tuple(sorted(self.states)),
+            )
+            self.reset()  # recover: report each misorder once
+            return violation
+        self.states = frozenset(nxt)
+        self.prior = call.event
+        return None
+
+
+class _FunctionChecker:
+    """Walk one function's statements, feeding machines in order."""
+
+    def __init__(self) -> None:
+        self.machines: dict[tuple[str, str], _Machine] = {}
+        self.violations: list[Violation] = []
+
+    def _machine(self, key: tuple[str, str]) -> _Machine:
+        machine = self.machines.get(key)
+        if machine is None:
+            machine = _Machine(key[0])
+            self.machines[key] = machine
+        return machine
+
+    def _reset_all(self) -> None:
+        for machine in self.machines.values():
+            machine.reset()
+
+    def _feed_node(self, node: ast.AST) -> None:
+        """Feed record calls in a simple statement or expression."""
+        for call in record_calls_shallow(node):
+            machine = self._machine((call.stream, call.node_key))
+            violation = machine.feed(call)
+            if violation is not None:
+                self.violations.append(violation)
+
+    def walk(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, _NESTED_DEFS):
+                continue  # checked as its own function
+            elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                # a loop body may re-enter from anywhere (including a
+                # retry after failure): check it from the any-state, and
+                # leave every machine in the any-state afterwards
+                self._reset_all()
+                self.walk(stmt.body)
+                self._reset_all()
+                self.walk(stmt.orelse)
+                self._reset_all()
+            elif isinstance(stmt, ast.If):
+                before = self._snapshot()
+                self.walk(stmt.body)
+                after_then = self._snapshot()
+                self._restore(before)
+                self.walk(stmt.orelse)
+                self._union(after_then)
+            elif isinstance(stmt, ast.Try):
+                self.walk(stmt.body)
+                # handlers/finally run after an arbitrary prefix of the
+                # body; anything is possible on entry and exit
+                self._reset_all()
+                for handler in stmt.handlers:
+                    self.walk(handler.body)
+                    self._reset_all()
+                self.walk(stmt.orelse)
+                self._reset_all()
+                self.walk(stmt.finalbody)
+                self._reset_all()
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:  # context exprs, in order
+                    self._feed_node(item.context_expr)
+                self.walk(stmt.body)
+            elif hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+                before = self._snapshot()
+                unions: list[dict] = []
+                for case in stmt.cases:
+                    self._restore(before)
+                    self.walk(case.body)
+                    unions.append(self._snapshot())
+                self._restore(before)
+                for snap in unions:
+                    self._union(snap)
+            else:
+                self._feed_node(stmt)
+
+    # -- branch-merge plumbing --------------------------------------------
+    def _snapshot(self) -> dict[tuple[str, str], frozenset[str]]:
+        return {k: m.states for k, m in self.machines.items()}
+
+    def _restore(self, snap: dict) -> None:
+        for key, machine in self.machines.items():
+            machine.states = snap.get(key, machine._all)
+
+    def _union(self, snap: dict) -> None:
+        for key, states in snap.items():
+            machine = self._machine(key)
+            machine.states = machine.states | states
+
+
+def record_calls_shallow(root: ast.AST) -> list[RecordCall]:
+    """Record calls under one statement or expression, not descending
+    into nested definitions (the checker walks those separately)."""
+    out: list[RecordCall] = []
+
+    def walk(node: ast.AST) -> None:
+        if isinstance(node, ast.Call):
+            out.extend(_record_call(node, {}))
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _NESTED_DEFS):
+                continue
+            walk(child)
+
+    walk(root)
+    out.sort(key=lambda r: (r.line, r.col))
+    return out
+
+
+def check_function(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[Violation]:
+    """Check one function's record calls against the machines.
+
+    The function entry is the any-state: callers may invoke it at any
+    protocol phase, so only orders that are wrong from *every* state
+    are reported.
+    """
+    checker = _FunctionChecker()
+    checker.walk(func.body)
+    return checker.violations
+
+
+def check_module(tree: ast.Module) -> list[Violation]:
+    """Check every function in a module (nested ones independently)."""
+    violations: list[Violation] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            violations.extend(check_function(node))
+    violations.sort(key=lambda v: (v.call.line, v.call.col))
+    return violations

@@ -6,9 +6,13 @@ decorator at import time.
 """
 
 from repro.analysis.rules import (  # noqa: F401  (imported for side effect)
+    blocking,
+    deadlock,
     determinism,
     locks,
     metrics,
+    protocol,
+    resources,
     robustness,
     units,
     wire,

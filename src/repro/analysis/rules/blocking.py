@@ -1,0 +1,172 @@
+"""RPR015 — blocking calls inside ``async def``.
+
+One blocking call inside a coroutine stalls the entire event loop:
+every other session sharing it stops making progress, which defeats the
+point of the async data plane (ROADMAP item 1).  Flagged inside any
+``async def`` in non-test code:
+
+* ``time.sleep(...)`` (use ``asyncio.sleep``);
+* ``socket.create_connection(...)`` and blocking method calls
+  (``accept``/``connect``/``recv``/``sendall``/…) on receivers whose
+  names look like sockets (``sock``/``conn``);
+* a synchronous ``lock.acquire()`` that is not awaited, and a
+  synchronous ``with <lock>:`` block (use ``asyncio.Lock`` with
+  ``async with``).
+
+Heuristics are name-based (receiver contains ``sock``/``conn``/
+``lock``), which is exactly how this codebase names them; a false
+positive is one ``# rpr: disable=RPR015`` away.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import ImportMap, terminal_name
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.walker import ModuleSource
+
+#: socket methods that block the calling thread
+_BLOCKING_SOCKET_METHODS = {
+    "accept",
+    "connect",
+    "recv",
+    "recv_into",
+    "recvfrom",
+    "send",
+    "sendall",
+    "sendto",
+    "makefile",
+}
+
+_SOCKETISH = ("sock", "conn")
+
+
+def _receiver_name(func: ast.AST) -> str | None:
+    """Terminal name of a method call's receiver (``a.b.c()`` → ``b``)."""
+    if isinstance(func, ast.Attribute):
+        return terminal_name(func.value)
+    return None
+
+
+def _is_lockish(name: str | None) -> bool:
+    return name is not None and "lock" in name.lower()
+
+
+def _is_socketish(name: str | None) -> bool:
+    return name is not None and any(
+        part in name.lower() for part in _SOCKETISH
+    )
+
+
+@register
+class BlockingCallInAsyncRule(Rule):
+    """RPR015: no blocking sleeps, sockets or locks in coroutines."""
+
+    id = "RPR015"
+    name = "blocking-call-in-async"
+    rationale = (
+        "one blocking call in a coroutine stalls the whole event loop "
+        "and every session it serves"
+    )
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return not module.is_test_code
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_async(module, node, imports)
+
+    def _check_async(
+        self,
+        module: ModuleSource,
+        func: ast.AsyncFunctionDef,
+        imports: ImportMap,
+    ) -> Iterator[Finding]:
+        awaited: set[int] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Await):
+                awaited.add(id(node.value))
+
+        for node in ast.walk(func):
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    name = terminal_name(item.context_expr)
+                    if _is_lockish(name):
+                        yield self._finding(
+                            module,
+                            item.context_expr,
+                            f"synchronous `with {name}:` blocks the "
+                            "event loop while waiting for the lock; "
+                            "use asyncio.Lock with `async with`",
+                            symbol=name or "",
+                        )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = imports.resolve_call(node)
+            if resolved == "time.sleep":
+                yield self._finding(
+                    module,
+                    node,
+                    "time.sleep() suspends the whole event loop; use "
+                    "`await asyncio.sleep(...)`",
+                    symbol="sleep",
+                )
+                continue
+            if resolved == "socket.create_connection":
+                yield self._finding(
+                    module,
+                    node,
+                    "socket.create_connection() blocks until the TCP "
+                    "handshake completes; use asyncio.open_connection",
+                    symbol="create_connection",
+                )
+                continue
+            method = (
+                node.func.attr
+                if isinstance(node.func, ast.Attribute)
+                else None
+            )
+            receiver = _receiver_name(node.func)
+            if (
+                method in _BLOCKING_SOCKET_METHODS
+                and _is_socketish(receiver)
+            ):
+                yield self._finding(
+                    module,
+                    node,
+                    f"blocking socket call `{receiver}.{method}()` in a "
+                    "coroutine; use the asyncio stream/transport APIs",
+                    symbol=method or "",
+                )
+                continue
+            if (
+                method == "acquire"
+                and _is_lockish(receiver)
+                and id(node) not in awaited
+            ):
+                yield self._finding(
+                    module,
+                    node,
+                    f"`{receiver}.acquire()` is not awaited — a "
+                    "threading lock blocks the event loop; use "
+                    "asyncio.Lock and `await ...acquire()`",
+                    symbol="acquire",
+                )
+
+    def _finding(
+        self, module: ModuleSource, node: ast.AST, message: str, symbol: str
+    ) -> Finding:
+        return Finding(
+            path=module.path,
+            line=node.lineno,
+            col=node.col_offset,
+            rule=self.id,
+            message=message,
+            symbol=symbol,
+        )

@@ -1,0 +1,73 @@
+"""RPR013 — static lock-order deadlock detection.
+
+Built on the whole-program lock graph
+(:func:`repro.analysis.program.program_graph`): for every class that
+creates ``threading.Lock``/``RLock`` attributes, each acquisition of a
+lock while another is held — directly nested ``with`` blocks or any
+chain of ``self.<m>()`` calls — contributes a directed edge.  A cycle
+in that graph means two code paths acquire the same locks in opposite
+orders: two threads taking the two paths concurrently can deadlock.
+A one-edge cycle is a method re-acquiring a non-reentrant lock it
+already holds — self-deadlock, no second thread required.
+
+The finding is pinned to the acquisition site of the cycle's first
+edge and names every edge (method and line) so the order to fix is
+visible without re-deriving the graph.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.program import ClassLocks, program_graph
+from repro.analysis.registry import Rule, register
+from repro.analysis.walker import Project
+
+
+def _describe(owner: ClassLocks, cycle: list[tuple[str, str]]) -> str:
+    parts = []
+    for src, dst in cycle:
+        edge = owner.edges[(src, dst)]
+        via = f" via self.{edge.via}()" if edge.via else ""
+        parts.append(
+            f"{src} -> {dst} in {edge.method}() line {edge.line}{via}"
+        )
+    return "; ".join(parts)
+
+
+@register
+class LockOrderInversionRule(Rule):
+    """RPR013: opposite lock acquisition orders across reachable paths."""
+
+    id = "RPR013"
+    name = "lock-order-inversion"
+    rationale = (
+        "two code paths that acquire the same locks in opposite orders "
+        "deadlock the moment two threads interleave them"
+    )
+
+    def project_check(self, project: Project) -> Iterator[Finding]:
+        graph = program_graph(project)
+        for owner in graph.class_locks:
+            for cycle in owner.cycles():
+                first = owner.edges[cycle[0]]
+                if len(cycle) == 1 and cycle[0][0] == cycle[0][1]:
+                    message = (
+                        f"{cycle[0][0]} is re-acquired while already "
+                        f"held in {first.method}() — a non-reentrant "
+                        "Lock self-deadlocks here"
+                    )
+                else:
+                    message = (
+                        "lock-order inversion (potential deadlock): "
+                        + _describe(owner, cycle)
+                    )
+                yield Finding(
+                    path=owner.module_path,
+                    line=first.line,
+                    col=first.col,
+                    rule=self.id,
+                    message=message,
+                    symbol=cycle[0][0],
+                )

@@ -26,8 +26,9 @@ import ast
 from dataclasses import dataclass
 from typing import Iterator
 
-from repro.analysis.astutil import ImportMap, is_self_attr, terminal_name
+from repro.analysis.astutil import ImportMap, is_self_attr
 from repro.analysis.findings import Finding
+from repro.analysis.program import FlatClass, flatten_classes
 from repro.analysis.registry import Rule, register
 from repro.analysis.walker import ModuleSource
 
@@ -164,49 +165,6 @@ class _MethodScanner(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-@dataclass
-class _FlatClass:
-    """One class with same-module bases folded in.
-
-    ``methods`` is the effective (override-resolved) method map;
-    ``all_defs`` additionally keeps *shadowed* base methods, because a
-    base ``__init__`` that a subclass overrides still runs (via
-    ``super()``) and still creates the class's locks.
-    """
-
-    methods: dict[str, ast.FunctionDef]
-    all_defs: list[ast.FunctionDef]
-
-
-def _flatten_classes(tree: ast.Module) -> dict[str, _FlatClass]:
-    """Class name -> flattened view, same-module single inheritance."""
-    classes: dict[str, ast.ClassDef] = {
-        node.name: node
-        for node in tree.body
-        if isinstance(node, ast.ClassDef)
-    }
-
-    def flatten(name: str, seen: frozenset[str]) -> _FlatClass:
-        node = classes.get(name)
-        if node is None or name in seen:
-            return _FlatClass(methods={}, all_defs=[])
-        merged: dict[str, ast.FunctionDef] = {}
-        defs: list[ast.FunctionDef] = []
-        for base in node.bases:
-            base_name = terminal_name(base)
-            if base_name in classes:
-                flat = flatten(base_name, seen | {name})
-                merged.update(flat.methods)
-                defs.extend(flat.all_defs)
-        for item in node.body:
-            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                merged[item.name] = item
-                defs.append(item)
-        return _FlatClass(methods=merged, all_defs=defs)
-
-    return {name: flatten(name, frozenset()) for name in classes}
-
-
 def _thread_targets(
     methods: dict[str, ast.FunctionDef], imports: ImportMap
 ) -> set[str]:
@@ -242,7 +200,7 @@ class LockCoverageRule(Rule):
         # inherited methods are analysed once per subclass; report each
         # physical write only once (attributed to the first class seen)
         reported: set[tuple[int, int, str]] = set()
-        for class_name, flat in _flatten_classes(module.tree).items():
+        for class_name, flat in flatten_classes(module.tree).items():
             analysis = _analyze_class(flat, imports)
             if analysis is None:
                 continue
@@ -294,7 +252,7 @@ class ThreadUnguardedWriteRule(Rule):
     def check(self, module: ModuleSource) -> Iterator[Finding]:
         imports = ImportMap(module.tree)
         reported: set[tuple[int, int, str]] = set()
-        for class_name, flat in _flatten_classes(module.tree).items():
+        for class_name, flat in flatten_classes(module.tree).items():
             analysis = _analyze_class(flat, imports)
             if analysis is None:
                 continue
@@ -330,7 +288,7 @@ class ThreadUnguardedWriteRule(Rule):
 
 
 def _analyze_class(
-    flat: _FlatClass, imports: ImportMap
+    flat: FlatClass, imports: ImportMap
 ) -> tuple[list[_Write], dict[str, set[str]]] | None:
     """(writes, self-call graph) for one class, or None if it has no
     lock attribute (classes without locks are outside these rules)."""

@@ -1,0 +1,114 @@
+"""RPR014/RPR017 — LSL protocol conformance and cross-stack parity.
+
+RPR014 walks every function's ``SessionTimeline.record(...)`` calls
+through the protocol state machines in
+:mod:`repro.analysis.protocol` and flags event orders the LSL session
+protocol does not admit (``eof`` before ``header_rx``, ``complete``
+before ``header_tx``, …) — catching sim-vs-socket drift at lint time
+instead of in the e2e equivalence tests.
+
+RPR017 compares the *event vocabularies* the two stacks record: an
+event the transport (``lsl/``) emits but the simulator (``net/``)
+never does — or vice versa — silently breaks the per-stream
+sequence-equivalence contract (see ``docs/OBSERVABILITY.md``).  The
+rule is driven from the timeline schema (:data:`repro.obs.timeline.
+EVENTS`) and stays quiet unless both sides record at least one event,
+so partial trees and fixtures don't misfire.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis import protocol
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.walker import ModuleSource, Project
+
+
+@register
+class ProtocolConformanceRule(Rule):
+    """RPR014: timeline events must follow the session state machine."""
+
+    id = "RPR014"
+    name = "protocol-conformance"
+    rationale = (
+        "a transport or simulator that narrates session events out of "
+        "protocol order has diverged from the wire contract the "
+        "equivalence tests pin"
+    )
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        # tests may replay deliberately broken sequences
+        return not module.is_test_code
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for violation in protocol.check_module(module.tree):
+            yield Finding(
+                path=module.path,
+                line=violation.call.line,
+                col=violation.call.col,
+                rule=self.id,
+                message=violation.message(),
+                symbol=violation.call.event,
+            )
+
+
+def _side_of(module: ModuleSource) -> str | None:
+    """Which stack a module narrates for: ``lsl`` (socket transport)
+    or ``net`` (simulator)."""
+    parts = module.abspath.parts
+    if "lsl" in parts:
+        return "lsl"
+    if "net" in parts:
+        return "net"
+    return None
+
+
+@register
+class CrossStackEventParityRule(Rule):
+    """RPR017: both stacks must record the same event vocabulary."""
+
+    id = "RPR017"
+    name = "cross-stack-event-parity"
+    rationale = (
+        "an event only one stack records breaks sim-vs-socket timeline "
+        "equivalence for every session that hits it"
+    )
+
+    def project_check(self, project: Project) -> Iterator[Finding]:
+        sites: dict[str, dict[str, tuple[str, int, int]]] = {
+            "lsl": {},
+            "net": {},
+        }
+        for module in project.modules:
+            side = _side_of(module)
+            if side is None or module.is_test_code:
+                continue
+            for call in protocol.record_calls(module.tree):
+                site = (module.path, call.line, call.col)
+                current = sites[side].get(call.event)
+                if current is None or site < current:
+                    sites[side][call.event] = site
+        if not sites["lsl"] or not sites["net"]:
+            return  # one stack absent from this run: nothing to compare
+        labels = {
+            "lsl": "the socket transport (lsl/)",
+            "net": "the simulator (net/)",
+        }
+        for here, there in (("lsl", "net"), ("net", "lsl")):
+            for event in sorted(set(sites[here]) - set(sites[there])):
+                path, line, col = sites[here][event]
+                yield Finding(
+                    path=path,
+                    line=line,
+                    col=col,
+                    rule=self.id,
+                    message=(
+                        f"timeline event '{event}' is recorded by "
+                        f"{labels[here]} but never by {labels[there]} — "
+                        "per-stream sequence equivalence breaks for "
+                        "sessions that emit it"
+                    ),
+                    symbol=event,
+                )

@@ -1,0 +1,229 @@
+"""RPR016 — resource acquired on a path where some exit skips release.
+
+Tracks local names bound directly from a resource factory —
+``sock = socket.socket(...)``, ``conn = socket.create_connection(...)``,
+``f = open(...)``, ``t = threading.Thread(...)`` — inside one function
+and checks that every exit path releases them:
+
+* never released at all (no ``close()``/``join()``, no ``with``, no
+  ``finally``) → the resource leaks on *every* path;
+* released only on the straight-line path, with an early ``return`` or
+  ``raise`` between acquisition and release → those exits leak it.
+
+A name that *escapes* — returned, yielded, stored into an attribute,
+container or other variable, or passed to another call — transfers
+ownership somewhere this pass cannot see, so it is exempt.  ``with``
+usage and a release inside ``finally`` always count as covered.
+Exceptions raised between acquisition and a non-``finally`` release
+are real leak paths too, but flagging them would bury the classic
+cases in noise; the two variants above are the ones worth a build
+break.  Test code is exempt (fixtures juggle sockets casually).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.astutil import ImportMap
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.walker import ModuleSource
+
+#: factory → (resource kind, release method names)
+_FACTORIES: dict[str, tuple[str, tuple[str, ...]]] = {
+    "socket.socket": ("socket", ("close", "detach")),
+    "socket.create_connection": ("socket", ("close", "detach")),
+    "open": ("file", ("close",)),
+    "threading.Thread": ("thread", ("join",)),
+}
+
+_NESTED_DEFS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                ast.Lambda)
+
+
+@dataclass
+class _Resource:
+    name: str
+    kind: str
+    releases: tuple[str, ...]
+    line: int
+    col: int
+    escaped: bool = False
+    covered: bool = False  #: `with` usage or release in finally
+    release_lines: list[int] = field(default_factory=list)
+
+
+def _neutral_parent(parent: ast.AST, name_node: ast.Name) -> bool:
+    """Uses that neither release nor leak ownership: truthiness tests,
+    comparisons, and being the receiver of a method call."""
+    if isinstance(parent, ast.Attribute) and parent.value is name_node:
+        return True  # receiver of `name.method(...)` / attribute read
+    if isinstance(parent, (ast.Compare, ast.BoolOp, ast.UnaryOp)):
+        return True
+    if isinstance(parent, (ast.If, ast.While, ast.Assert)):
+        return True  # bare `if name:` truthiness test
+    return False
+
+
+@register
+class ResourceLeakPathRule(Rule):
+    """RPR016: some exit path skips close()/join()."""
+
+    id = "RPR016"
+    name = "resource-leak-path"
+    rationale = (
+        "a socket, file or thread that an exit path never releases "
+        "leaks until process death — under load, until fd exhaustion"
+    )
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return not module.is_test_code
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node, imports)
+
+    def _check_function(
+        self,
+        module: ModuleSource,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        imports: ImportMap,
+    ) -> Iterator[Finding]:
+        # map every node in this function (nested defs excluded) to its
+        # parent, and collect the spans of `finally` suites
+        parents: dict[int, ast.AST] = {}
+        finally_nodes: set[int] = set()
+        exits: list[int] = []  # lines of return/raise statements
+
+        def index(node: ast.AST, in_finally: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, _NESTED_DEFS):
+                    continue
+                parents[id(child)] = node
+                if isinstance(child, (ast.Return, ast.Raise)):
+                    exits.append(child.lineno)
+                if in_finally or (
+                    isinstance(node, ast.Try) and child in node.finalbody
+                ):
+                    finally_nodes.add(id(child))
+                    index(child, True)
+                else:
+                    index(child, in_finally)
+
+        index(func, False)
+
+        resources: dict[str, _Resource] = {}
+        for node in _shallow_walk(func):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+            ):
+                resolved = imports.resolve_call(node.value)
+                if resolved in _FACTORIES:
+                    kind, releases = _FACTORIES[resolved]
+                    # re-binding starts a new tracking window; keep the
+                    # first acquisition (the one a later exit can leak)
+                    resources.setdefault(
+                        node.targets[0].id,
+                        _Resource(
+                            name=node.targets[0].id,
+                            kind=kind,
+                            releases=releases,
+                            line=node.lineno,
+                            col=node.col_offset,
+                        ),
+                    )
+
+        if not resources:
+            return
+
+        for node in _shallow_walk(func):
+            if isinstance(node, ast.withitem):
+                inner = node.context_expr
+                if isinstance(inner, ast.Name) and inner.id in resources:
+                    resources[inner.id].covered = True
+                continue
+            if not isinstance(node, ast.Name) or not isinstance(
+                node.ctx, ast.Load
+            ):
+                continue
+            resource = resources.get(node.id)
+            if resource is None:
+                continue
+            parent = parents.get(id(node))
+            if parent is None:
+                continue
+            if isinstance(parent, ast.withitem):
+                resource.covered = True
+                continue
+            if _neutral_parent(parent, node):
+                # release call? `name.close()` / `name.join()`
+                if (
+                    isinstance(parent, ast.Attribute)
+                    and parent.attr in resource.releases
+                    and isinstance(parents.get(id(parent)), ast.Call)
+                ):
+                    if id(parent) in finally_nodes or (
+                        id(parents[id(parent)]) in finally_nodes
+                    ):
+                        resource.covered = True
+                    resource.release_lines.append(parent.lineno)
+                continue
+            resource.escaped = True
+
+        for resource in sorted(resources.values(), key=lambda r: r.line):
+            if resource.escaped or resource.covered:
+                continue
+            if not resource.release_lines:
+                yield Finding(
+                    path=module.path,
+                    line=resource.line,
+                    col=resource.col,
+                    rule=self.id,
+                    message=(
+                        f"{resource.kind} `{resource.name}` acquired "
+                        "here is never "
+                        f"{'/'.join(resource.releases)}()d on any path; "
+                        "use `with` or a try/finally"
+                    ),
+                    symbol=resource.name,
+                )
+                continue
+            first_release = min(resource.release_lines)
+            skipping = [
+                line
+                for line in exits
+                if resource.line < line < first_release
+            ]
+            if skipping:
+                yield Finding(
+                    path=module.path,
+                    line=resource.line,
+                    col=resource.col,
+                    rule=self.id,
+                    message=(
+                        f"{resource.kind} `{resource.name}` is released "
+                        f"at line {first_release}, but the exit at line "
+                        f"{skipping[0]} skips it; move the release into "
+                        "a finally or use `with`"
+                    ),
+                    symbol=resource.name,
+                )
+
+
+def _shallow_walk(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function's own body, not descending into nested defs."""
+    stack: list[ast.AST] = [func]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _NESTED_DEFS):
+                continue
+            stack.append(child)

@@ -10,6 +10,7 @@ applying the ratchet baseline.  Rules see only :class:`ModuleSource`
 from __future__ import annotations
 
 import ast
+import os
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -29,7 +30,31 @@ _SUPPRESS_FILE_RE = re.compile(
     r"#\s*rpr:\s*disable-file(?:=([A-Za-z0-9_,\s]+))?"
 )
 
-_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules", "build", "dist"}
+#: Directory names every ``repro lint`` walk prunes (never descended
+#: into).  Shared by the CLI, the walker and the bench harness so
+#: ``repro lint .`` from the repo root is fast and deterministic; any
+#: other dot-directory is pruned too.
+IGNORED_DIRS = frozenset(
+    {
+        "__pycache__",
+        ".git",
+        ".hg",
+        ".venv",
+        "venv",
+        "node_modules",
+        "build",
+        "dist",
+        ".mypy_cache",
+        ".pytest_cache",
+        ".ruff_cache",
+        ".tox",
+        ".eggs",
+    }
+)
+
+
+def _ignored_dir(name: str) -> bool:
+    return name in IGNORED_DIRS or name.startswith(".")
 
 #: Sentinel meaning "every rule" in a suppression set.
 ALL_RULES = "*"
@@ -118,6 +143,10 @@ class RunResult:
 def discover(paths: Sequence[str | Path]) -> list[Path]:
     """Expand files and directories into a sorted list of ``.py`` files.
 
+    Directory walks prune :data:`IGNORED_DIRS` (and dot-directories)
+    *before* descending, so ``repro lint .`` from a repo root never
+    wades through ``.git`` or virtualenvs.
+
     Raises
     ------
     FileNotFoundError
@@ -132,10 +161,13 @@ def discover(paths: Sequence[str | Path]) -> list[Path]:
             if path.suffix == ".py":
                 seen.setdefault(path.resolve(), path)
             continue
-        for sub in sorted(path.rglob("*.py")):
-            if any(part in _SKIP_DIRS for part in sub.parts):
-                continue
-            seen.setdefault(sub.resolve(), sub)
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(d for d in dirs if not _ignored_dir(d))
+            base = Path(root)
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    sub = base / name
+                    seen.setdefault(sub.resolve(), sub)
     return sorted(seen.values())
 
 

@@ -1,12 +1,13 @@
 """The fixed benchmark suite behind ``repro bench``.
 
-Five workloads cover the subsystems whose performance the project
+Six workloads cover the subsystems whose performance the project
 promises (ROADMAP item 3): minimax tree construction, incremental
 reroute repair, the fluid simulator's batch step rate (scalar and
-vectorized), loopback socket-relay throughput, and chaos episode
-wall-clock.  Every workload is seeded and fixed-size so two runs on the
-same machine measure the same work; ``smoke=True`` shrinks each to a
-couple of seconds total for CI and the tier-1 smoke test.
+vectorized), loopback socket-relay throughput, chaos episode
+wall-clock, and the full-tree whole-program lint.  Every workload is
+seeded and fixed-size so two runs on the same machine measure the same
+work; ``smoke=True`` shrinks each to a couple of seconds total for CI
+and the tier-1 smoke test.
 
 Metric names are stable identifiers (``--compare`` joins on them); add
 new metrics freely, but never rename or repurpose one.
@@ -17,6 +18,7 @@ from __future__ import annotations
 import statistics
 import time
 from collections.abc import Callable, Iterable
+from pathlib import Path
 
 from repro.bench.results import BenchReport, BenchResult, now_iso
 from repro.util.rng import RngStream
@@ -251,12 +253,59 @@ def _bench_chaos(smoke: bool) -> list[BenchResult]:
     ]
 
 
+def _bench_lint(smoke: bool) -> list[BenchResult]:
+    """Full-tree ``repro lint`` wall-clock, all 17 rules.
+
+    The whole-program rules (RPR013+) add a project pass — call graph,
+    lock graph and protocol replay over every module — on top of the
+    per-file walks, so this is the analysis engine's worst case.  The
+    tree is the installed ``repro`` package itself: fixed size, and the
+    same code CI lints.
+    """
+    import repro
+    from repro.analysis import run_paths
+    from repro.analysis.walker import load_module
+
+    tree = Path(repro.__file__).parent
+    passes = 1 if smoke else 3
+    walls: list[float] = []
+    findings = 0
+    for _ in range(passes):
+        t0 = time.perf_counter()
+        result = run_paths([tree])
+        walls.append(time.perf_counter() - t0)
+        findings = len(result.findings)
+    t0 = time.perf_counter()
+    for path in sorted(tree.rglob("*.py")):
+        load_module(path)
+    parse_s = time.perf_counter() - t0
+    return [
+        BenchResult(
+            name="lint.fulltree.wall",
+            value=statistics.median(walls) * 1e3,
+            unit="ms",
+            kind="wall",
+            higher_is_better=False,
+            params={"findings": findings, "passes": passes},
+        ),
+        BenchResult(
+            name="lint.fulltree.parse",
+            value=parse_s * 1e3,
+            unit="ms",
+            kind="wall",
+            higher_is_better=False,
+            params={},
+        ),
+    ]
+
+
 #: name -> runner; ``repro bench --only`` selects by these keys.
 WORKLOADS: dict[str, Callable[[bool], list[BenchResult]]] = {
     "minimax": _bench_minimax,
     "simulator": _bench_simulator,
     "transport": _bench_transport,
     "chaos": _bench_chaos,
+    "lint": _bench_lint,
 }
 
 

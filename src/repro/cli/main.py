@@ -340,7 +340,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="WORKLOAD",
         help="run one workload group (repeatable): minimax, simulator, "
-        "transport, chaos",
+        "transport, chaos, lint",
     )
     p.add_argument(
         "--out",

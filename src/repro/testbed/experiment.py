@@ -23,14 +23,15 @@ mode) or keeps its round-one routes (static mode).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 from repro.core.scheduler import LogisticalScheduler, ScheduleDecision
 from repro.models.relay import relay_transfer_time
 from repro.models.transfer_time import transfer_time
+from repro.net.simulator import NetworkSimulator
 from repro.net.tcp import TcpConfig
 from repro.net.topology import PathSpec
+from repro.net.vectorized import BatchSpec
 from repro.nws.matrix import CliqueAggregator
 from repro.testbed.network import Testbed
 from repro.testbed.workload import WorkloadConfig
@@ -108,6 +109,17 @@ class CampaignConfig:
         token cycles — slower but faithful to how NWS actually probes.
     sensor_rounds:
         Token cycles to run in ``"sensors"`` mode.
+    measure_engine:
+        ``"model"`` prices transfers with the semi-analytic closed
+        forms (fast, the default); ``"simulator"`` runs every measured
+        transfer through the fluid :class:`~repro.net.simulator.
+        NetworkSimulator`, one batch per round.
+    simulate_vectorized:
+        In ``"simulator"`` mode, run each round's batch in numpy
+        lockstep (:meth:`~repro.net.simulator.NetworkSimulator.
+        run_batch`) instead of one scalar simulation per case.  The
+        durations are identical either way; vectorized is the fast
+        path.
     """
 
     probes_per_pair: int = 16
@@ -125,6 +137,8 @@ class CampaignConfig:
     depot_load_sigma: float = 0.35
     probe_mode: str = "batch"
     sensor_rounds: int = 4
+    measure_engine: str = "model"
+    simulate_vectorized: bool = True
 
     def __post_init__(self) -> None:
         check_positive("probes_per_pair", self.probes_per_pair)
@@ -133,6 +147,10 @@ class CampaignConfig:
         check_positive("sensor_rounds", self.sensor_rounds)
         if self.probe_mode not in ("batch", "sensors"):
             raise ValueError(f"probe_mode={self.probe_mode!r} not recognised")
+        if self.measure_engine not in ("model", "simulator"):
+            raise ValueError(
+                f"measure_engine={self.measure_engine!r} not recognised"
+            )
         if self.max_cases is not None:
             check_positive("max_cases", self.max_cases)
 
@@ -272,6 +290,11 @@ def run_campaign(
     probe_rng = rng.child("probe")
     noise_rng = rng.child("noise")
     sample_rng = rng.child("sample")
+    simulator = (
+        NetworkSimulator(config=tcp_config)
+        if config.measure_engine == "simulator"
+        else None
+    )
 
     for round_index in range(config.rounds):
         if round_index > 0:
@@ -323,29 +346,35 @@ def run_campaign(
                 pairs = [pairs[i] for i in sorted(idx)]
             sampled_pairs = pairs
 
+        cases: list[_PreparedCase] = []
         for src, dst in sampled_pairs:
             decision = scheduler.decide(src, dst)
             if round_index == 0:
                 decisions[(src, dst)] = decision
             for size in config.workload.sizes:
                 for _ in range(config.iterations):
-                    measurements.append(
-                        _measure(
+                    cases.append(
+                        _prepare_case(
                             testbed, truth, src, dst, size,
                             use_lsl=False, route=(src, dst),
-                            tcp_config=tcp_config, config=config,
-                            rng=noise_rng, round_index=round_index,
+                            config=config, rng=noise_rng,
+                            round_index=round_index,
                         )
                     )
                     route = tuple(decision.route) if decision.use_lsl else (src, dst)
-                    measurements.append(
-                        _measure(
+                    cases.append(
+                        _prepare_case(
                             testbed, truth, src, dst, size,
                             use_lsl=decision.use_lsl, route=route,
-                            tcp_config=tcp_config, config=config,
-                            rng=noise_rng, round_index=round_index,
+                            config=config, rng=noise_rng,
+                            round_index=round_index,
                         )
                     )
+        # one pricing pass per round: the whole round becomes a single
+        # run_batch call in "simulator" mode
+        measurements.extend(
+            _finish_cases(cases, config, tcp_config, simulator)
+        )
 
     return CampaignResult(
         measurements=measurements,
@@ -402,7 +431,7 @@ def run_random_campaign(
         testbed.endpoint_hosts, config.workload, seed=seed
     )
     noise_rng = rng.child("noise")
-    measurements: list[MeasuredTransfer] = []
+    cases: list[_PreparedCase] = []
     decisions: dict[tuple[str, str], ScheduleDecision] = {}
     for request in generator.batch(n_requests):
         decision = decisions.get((request.src, request.dst))
@@ -416,14 +445,20 @@ def run_random_campaign(
             if request.use_lsl
             else (request.src, request.dst)
         )
-        measurements.append(
-            _measure(
+        cases.append(
+            _prepare_case(
                 testbed, truth, request.src, request.dst, request.size,
                 use_lsl=request.use_lsl, route=route,
-                tcp_config=tcp_config, config=config,
-                rng=noise_rng, round_index=0,
+                config=config, rng=noise_rng, round_index=0,
             )
         )
+
+    simulator = (
+        NetworkSimulator(config=tcp_config)
+        if config.measure_engine == "simulator"
+        else None
+    )
+    measurements = _finish_cases(cases, config, tcp_config, simulator)
 
     lsl_pairs = sorted({(m.src, m.dst) for m in measurements})
     endpoint_pairs = len(testbed.endpoint_hosts) * (
@@ -454,7 +489,27 @@ def _depot_load_factor(config: CampaignConfig, rng: RngStream) -> float:
     return min(1.0, draw)
 
 
-def _measure(
+@dataclass(frozen=True)
+class _PreparedCase:
+    """One measured transfer with its path specs and noise pre-drawn.
+
+    Splitting preparation from pricing lets ``"simulator"`` mode hand a
+    whole round's cases to :meth:`NetworkSimulator.run_batch` in one
+    call while keeping every RNG draw (depot loads, then measurement
+    noise, per case in campaign order) identical to the scalar flow.
+    """
+
+    src: str
+    dst: str
+    size: int
+    use_lsl: bool
+    route: tuple[str, ...]
+    paths: tuple[PathSpec, ...]
+    noise: float
+    round_index: int
+
+
+def _prepare_case(
     testbed: Testbed,
     truth: _DriftingTruth,
     src: str,
@@ -462,11 +517,10 @@ def _measure(
     size: int,
     use_lsl: bool,
     route: tuple[str, ...],
-    tcp_config: TcpConfig,
     config: CampaignConfig,
     rng: RngStream,
     round_index: int,
-) -> MeasuredTransfer:
+) -> _PreparedCase:
     if use_lsl and len(route) > 2:
         specs = testbed.route_specs(list(route))
         specs = [
@@ -491,21 +545,58 @@ def _measure(
                     name=spec.name,
                 )
             scaled.append(spec)
-        duration = relay_transfer_time(scaled, size, tcp_config)
+        paths = tuple(scaled)
     else:
-        spec = truth.scale_spec(
-            testbed.sublink_spec(src, dst), src, dst
+        paths = (
+            truth.scale_spec(testbed.sublink_spec(src, dst), src, dst),
         )
-        duration = transfer_time(spec, size, tcp_config)
-    bandwidth = (size / duration) * float(
-        rng.lognormal(0.0, config.measure_noise_sigma)
-    )
-    return MeasuredTransfer(
+    noise = float(rng.lognormal(0.0, config.measure_noise_sigma))
+    return _PreparedCase(
         src=src,
         dst=dst,
         size=size,
         use_lsl=use_lsl,
-        bandwidth=bandwidth,
         route=route,
+        paths=paths,
+        noise=noise,
         round_index=round_index,
     )
+
+
+def _model_duration(case: _PreparedCase, tcp_config: TcpConfig) -> float:
+    if len(case.paths) > 1:
+        return relay_transfer_time(list(case.paths), case.size, tcp_config)
+    return transfer_time(case.paths[0], case.size, tcp_config)
+
+
+def _finish_cases(
+    cases: list[_PreparedCase],
+    config: CampaignConfig,
+    tcp_config: TcpConfig,
+    simulator: NetworkSimulator | None,
+) -> list[MeasuredTransfer]:
+    """Price prepared cases and attach their pre-drawn noise."""
+    if not cases:
+        return []
+    if config.measure_engine == "simulator":
+        assert simulator is not None
+        results = simulator.run_batch(
+            [BatchSpec(paths=case.paths, size=case.size) for case in cases],
+            vectorized=config.simulate_vectorized,
+            record_trace=False,
+        )
+        durations = [result.duration for result in results]
+    else:
+        durations = [_model_duration(case, tcp_config) for case in cases]
+    return [
+        MeasuredTransfer(
+            src=case.src,
+            dst=case.dst,
+            size=case.size,
+            use_lsl=case.use_lsl,
+            bandwidth=(case.size / duration) * case.noise,
+            route=case.route,
+            round_index=case.round_index,
+        )
+        for case, duration in zip(cases, durations)
+    ]

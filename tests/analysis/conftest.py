@@ -8,6 +8,7 @@ path while preserving the directory names rules key on (``net/``).
 
 from __future__ import annotations
 
+import re
 import shutil
 from pathlib import Path
 
@@ -16,6 +17,31 @@ import pytest
 from repro.analysis import run_paths
 
 FIXTURES = Path(__file__).parent / "fixtures"
+
+#: Fixture annotation: ``# expect: RPR013`` (or a comma list) on the
+#: exact line a rule must flag.  :func:`expected_findings` collects
+#: them; the ``expect_findings`` fixture asserts the checker's output
+#: matches the annotations one-for-one.
+_EXPECT_RE = re.compile(r"#\s*expect:\s*([A-Za-z0-9_,\s]+)")
+
+
+def expected_findings(
+    root: Path, select=None
+) -> list[tuple[str, int, str]]:
+    """``(filename, line, rule)`` triples promised by ``# expect:``
+    annotations under ``root``, optionally filtered to ``select``."""
+    want: list[tuple[str, int, str]] = []
+    for path in sorted(root.rglob("*.py")):
+        lines = path.read_text(encoding="utf-8").splitlines()
+        for lineno, line in enumerate(lines, 1):
+            match = _EXPECT_RE.search(line)
+            if match is None:
+                continue
+            for rule_id in match.group(1).split(","):
+                rule_id = rule_id.strip().upper()
+                if rule_id and (select is None or rule_id in select):
+                    want.append((path.name, lineno, rule_id))
+    return sorted(want)
 
 
 @pytest.fixture(scope="session")
@@ -35,6 +61,29 @@ def run_fixture(fixture_root):
         return result
 
     return run
+
+
+@pytest.fixture
+def expect_findings(fixture_root, run_fixture):
+    """Run a fixture subdir and assert findings == its ``# expect:``
+    annotations (filename, line, rule), one-for-one.  Returns the
+    :class:`RunResult` so tests can additionally assert on messages.
+    """
+
+    def check(subdir: str, select=None):
+        result = run_fixture(subdir, select=select)
+        selected = None if select is None else {s.upper() for s in select}
+        got = sorted(
+            (Path(f.path).name, f.line, f.rule) for f in result.findings
+        )
+        want = expected_findings(fixture_root / subdir, selected)
+        assert got == want, (
+            f"fixture {subdir!r}: findings do not match '# expect:' "
+            f"annotations\n  got:  {got}\n  want: {want}"
+        )
+        return result
+
+    return check
 
 
 def hits(result, rule_id: str) -> list[tuple[str, int]]:

@@ -1,0 +1,15 @@
+"""Coroutines that block the event loop — RPR015 positives."""
+
+import socket
+import time
+
+
+async def pump(session_sock, state_lock):
+    time.sleep(0.05)  # expect: RPR015
+    socket.create_connection(("depot", 5001))  # expect: RPR015
+    session_sock.sendall(b"hdr")  # expect: RPR015
+    data = session_sock.recv(4096)  # expect: RPR015
+    state_lock.acquire()  # expect: RPR015
+    with state_lock:  # expect: RPR015
+        pass
+    return data

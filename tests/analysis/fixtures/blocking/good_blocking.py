@@ -1,0 +1,23 @@
+"""Event-loop-safe coroutines and plain sync code — RPR015 quiet."""
+
+import asyncio
+
+
+async def pump(reader, writer, session_lock):
+    await asyncio.sleep(0.05)
+    async with session_lock:
+        data = await reader.read(4096)
+    writer.write(data)
+    await writer.drain()
+    await session_lock.acquire()
+    session_lock.release()
+    return data
+
+
+def sync_helper(session_sock, state_lock):
+    """Blocking calls are fine outside a coroutine."""
+    import time
+
+    with state_lock:
+        session_sock.sendall(b"x")
+    time.sleep(0.01)

@@ -1,0 +1,58 @@
+"""Lock acquisition orders that can deadlock — RPR013 positives."""
+
+import threading
+
+
+class Inverted:
+    """Two methods take the same pair of locks in opposite orders."""
+
+    def __init__(self):
+        self._a_lock = threading.Lock()
+        self._b_lock = threading.Lock()
+
+    def forward(self):
+        with self._a_lock:
+            with self._b_lock:  # expect: RPR013
+                pass
+
+    def backward(self):
+        with self._b_lock:
+            with self._a_lock:
+                pass
+
+
+class ChainInverted:
+    """The inversion hides behind a self-call: ``record`` holds the
+    front lock while ``_bump`` takes the rear one."""
+
+    def __init__(self):
+        self._front_lock = threading.Lock()
+        self._rear_lock = threading.Lock()
+
+    def _bump(self):
+        with self._rear_lock:
+            pass
+
+    def record(self):
+        with self._front_lock:
+            self._bump()  # expect: RPR013
+
+    def drain(self):
+        with self._rear_lock:
+            with self._front_lock:
+                pass
+
+
+class Reentrant:
+    """Re-acquiring a non-reentrant Lock through a self-call."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def outer(self):
+        with self._lock:
+            self.inner()  # expect: RPR013
+
+    def inner(self):
+        with self._lock:
+            pass

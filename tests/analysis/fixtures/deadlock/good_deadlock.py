@@ -1,0 +1,40 @@
+"""Consistent lock orders — RPR013 must stay quiet."""
+
+import threading
+
+
+class Ordered:
+    """Every path takes ``_a_lock`` before ``_b_lock``."""
+
+    def __init__(self):
+        self._a_lock = threading.Lock()
+        self._b_lock = threading.Lock()
+
+    def forward(self):
+        with self._a_lock:
+            with self._b_lock:
+                pass
+
+    def also_forward(self):
+        with self._a_lock:
+            self._tail()
+
+    def _tail(self):
+        with self._b_lock:
+            pass
+
+
+class Solo:
+    """A single lock, never nested, never re-entered under itself."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    def read(self):
+        with self._lock:
+            return self.count

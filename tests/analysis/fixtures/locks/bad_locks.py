@@ -14,14 +14,14 @@ class HalfGuarded:
             self.count += 1
 
     def bump_unguarded(self) -> None:
-        self.count += 1
+        self.count += 1  # expect: RPR002
 
     def fill(self) -> None:
         with self._lock:
             self.items.append(1)
 
     def spill(self) -> None:
-        self.items.append(2)
+        self.items.append(2)  # expect: RPR002
 
 
 class Racy:
@@ -37,7 +37,7 @@ class Racy:
         self._step()
 
     def _step(self) -> None:
-        self.log.append("tick")
+        self.log.append("tick")  # expect: RPR003
 
 
 class Base:
@@ -52,4 +52,4 @@ class Base:
 
 class Sub(Base):
     def add_fast(self, n: int) -> None:
-        self.total += n
+        self.total += n  # expect: RPR002

@@ -13,8 +13,8 @@ class Guarded:
             self.count += 1
 
     def run_forever(self) -> None:
-        thread = threading.Thread(target=self._tick)
-        thread.start()
+        self._thread = threading.Thread(target=self._tick)
+        self._thread.start()
 
     def _tick(self) -> None:
         with self._lock:

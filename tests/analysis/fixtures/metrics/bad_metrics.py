@@ -2,6 +2,6 @@
 
 
 def publish(registry):
-    registry.counter("rx_chunk_count")
-    registry.gauge("occupancy_level", labels=None)
-    registry.histogram("session_duration", labels={})
+    registry.counter("rx_chunk_count")  # expect: RPR011
+    registry.gauge("occupancy_level", labels=None)  # expect: RPR011
+    registry.histogram("session_duration", labels={})  # expect: RPR011

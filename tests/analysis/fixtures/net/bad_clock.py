@@ -7,16 +7,16 @@ import numpy as np
 
 
 def jitter() -> float:
-    return random.random()
+    return random.random()  # expect: RPR004
 
 
 def shuffle(items: list) -> None:
-    np.random.shuffle(items)
+    np.random.shuffle(items)  # expect: RPR004
 
 
 def now() -> float:
-    return time.time()
+    return time.time()  # expect: RPR005
 
 
 def pause() -> None:
-    time.sleep(0.5)
+    time.sleep(0.5)  # expect: RPR005

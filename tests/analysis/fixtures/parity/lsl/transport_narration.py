@@ -1,0 +1,14 @@
+"""A transport-side narrator whose vocabulary drifts from the sim's."""
+
+
+class Narrator:
+    def send(self, timeline):
+        timeline.record("connect", stream="down")
+        timeline.record("header_tx", stream="down")
+        timeline.record("complete", stream="down")
+
+    def retry(self, timeline):
+        timeline.record("failover", stream="down")  # expect: RPR017
+        timeline.record("connect", stream="down")
+        timeline.record("header_tx", stream="down")
+        timeline.record("complete", stream="down")

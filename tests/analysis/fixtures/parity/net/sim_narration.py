@@ -1,0 +1,12 @@
+"""A simulator-side narrator whose vocabulary drifts from the transport's."""
+
+
+def narrate(timeline):
+    timeline.record("connect", stream="down")
+    timeline.record("header_tx", stream="down")
+    timeline.record("complete", stream="down")
+
+
+def narrate_abort(timeline):
+    timeline.record("connect", stream="down")
+    timeline.record("error", stream="down")  # expect: RPR017

@@ -1,0 +1,20 @@
+"""Timeline narration that violates the LSL session state machine."""
+
+from repro.obs.timeline import STREAM_DOWN, STREAM_UP
+
+
+def narrate_bad_down(timeline):
+    timeline.record("connect", stream=STREAM_DOWN)
+    timeline.record("complete", stream=STREAM_DOWN)  # expect: RPR014
+    timeline.record("header_tx", stream=STREAM_DOWN)
+
+
+def narrate_bad_up(timeline):
+    timeline.record("header_rx", stream=STREAM_UP)
+    timeline.record("eof", stream=STREAM_UP)
+    timeline.record("progress", stream=STREAM_UP)  # expect: RPR014
+
+
+def narrate_failover_on_up(timeline):
+    timeline.record("header_rx", stream="up")
+    timeline.record("failover", stream="up")  # expect: RPR014

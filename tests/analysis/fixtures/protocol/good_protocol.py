@@ -1,0 +1,41 @@
+"""Protocol-conformant narration — RPR014 must stay quiet."""
+
+
+def narrate_down(timeline):
+    timeline.record("connect", stream="down")
+    timeline.record("header_tx", stream="down")
+    timeline.record("resume", stream="down")
+    timeline.record("complete", stream="down")
+
+
+def narrate_up_with_branches(timeline, resumed):
+    timeline.record("header_rx", stream="up")
+    if resumed:
+        timeline.record("resume", stream="up")
+    timeline.record("first_byte", stream="up")
+    timeline.record("progress", stream="up")
+    timeline.record("eof", stream="up")
+
+
+def narrate_progress_loop(timeline, chunks):
+    timeline.record("header_rx", stream="up")
+    timeline.record("first_byte", stream="up")
+    for _ in chunks:
+        timeline.record("progress", stream="up")
+    timeline.record("eof", stream="up")
+
+
+def narrate_error_recovery(timeline):
+    timeline.record("connect", stream="down")
+    timeline.record("error", stream="down")
+    timeline.record("connect", stream="down")
+    timeline.record("header_tx", stream="down")
+    timeline.record("complete", stream="down")
+
+
+def narrate_failover_retry(timeline):
+    timeline.record("connect", stream="down")
+    timeline.record("failover", stream="down")
+    timeline.record("connect", stream="down")
+    timeline.record("header_tx", stream="down")
+    timeline.record("complete", stream="down")

@@ -1,0 +1,32 @@
+"""Exit paths that leak sockets, files and threads — RPR016 positives."""
+
+import socket
+import threading
+
+
+def never_closed(payload):
+    sock = socket.socket()  # expect: RPR016
+    sock.sendall(payload)
+
+
+def early_return_skips_close(host, payload):
+    conn = socket.create_connection((host, 5001))  # expect: RPR016
+    if not payload:
+        return None
+    conn.sendall(payload)
+    conn.close()
+    return len(payload)
+
+
+def short_read_raises_before_close(path):
+    handle = open(path, "rb")  # expect: RPR016
+    header = handle.read(32)
+    if len(header) < 32:
+        raise ValueError("short header")
+    handle.close()
+    return header
+
+
+def fire_and_forget(lines):
+    worker = threading.Thread(target=print, args=(lines,))  # expect: RPR016
+    worker.start()

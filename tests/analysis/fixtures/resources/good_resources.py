@@ -1,0 +1,36 @@
+"""Every exit path releases (or ownership moves) — RPR016 quiet."""
+
+import socket
+import threading
+
+
+def with_block(host):
+    with socket.create_connection((host, 5001)) as conn:
+        conn.sendall(b"ping")
+
+
+def try_finally(host, payload):
+    conn = socket.create_connection((host, 5001))
+    try:
+        if not payload:
+            return None
+        conn.sendall(payload)
+        return len(payload)
+    finally:
+        conn.close()
+
+
+def escapes_to_caller(host):
+    sock = socket.create_connection((host, 5001))
+    return sock
+
+
+def ownership_moves_to_pool(host, pool):
+    sock = socket.create_connection((host, 5001))
+    pool.append(sock)
+
+
+def joined_worker(lines):
+    worker = threading.Thread(target=print, args=(lines,))
+    worker.start()
+    worker.join()

@@ -6,24 +6,24 @@ import socket
 def risky(payload: bytes) -> bytes:
     try:
         return payload.decode().encode()
-    except:
+    except:  # expect: RPR008
         return b""
 
 
 def quiet(payload: bytes) -> None:
     try:
         payload.decode()
-    except Exception:
+    except Exception:  # expect: RPR009
         pass
 
 
 def dial(host: str, port: int) -> socket.socket:
-    sock = socket.create_connection((host, port))
-    sock.settimeout(None)
+    sock = socket.create_connection((host, port))  # expect: RPR010
+    sock.settimeout(None)  # expect: RPR010
     return sock
 
 
 def dial_pinned(host: str, port: int) -> socket.socket:
-    sock = socket.create_connection((host, port), timeout=10)
-    sock.settimeout(30.0)
+    sock = socket.create_connection((host, port), timeout=10)  # expect: RPR012
+    sock.settimeout(30.0)  # expect: RPR012
     return sock

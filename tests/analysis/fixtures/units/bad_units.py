@@ -2,13 +2,13 @@
 
 
 def mix_sizes(total_bytes: int, size_mb: float) -> float:
-    return total_bytes + size_mb
+    return total_bytes + size_mb  # expect: RPR006
 
 
 def compare_times(elapsed_s: float, timeout_ms: float) -> bool:
-    return elapsed_s > timeout_ms
+    return elapsed_s > timeout_ms  # expect: RPR006
 
 
 def accumulate(budget_ms: float, delta_s: float) -> float:
-    budget_ms += delta_s
+    budget_ms += delta_s  # expect: RPR006
     return budget_ms

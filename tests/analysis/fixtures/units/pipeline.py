@@ -6,7 +6,7 @@ def wait_for(delay_s: float) -> float:
 
 
 def poll() -> float:
-    return wait_for(0.05)
+    return wait_for(0.05)  # expect: RPR007
 
 
 def poll_named() -> float:

@@ -10,35 +10,35 @@ _CODE = struct.Struct("!B")
 
 class ChunkKind(enum.IntEnum):
     DATA = 1
-    ACK = 1
-    HUGE = 600
+    ACK = 1  # expect: RPR001
+    HUGE = 600  # expect: RPR001
 
 
 class DataChunk:
     kind = ChunkKind.DATA
 
 
-class AckChunk:
+class AckChunk:  # expect: RPR001
     kind = ChunkKind.ACK
 
 
-_REGISTRY = {
+_REGISTRY = {  # expect: RPR001
     int(ChunkKind.DATA): DataChunk,
     int(ChunkKind.HUGE): DataChunk,
 }
 
 
 def native_pack(a: int, b: int) -> bytes:
-    return struct.pack("HH", a, b)
+    return struct.pack("HH", a, b)  # expect: RPR001
 
 
 def bad_endian(buf: bytes) -> int:
-    return int.from_bytes(buf[0:2], "little")
+    return int.from_bytes(buf[0:2], "little")  # expect: RPR001
 
 
 def misaligned_peek(buf: bytes) -> int:
-    return int.from_bytes(buf[3:5], "big") + FIXED_SIZE
+    return int.from_bytes(buf[3:5], "big") + FIXED_SIZE  # expect: RPR001
 
 
 def broken_format(flag: bool) -> bytes:
-    return struct.pack("!Z", flag)
+    return struct.pack("!Z", flag)  # expect: RPR001

@@ -2,4 +2,4 @@
 
 import struct
 
-_HDR = struct.Struct("!HI")
+_HDR = struct.Struct("!HI")  # expect: RPR001

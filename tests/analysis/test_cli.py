@@ -12,7 +12,7 @@ from repro.cli.main import main
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
-ALL_RULE_IDS = [f"RPR{n:03d}" for n in range(1, 13)]
+ALL_RULE_IDS = [f"RPR{n:03d}" for n in range(1, 18)]
 
 
 @pytest.fixture
@@ -131,6 +131,25 @@ def test_select_runs_only_named_rules(bad_dir, capsys):
     ) == 1
     payload = json.loads(capsys.readouterr().out)
     assert payload["counts"] == {"RPR008": 1}
+
+
+def test_select_interprocedural_rules(tmp_path, capsys):
+    """The whole-program rules run (and only they run) under
+    ``--select RPR013,...,RPR017`` — the CI lint step's exact spelling."""
+    copy = tmp_path / "deadlock"
+    shutil.copytree(FIXTURES / "deadlock", copy)
+    assert main(
+        [
+            "lint",
+            str(copy),
+            "--select",
+            "RPR013,RPR014,RPR015,RPR016,RPR017",
+            "--format",
+            "json",
+        ]
+    ) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"] == {"RPR013": 3}
 
 
 def test_unknown_rule_id_is_an_error(bad_dir, capsys):

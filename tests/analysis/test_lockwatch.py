@@ -1,0 +1,118 @@
+"""Unit tests for the runtime lock-order sanitizer."""
+
+import textwrap
+import threading
+
+import pytest
+
+from repro.analysis.lockwatch import (
+    LockOrderViolation,
+    LockWatch,
+    static_admitted_edges,
+)
+
+
+def test_nested_acquisition_records_edge():
+    watch = LockWatch()
+    a = watch.wrap("C.a")
+    b = watch.wrap("C.b")
+    with a:
+        with b:
+            pass
+    assert watch.observed_pairs() == {("C.a", "C.b")}
+
+
+def test_wrapped_lock_delegates_to_inner():
+    inner = threading.Lock()
+    watch = LockWatch()
+    wrapped = watch.wrap("C.a", inner)
+    assert wrapped.acquire()
+    assert inner.locked() and wrapped.locked()
+    wrapped.release()
+    assert not inner.locked()
+
+
+def test_out_of_order_release_keeps_stack_consistent():
+    watch = LockWatch()
+    a = watch.wrap("C.a")
+    b = watch.wrap("C.b")
+    a.acquire()
+    b.acquire()
+    a.release()  # release the older lock first
+    c = watch.wrap("C.c")
+    with c:
+        pass
+    b.release()
+    # c was acquired while only b was held
+    assert ("C.b", "C.c") in watch.observed_pairs()
+    assert ("C.a", "C.c") not in watch.observed_pairs()
+
+
+def test_validate_flags_unadmitted_orders():
+    watch = LockWatch()
+    a = watch.wrap("C.a")
+    b = watch.wrap("C.b")
+    with b:
+        with a:
+            pass
+    problems = watch.validate(
+        known_nodes={"C.a", "C.b"}, admitted={("C.a", "C.b")}
+    )
+    assert problems == [
+        "observed C.b -> C.a, which the static lock-order graph does "
+        "not admit"
+    ]
+
+
+def test_validate_skips_statically_unknown_locks():
+    watch = LockWatch()
+    known = watch.wrap("C.a")
+    foreign = watch.wrap("elsewhere")
+    with foreign:
+        with known:
+            pass
+    assert watch.validate(known_nodes={"C.a"}, admitted=set()) == []
+
+
+def test_strict_mode_raises_at_the_acquisition_site():
+    watch = LockWatch(admitted={("C.a", "C.b")}, strict=True)
+    a = watch.wrap("C.a")
+    b = watch.wrap("C.b")
+    with a:
+        with b:
+            pass  # admitted order: fine
+    with b:
+        with pytest.raises(LockOrderViolation):
+            a.acquire()
+
+
+def test_static_admitted_edges_roundtrip(tmp_path):
+    (tmp_path / "mod.py").write_text(
+        textwrap.dedent(
+            """\
+            import threading
+
+
+            class Pair:
+                def __init__(self):
+                    self._first_lock = threading.Lock()
+                    self._second_lock = threading.Lock()
+
+                def both(self):
+                    with self._first_lock:
+                        with self._second_lock:
+                            pass
+            """
+        )
+    )
+    nodes, admitted = static_admitted_edges([tmp_path])
+    assert nodes == {"Pair._first_lock", "Pair._second_lock"}
+    assert admitted == {("Pair._first_lock", "Pair._second_lock")}
+
+    watch = LockWatch()
+    first = watch.wrap("Pair._first_lock")
+    second = watch.wrap("Pair._second_lock")
+    with first:
+        with second:
+            pass
+    assert watch.validate(nodes, admitted) == []

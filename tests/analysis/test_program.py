@@ -1,0 +1,199 @@
+"""Unit tests for the whole-program graph (``repro.analysis.program``)."""
+
+import textwrap
+
+from repro.analysis.program import (
+    flatten_classes,
+    module_dotted_name,
+    program_graph,
+)
+from repro.analysis.walker import Project, load_module
+
+import ast
+
+
+def make_project(tmp_path, files: dict[str, str]) -> Project:
+    modules = []
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        module, err = load_module(path)
+        assert err is None, err
+        modules.append(module)
+    return Project(modules=modules)
+
+
+def test_flatten_classes_keeps_shadowed_base_init():
+    tree = ast.parse(
+        textwrap.dedent(
+            """\
+            class Base:
+                def __init__(self):
+                    self.x = 1
+
+                def shared(self):
+                    pass
+
+            class Sub(Base):
+                def __init__(self):
+                    super().__init__()
+            """
+        )
+    )
+    flat = flatten_classes(tree)
+    assert set(flat["Sub"].methods) == {"__init__", "shared"}
+    # the shadowed Base.__init__ is still in all_defs — it runs via
+    # super() and may create locks
+    inits = [d for d in flat["Sub"].all_defs if d.name == "__init__"]
+    assert len(inits) == 2
+
+
+def test_module_dotted_name(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "net"
+    pkg.mkdir(parents=True)
+    (pkg / "simulator.py").write_text("X = 1\n")
+    module, _ = load_module(pkg / "simulator.py")
+    assert module_dotted_name(module) == "repro.net.simulator"
+    (tmp_path / "scratch.py").write_text("Y = 2\n")
+    scratch, _ = load_module(tmp_path / "scratch.py")
+    assert module_dotted_name(scratch) == "scratch"
+
+
+def test_call_graph_and_entry_points(tmp_path):
+    project = make_project(
+        tmp_path,
+        {
+            "worker.py": """\
+                import threading
+
+                from helper import assist
+
+
+                class Pump:
+                    def start(self):
+                        self._t = threading.Thread(target=self._run)
+                        self._t.start()
+
+                    def _run(self):
+                        self._step()
+
+                    def _step(self):
+                        assist()
+
+
+                def main():
+                    Pump().start()
+                """,
+            "helper.py": """\
+                def assist():
+                    pass
+                """,
+        },
+    )
+    graph = program_graph(project)
+    assert graph.entry_points["worker.Pump._run"] == "thread"
+    assert graph.entry_points["worker.main"] == "main"
+    assert "worker.Pump._step" in graph.calls["worker.Pump._run"]
+    assert "helper.assist" in graph.calls["worker.Pump._step"]
+    reachable = graph.reachable_from({"worker.Pump._run"})
+    assert "helper.assist" in reachable
+
+
+def test_cli_entry_points_via_set_defaults(tmp_path):
+    project = make_project(
+        tmp_path,
+        {
+            "cli.py": """\
+                import argparse
+
+
+                def cmd_send(args):
+                    pass
+
+
+                def build():
+                    parser = argparse.ArgumentParser()
+                    sub = parser.add_subparsers()
+                    send = sub.add_parser("send")
+                    send.set_defaults(func=cmd_send)
+                """,
+        },
+    )
+    graph = program_graph(project)
+    assert graph.entry_points["cli.cmd_send"] == "cli"
+
+
+def test_lock_graph_edges_and_memoisation(tmp_path):
+    project = make_project(
+        tmp_path,
+        {
+            "locksy.py": """\
+                import threading
+
+
+                class Nested:
+                    def __init__(self):
+                        self._outer_lock = threading.Lock()
+                        self._inner_lock = threading.Lock()
+
+                    def direct(self):
+                        with self._outer_lock:
+                            with self._inner_lock:
+                                pass
+
+                    def indirect(self):
+                        with self._outer_lock:
+                            self._leaf()
+
+                    def _leaf(self):
+                        with self._inner_lock:
+                            pass
+                """,
+        },
+    )
+    graph = program_graph(project)
+    assert graph.lock_nodes() == {
+        "Nested._outer_lock",
+        "Nested._inner_lock",
+    }
+    assert graph.admitted_edges() == {
+        ("Nested._outer_lock", "Nested._inner_lock"),
+    }
+    (owner,) = graph.class_locks
+    assert owner.cycles() == []
+    # second call returns the memoised object, not a rebuild
+    assert program_graph(project) is graph
+
+
+def test_cycles_are_canonical(tmp_path):
+    project = make_project(
+        tmp_path,
+        {
+            "cycle.py": """\
+                import threading
+
+
+                class Inverted:
+                    def __init__(self):
+                        self._a = threading.Lock()
+                        self._b = threading.Lock()
+
+                    def fwd(self):
+                        with self._a:
+                            with self._b:
+                                pass
+
+                    def rev(self):
+                        with self._b:
+                            with self._a:
+                                pass
+                """,
+        },
+    )
+    (owner,) = program_graph(project).class_locks
+    (cycle,) = owner.cycles()  # one cycle, not one per starting node
+    assert cycle == [
+        ("Inverted._a", "Inverted._b"),
+        ("Inverted._b", "Inverted._a"),
+    ]

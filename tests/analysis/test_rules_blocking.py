@@ -1,0 +1,16 @@
+"""RPR015 blocking-call-in-async against the blocking fixtures."""
+
+
+def test_blocking_calls_match_annotations(expect_findings):
+    result = expect_findings("blocking", select=["RPR015"])
+    by_symbol = {f.symbol: f for f in result.findings}
+    assert "asyncio.sleep" in by_symbol["sleep"].message
+    assert "asyncio.open_connection" in by_symbol["create_connection"].message
+    assert "session_sock.sendall()" in by_symbol["sendall"].message
+    assert "not awaited" in by_symbol["acquire"].message
+    assert "async with" in by_symbol["state_lock"].message
+
+
+def test_awaited_and_sync_code_is_clean(run_fixture):
+    result = run_fixture("blocking", select=["RPR015"])
+    assert not any("good_blocking" in f.path for f in result.findings)

@@ -1,0 +1,67 @@
+"""RPR013 lock-order inversion against the deadlock fixtures."""
+
+import shutil
+from pathlib import Path
+
+from repro.analysis import run_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+SEEDED_METHOD = '''\
+    def _seeded_inversion(self):
+        with self._stats_lock:
+            with self._ledger_lock:
+                pass
+
+'''
+
+ANCHOR = "    def _ledger_for(self, hex_id: str, total: int)"
+
+
+def test_inversions_match_annotations(expect_findings):
+    result = expect_findings("deadlock", select=["RPR013"])
+    messages = {f.symbol: f.message for f in result.findings}
+    assert "lock-order inversion" in messages["Inverted._a_lock"]
+    assert "Inverted._b_lock -> Inverted._a_lock" in messages[
+        "Inverted._a_lock"
+    ]
+    # the interprocedural edge names the self-call that hides it
+    assert "via self._bump()" in messages["ChainInverted._front_lock"]
+    assert "self-deadlocks" in messages["Reentrant._lock"]
+
+
+def test_every_cycle_reported_once(run_fixture):
+    """A two-edge cycle must not be reported again from its other node."""
+    result = run_fixture("deadlock", select=["RPR013"])
+    inverted = [f for f in result.findings if "Inverted._" in f.symbol]
+    assert len(inverted) == 2  # Inverted + ChainInverted, once each
+
+
+def test_consistent_order_is_clean(run_fixture):
+    result = run_fixture("deadlock", select=["RPR013"])
+    assert not any("good_deadlock" in f.path for f in result.findings)
+
+
+def test_seeded_inversion_in_real_transport(tmp_path):
+    """Seeding an opposite-order method into the live DepotServer is
+    caught: the seeded stats->ledger edge closes a cycle against the
+    real ledger->stats nesting in ``_ledger_for``."""
+    src = (
+        Path(__file__).parents[2] / "src/repro/lsl/socket_transport.py"
+    )
+    copy = tmp_path / "socket_transport.py"
+    shutil.copy(src, copy)
+
+    clean = run_paths([copy], select=["RPR013"])
+    assert clean.findings == []
+
+    text = copy.read_text()
+    assert ANCHOR in text
+    copy.write_text(text.replace(ANCHOR, SEEDED_METHOD + ANCHOR, 1))
+
+    result = run_paths([copy], select=["RPR013"])
+    (finding,) = result.findings
+    assert finding.rule == "RPR013"
+    assert "DepotServer._ledger_lock" in finding.message
+    assert "DepotServer._stats_lock" in finding.message
+    assert "_seeded_inversion" in finding.message

@@ -4,15 +4,8 @@ The fixtures sit under a ``net/`` directory in the temporary copy, so
 the simulator-scoped wall-clock rule applies to them.
 """
 
-from tests.analysis.conftest import hits
-
-
-def test_unseeded_module_level_draws(run_fixture):
-    result = run_fixture("net")
-    assert hits(result, "RPR004") == [
-        ("bad_clock.py", 10),  # random.random()
-        ("bad_clock.py", 14),  # np.random.shuffle via the np alias
-    ]
+def test_unseeded_module_level_draws(expect_findings):
+    expect_findings("net", select=["RPR004"])
 
 
 def test_alias_resolution_names_the_real_module(run_fixture):
@@ -21,12 +14,8 @@ def test_alias_resolution_names_the_real_module(run_fixture):
     assert "numpy.random.shuffle" in aliased.message
 
 
-def test_wall_clock_in_simulator_code(run_fixture):
-    result = run_fixture("net")
-    assert hits(result, "RPR005") == [
-        ("bad_clock.py", 18),  # time.time()
-        ("bad_clock.py", 22),  # time.sleep()
-    ]
+def test_wall_clock_in_simulator_code(expect_findings):
+    expect_findings("net", select=["RPR005"])
 
 
 def test_seeded_constructors_and_virtual_time_are_clean(run_fixture):

@@ -1,15 +1,8 @@
 """RPR002/RPR003 lock-coverage rules against the locks fixtures."""
 
-from tests.analysis.conftest import hits
 
-
-def test_half_guarded_attributes(run_fixture):
-    result = run_fixture("locks")
-    assert hits(result, "RPR002") == [
-        ("bad_locks.py", 17),  # HalfGuarded.count, unguarded bump
-        ("bad_locks.py", 24),  # HalfGuarded.items, unguarded append
-        ("bad_locks.py", 55),  # Sub.total, guard lives in base class
-    ]
+def test_half_guarded_attributes(expect_findings):
+    expect_findings("locks", select=["RPR002"])
 
 
 def test_inherited_guard_is_folded_in(run_fixture):
@@ -22,9 +15,8 @@ def test_inherited_guard_is_folded_in(run_fixture):
     assert "add_guarded" in finding.message
 
 
-def test_thread_target_unguarded_write(run_fixture):
-    result = run_fixture("locks")
-    assert hits(result, "RPR003") == [("bad_locks.py", 40)]
+def test_thread_target_unguarded_write(expect_findings):
+    result = expect_findings("locks", select=["RPR003"])
     (finding,) = [f for f in result.findings if f.rule == "RPR003"]
     # the write is two self-calls deep from the Thread target
     assert "_step()" in finding.message

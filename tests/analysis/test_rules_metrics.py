@@ -1,15 +1,7 @@
 """RPR011 unlabelled-metric rule against the metrics fixtures."""
 
-from tests.analysis.conftest import hits
-
-
-def test_unlabelled_factories_flagged(run_fixture):
-    result = run_fixture("metrics", select=["RPR011"])
-    assert hits(result, "RPR011") == [
-        ("bad_metrics.py", 5),  # no labels argument at all
-        ("bad_metrics.py", 6),  # labels=None
-        ("bad_metrics.py", 7),  # labels={}
-    ]
+def test_unlabelled_factories_flagged(expect_findings):
+    expect_findings("metrics", select=["RPR011"])
 
 
 def test_message_names_the_metric(run_fixture):

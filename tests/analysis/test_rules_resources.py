@@ -1,0 +1,17 @@
+"""RPR016 resource-leak-path against the resources fixtures."""
+
+
+def test_leak_paths_match_annotations(expect_findings):
+    result = expect_findings("resources", select=["RPR016"])
+    by_symbol = {f.symbol: f for f in result.findings}
+    assert "never close/detach()d" in by_symbol["sock"].message
+    assert "never join()d" in by_symbol["worker"].message
+    # the early-exit variant names both the release and the exit line
+    assert "released at line 17" in by_symbol["conn"].message
+    assert "the exit at line 15 skips it" in by_symbol["conn"].message
+    assert "released at line 26" in by_symbol["handle"].message
+
+
+def test_released_or_escaping_paths_are_clean(run_fixture):
+    result = run_fixture("resources", select=["RPR016"])
+    assert not any("good_resources" in f.path for f in result.findings)

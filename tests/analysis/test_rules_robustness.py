@@ -1,32 +1,19 @@
 """RPR008/RPR009/RPR010/RPR012 robustness rules against the fixtures."""
 
-from tests.analysis.conftest import hits
+def test_bare_except(expect_findings):
+    expect_findings("robustness", select=["RPR008"])
 
 
-def test_bare_except(run_fixture):
-    result = run_fixture("robustness")
-    assert hits(result, "RPR008") == [("bad_robust.py", 9)]
+def test_swallowed_broad_exception(expect_findings):
+    expect_findings("robustness", select=["RPR009"])
 
 
-def test_swallowed_broad_exception(run_fixture):
-    result = run_fixture("robustness")
-    assert hits(result, "RPR009") == [("bad_robust.py", 16)]
+def test_unbounded_sockets(expect_findings):
+    expect_findings("robustness", select=["RPR010"])
 
 
-def test_unbounded_sockets(run_fixture):
-    result = run_fixture("robustness")
-    assert hits(result, "RPR010") == [
-        ("bad_robust.py", 21),  # create_connection without timeout
-        ("bad_robust.py", 22),  # settimeout(None)
-    ]
-
-
-def test_literal_timeouts(run_fixture):
-    result = run_fixture("robustness")
-    assert hits(result, "RPR012") == [
-        ("bad_robust.py", 27),  # create_connection(..., timeout=10)
-        ("bad_robust.py", 28),  # settimeout(30.0)
-    ]
+def test_literal_timeouts(expect_findings):
+    expect_findings("robustness", select=["RPR012"])
 
 
 def test_handled_paths_are_clean(run_fixture):

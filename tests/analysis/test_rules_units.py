@@ -1,15 +1,7 @@
 """RPR006/RPR007 units-hygiene rules against the units fixtures."""
 
-from tests.analysis.conftest import hits
-
-
-def test_conflicting_suffix_arithmetic(run_fixture):
-    result = run_fixture("units")
-    assert hits(result, "RPR006") == [
-        ("bad_units.py", 5),  # total_bytes + size_mb
-        ("bad_units.py", 9),  # elapsed_s > timeout_ms
-        ("bad_units.py", 13),  # budget_ms += delta_s
-    ]
+def test_conflicting_suffix_arithmetic(expect_findings):
+    expect_findings("units", select=["RPR006"])
 
 
 def test_mix_message_names_both_units(run_fixture):
@@ -19,9 +11,8 @@ def test_mix_message_names_both_units(run_fixture):
     assert "`size_mb` is in MB" in finding.message
 
 
-def test_bare_literal_into_suffixed_param(run_fixture):
-    result = run_fixture("units")
-    assert hits(result, "RPR007") == [("pipeline.py", 9)]
+def test_bare_literal_into_suffixed_param(expect_findings):
+    result = expect_findings("units", select=["RPR007"])
     (finding,) = [f for f in result.findings if f.rule == "RPR007"]
     assert finding.symbol == "delay_s"
     assert "0.05" in finding.message

@@ -1,0 +1,42 @@
+"""Discovery: the shared ignore list prunes junk directories."""
+
+from pathlib import Path
+
+from repro.analysis import IGNORED_DIRS, discover
+
+
+def _plant(root: Path, relpath: str) -> None:
+    path = root / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("X = 1\n")
+
+
+def test_ignored_directories_are_pruned(tmp_path):
+    _plant(tmp_path, "pkg/mod.py")
+    _plant(tmp_path, "pkg/sub/other.py")
+    for junk in (".git", "__pycache__", ".venv", "node_modules", ".tox"):
+        _plant(tmp_path, f"{junk}/hidden.py")
+        _plant(tmp_path, f"pkg/{junk}/nested_hidden.py")
+    _plant(tmp_path, ".anything-dotted/skipped.py")
+
+    found = {p.name for p in discover([tmp_path])}
+    assert found == {"mod.py", "other.py"}
+
+
+def test_ignore_list_is_exported_and_plausible():
+    assert "__pycache__" in IGNORED_DIRS
+    assert ".git" in IGNORED_DIRS
+    assert "venv" in IGNORED_DIRS
+
+
+def test_explicitly_named_files_are_never_pruned(tmp_path):
+    """The ignore list applies to directory walks, not direct paths."""
+    _plant(tmp_path, ".venv/direct.py")
+    found = discover([tmp_path / ".venv" / "direct.py"])
+    assert [p.name for p in found] == ["direct.py"]
+
+
+def test_duplicate_paths_deduplicate(tmp_path):
+    _plant(tmp_path, "pkg/mod.py")
+    found = discover([tmp_path, tmp_path / "pkg", tmp_path / "pkg/mod.py"])
+    assert [p.name for p in found] == ["mod.py"]

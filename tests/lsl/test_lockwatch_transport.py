@@ -1,0 +1,86 @@
+"""The runtime lock-order sanitizer over a live depot relay.
+
+This is RPR013's dynamic half (see ``docs/ANALYSIS.md``): every lock a
+real ``DepotServer`` takes during a faulted, resumed transfer is
+wrapped, and the orders it actually acquires them in are validated
+against the static whole-program lock graph.  The static pass sees
+paths this run never takes; this run sees acquisitions the AST cannot
+attribute — agreement here is what lets the graph stand in for the
+runtime.
+"""
+
+from pathlib import Path
+
+from repro.analysis.lockwatch import LockWatch, static_admitted_edges
+from repro.lsl.faults import FaultKind, FaultPlan, FaultRule, RetryPolicy
+from repro.lsl.header import SessionHeader, new_session_id
+from repro.lsl.options import LooseSourceRoute
+from repro.lsl.socket_transport import DepotServer, SinkServer, send_session
+from repro.util.rng import RngStream
+
+TRANSPORT = (
+    Path(__file__).parents[2] / "src" / "repro" / "lsl"
+    / "socket_transport.py"
+)
+
+#: every Lock attribute a (flattened) DepotServer creates
+DEPOT_LOCKS = (
+    "_close_lock",
+    "_conn_lock",
+    "_held_lock",
+    "_ledger_lock",
+    "_reg_lock",
+    "_stats_lock",
+)
+
+POLICY = RetryPolicy(
+    max_retries=6, base_delay=0.05, multiplier=1.5, max_delay=0.3
+)
+
+
+def instrument(depot: DepotServer, watch: LockWatch) -> None:
+    for attr in DEPOT_LOCKS:
+        setattr(
+            depot,
+            attr,
+            watch.wrap(f"DepotServer.{attr}", getattr(depot, attr)),
+        )
+
+
+def test_live_depot_lock_orders_match_static_graph():
+    nodes, admitted = static_admitted_edges([TRANSPORT])
+    assert ("DepotServer._ledger_lock", "DepotServer._stats_lock") in admitted
+
+    payload = RngStream(77).generator.bytes(1 << 20)
+    drop_at = 256 << 10
+    plan = FaultPlan([FaultRule("d2", FaultKind.DROP, after_bytes=drop_at)])
+    watch = LockWatch()
+    with SinkServer(name="sink") as sink, DepotServer(
+        name="d2", fault_plan=plan, retry=POLICY
+    ) as d2, DepotServer(name="d1", fault_plan=plan, retry=POLICY) as d1:
+        instrument(d2, watch)
+        header = SessionHeader(
+            session_id=new_session_id(),
+            src_ip="127.0.0.1",
+            dst_ip="127.0.0.1",
+            src_port=0,
+            dst_port=sink.port,
+            options=(LooseSourceRoute(hops=(("127.0.0.1", d2.port),)),),
+        )
+        send_session(
+            payload, header, d1.address, retry=POLICY, fault_plan=plan
+        )
+        got = sink.wait_for(header.hex_id, timeout=30)
+        assert got == payload
+        # the mid-transfer drop forced a resume, so the watched depot
+        # took the ledger->stats nesting in _ledger_for
+        assert d2.sessions_resumed == 1
+
+    # closing the servers exercises the close->conn/reg nesting too
+    observed = watch.observed_pairs()
+    assert (
+        "DepotServer._ledger_lock",
+        "DepotServer._stats_lock",
+    ) in observed
+    # every order the live depot took is admitted by the static graph
+    assert watch.validate(nodes, admitted) == []

@@ -1,0 +1,104 @@
+"""Campaign measurement engines: model vs simulator, scalar vs vectorized.
+
+The campaign's "simulator" engine hands each round's cases to
+``NetworkSimulator.run_batch`` in one call; the vectorized batch path
+must be a pure optimisation, so a campaign priced with
+``simulate_vectorized=True`` is pinned exactly equal to the scalar
+batch path here.
+"""
+
+import pytest
+
+from repro.testbed.experiment import (
+    CampaignConfig,
+    run_campaign,
+    run_random_campaign,
+)
+from repro.testbed.planetlab import PlanetLabConfig, generate_planetlab
+from repro.testbed.workload import WorkloadConfig
+
+
+TINY_WORKLOAD = WorkloadConfig(min_exponent=0, max_exponent=2)
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return generate_planetlab(PlanetLabConfig(n_sites=12), seed=9)
+
+
+def _config(**overrides):
+    base = dict(
+        iterations=1,
+        max_cases=6,
+        rounds=1,
+        workload=TINY_WORKLOAD,
+    )
+    base.update(overrides)
+    return CampaignConfig(**base)
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError, match="measure_engine"):
+        CampaignConfig(measure_engine="wind-tunnel")
+
+
+def test_model_engine_is_the_default():
+    assert CampaignConfig().measure_engine == "model"
+
+
+def test_simulator_engine_produces_measurements(testbed):
+    result = run_campaign(
+        testbed, _config(measure_engine="simulator"), seed=3
+    )
+    assert len(result) > 0
+    for m in result.measurements:
+        assert m.bandwidth > 0
+
+
+def test_vectorized_matches_scalar_exactly(testbed):
+    """The acceptance pin: vectorized batching changes nothing."""
+    vec = run_campaign(
+        testbed,
+        _config(measure_engine="simulator", simulate_vectorized=True),
+        seed=3,
+    )
+    scalar = run_campaign(
+        testbed,
+        _config(measure_engine="simulator", simulate_vectorized=False),
+        seed=3,
+    )
+    assert vec.measurements == scalar.measurements
+    assert vec.lsl_pairs == scalar.lsl_pairs
+
+
+def test_random_campaign_vectorized_matches_scalar(testbed):
+    vec = run_random_campaign(
+        testbed,
+        n_requests=60,
+        config=_config(measure_engine="simulator", simulate_vectorized=True),
+        seed=7,
+    )
+    scalar = run_random_campaign(
+        testbed,
+        n_requests=60,
+        config=_config(
+            measure_engine="simulator", simulate_vectorized=False
+        ),
+        seed=7,
+    )
+    assert vec.measurements == scalar.measurements
+
+
+def test_engines_agree_on_case_structure(testbed):
+    """Both engines price the same cases — only durations differ, so
+    the non-bandwidth fields of each measurement line up 1:1."""
+    model = run_campaign(testbed, _config(), seed=3)
+    sim = run_campaign(
+        testbed, _config(measure_engine="simulator"), seed=3
+    )
+    def strip(m):
+        return (m.src, m.dst, m.size, m.use_lsl, m.route)
+
+    assert [strip(m) for m in model.measurements] == [
+        strip(m) for m in sim.measurements
+    ]
