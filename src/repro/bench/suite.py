@@ -1,13 +1,15 @@
 """The fixed benchmark suite behind ``repro bench``.
 
-Six workloads cover the subsystems whose performance the project
+The workloads cover the subsystems whose performance the project
 promises (ROADMAP item 3): minimax tree construction, incremental
 reroute repair, the fluid simulator's batch step rate (scalar and
 vectorized), loopback socket-relay throughput, chaos episode
-wall-clock, and the full-tree whole-program lint.  Every workload is
-seeded and fixed-size so two runs on the same machine measure the same
-work; ``smoke=True`` shrinks each to a couple of seconds total for CI
-and the tier-1 smoke test.
+wall-clock, multicast staging with striped sublinks (including the
+striped-vs-single crossover the relay model predicts), and the
+full-tree whole-program lint.  Every workload is seeded and fixed-size
+so two runs on the same machine measure the same work; ``smoke=True``
+shrinks each to a couple of seconds total for CI and the tier-1 smoke
+test.
 
 Metric names are stable identifiers (``--compare`` joins on them); add
 new metrics freely, but never rename or repurpose one.
@@ -253,6 +255,118 @@ def _bench_chaos(smoke: bool) -> list[BenchResult]:
     ]
 
 
+def _bench_multicast(smoke: bool) -> list[BenchResult]:
+    """Striped-relay model numbers plus a real multicast staging wall.
+
+    The model metrics are deterministic (no timing in them): the
+    striped-vs-single speedup on a lossy WAN relay at a payload well
+    above the crossover, and the crossover size itself — the smallest
+    payload at which N stripes beat one stream, the number the striping
+    feature exists to move.  The wall metric stages a payload down a
+    4-node depot tree on real loopback sockets with 2 stripes per hop
+    through :class:`~repro.lsl.multicast_failover.
+    MulticastFailoverSender`.
+    """
+    from repro.lsl.multicast import StagingTree, staging_time_model
+    from repro.lsl.multicast_failover import MulticastFailoverSender
+    from repro.lsl.socket_transport import DepotServer
+    from repro.models.relay import (
+        relay_transfer_time,
+        striped_crossover_size,
+        striped_relay_transfer_time,
+    )
+    from repro.net.topology import PathSpec
+
+    stripes = 4
+    wan = PathSpec.from_mbit(rtt_ms=60, mbit_per_sec=200, loss_rate=1e-3)
+    paths = [wan, wan]
+    size = (8 << 20) if smoke else (64 << 20)
+    single_s = relay_transfer_time(paths, size)
+    striped_s = striped_relay_transfer_time(paths, size, stripes)
+    crossover = striped_crossover_size(paths, stripes)
+    model_params = {
+        "rtt_ms": 60,
+        "mbit_per_sec": 200,
+        "loss_rate": 1e-3,
+        "hops": len(paths),
+        "stripes": stripes,
+        "payload_bytes": size,
+    }
+
+    # deterministic staging-time model over a fixed 7-node binary tree
+    tree = StagingTree(
+        nodes=tuple(
+            (parent, "10.0.0.1", 5000 + i)
+            for i, parent in enumerate((-1, 0, 0, 1, 1, 2, 2))
+        )
+    )
+    staging_s = staging_time_model(
+        tree, lambda a, b: wan, size, stripes=stripes
+    )
+
+    wall_size = (128 << 10) if smoke else (2 << 20)
+    payload = RngStream(17, "bench/multicast").generator.bytes(wall_size)
+    servers = [DepotServer(name=f"bench-mc{i}") for i in range(4)]
+    try:
+        sock_tree = StagingTree(
+            nodes=tuple(
+                (parent, "127.0.0.1", servers[i].port)
+                for i, parent in enumerate((-1, 0, 1, 0))
+            )
+        )
+        sender = MulticastFailoverSender(sock_tree, stripes=2)
+        t0 = time.perf_counter()
+        staged = sender.stage(payload, chunk_size=64 << 10)
+        wall = time.perf_counter() - t0
+        for server in servers:  # pragma: no branch
+            if server.held.get(staged.session) != payload:
+                raise RuntimeError(  # pragma: no cover - transport bug
+                    f"node {server.name} holds a corrupted staged copy"
+                )
+    finally:
+        for server in servers:
+            server.kill()
+    return [
+        BenchResult(
+            name=f"multicast.striped.speedup.x{stripes}",
+            value=single_s / striped_s if striped_s > 0 else 0.0,
+            unit="x",
+            kind="ratio",
+            higher_is_better=True,
+            params=model_params,
+        ),
+        BenchResult(
+            name=f"multicast.striped.crossover.x{stripes}",
+            value=crossover,
+            unit="bytes",
+            kind="latency",
+            higher_is_better=False,
+            params={k: v for k, v in model_params.items()
+                    if k != "payload_bytes"},
+        ),
+        BenchResult(
+            name="multicast.staging.model",
+            value=staging_s * 1e3,
+            unit="ms",
+            kind="latency",
+            higher_is_better=False,
+            params={**model_params, "tree_nodes": len(tree)},
+        ),
+        BenchResult(
+            name="multicast.stage.wall",
+            value=wall * 1e3,
+            unit="ms",
+            kind="wall",
+            higher_is_better=False,
+            params={
+                "tree_nodes": 4,
+                "stripes": 2,
+                "payload_bytes": wall_size,
+            },
+        ),
+    ]
+
+
 def _bench_lint(smoke: bool) -> list[BenchResult]:
     """Full-tree ``repro lint`` wall-clock, all 17 rules.
 
@@ -305,6 +419,7 @@ WORKLOADS: dict[str, Callable[[bool], list[BenchResult]]] = {
     "simulator": _bench_simulator,
     "transport": _bench_transport,
     "chaos": _bench_chaos,
+    "multicast": _bench_multicast,
     "lint": _bench_lint,
 }
 

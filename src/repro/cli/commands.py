@@ -502,6 +502,8 @@ def cmd_chaos(args) -> int:
         depots=args.depots,
         max_size=args.max_size_kb << 10,
         max_retries=args.retries,
+        topology=args.topology,
+        tree_nodes=args.tree_nodes,
     )
     report = run_chaos(config)
     print(report.summary())

@@ -320,6 +320,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         help="per-sublink retry budget",
     )
+    p.add_argument(
+        "--topology",
+        choices=("relay", "multicast"),
+        default="relay",
+        help=(
+            "soak linear relay chains (default) or randomized multicast "
+            "staging trees with mid-staging depot kills and striping"
+        ),
+    )
+    p.add_argument(
+        "--tree-nodes",
+        type=int,
+        default=4,
+        help="nodes per randomized multicast tree (root included)",
+    )
     p.set_defaults(func=commands.cmd_chaos)
 
     p = sub.add_parser(
@@ -340,7 +355,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="WORKLOAD",
         help="run one workload group (repeatable): minimax, simulator, "
-        "transport, chaos, lint",
+        "transport, chaos, multicast, lint",
     )
     p.add_argument(
         "--out",

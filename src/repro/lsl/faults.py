@@ -240,15 +240,74 @@ class SessionLedger:
     count retransmissions).  A *generation* counter arbitrates between a
     stalled old connection handler and the reconnect that superseded it:
     only the newest claimant may append.
+
+    With ``stripes > 1`` the ledger instead reassembles N parallel
+    striped sublinks (the :class:`~repro.lsl.options.StripeOption`
+    layout): stripe ``k`` owns the ``block``-sized blocks ``j`` with
+    ``j % stripes == k``, each stripe's bytes arrive sequentially *in
+    stripe-local order* and are scattered into a preallocated buffer,
+    and claiming/appending/acknowledging happen per stripe — each
+    stripe connection resumes from its own stripe-local watermark, and
+    each stripe carries its own generation so concurrent stripe
+    connections never invalidate one another.
     """
 
-    def __init__(self, total: int) -> None:
+    def __init__(self, total: int, stripes: int = 1, block: int = 16 << 10) -> None:
         check_non_negative("total", total)
+        check_positive("stripes", stripes)
+        check_positive("block", block)
         self.total = int(total)
-        self.data = bytearray()
+        self.stripes = int(stripes)
+        self.block = int(block)
+        if self.stripes == 1:
+            self.data = bytearray()
+        else:
+            self.data = bytearray(self.total)
+            self._progress = [0] * self.stripes
+            self._stripe_gen = [0] * self.stripes
+            self._stripe_high = [0] * self.stripes
         self.generation = 0
         self.high_water = 0
+        self._completion_claimed = False
         self.lock = threading.Lock()
+
+    def claim_completion(self) -> bool:
+        """True for exactly one caller once the ledger is complete.
+
+        Concurrent stripe handlers use this to attribute the session's
+        completion (counters, parking) to a single connection.
+        """
+        with self.lock:
+            if self._completion_claimed:
+                return False
+            if self.stripes == 1:
+                done = len(self.data) >= self.total
+            else:
+                done = sum(self._progress) >= self.total
+            if not done:
+                return False
+            self._completion_claimed = True
+            return True
+
+    def matches(self, stripes: int, block: int) -> bool:
+        """Whether a connection's stripe layout agrees with this ledger."""
+        return stripes == self.stripes and (
+            self.stripes == 1 or block == self.block
+        )
+
+    def _require_plain(self) -> None:
+        if self.stripes != 1:
+            raise ValueError(
+                f"ledger is striped x{self.stripes}; use the per-stripe API"
+            )
+
+    def _require_stripe(self, stripe: int) -> None:
+        if self.stripes == 1:
+            raise ValueError("ledger is not striped; use claim()/append()")
+        if not (0 <= stripe < self.stripes):
+            raise ValueError(
+                f"stripe {stripe} outside 0..{self.stripes - 1}"
+            )
 
     def claim(self) -> tuple[int, int]:
         """Register a new connection; returns ``(generation, acked)``.
@@ -257,30 +316,130 @@ class SessionLedger:
         received — the offset the reconnecting upstream must resume from.
         Claiming invalidates every earlier generation's right to append.
         """
+        self._require_plain()
         with self.lock:
             self.generation += 1
             return self.generation, len(self.data)
 
     def append(self, generation: int, chunk: bytes) -> bool:
         """Append received bytes; refused (False) if superseded."""
+        self._require_plain()
         with self.lock:
             if generation != self.generation:
                 return False
             self.data += chunk
             return True
 
+    # -- stripe geometry ------------------------------------------------------
+    def stripe_total(self, stripe: int) -> int:
+        """Bytes stripe ``stripe`` owns of the session payload."""
+        self._require_stripe(stripe)
+        total = 0
+        for start in range(stripe * self.block, self.total,
+                           self.stripes * self.block):
+            total += min(self.block, self.total - start)
+        return total
+
+    def _stripe_to_global(self, stripe: int, local: int) -> int:
+        block_idx, within = divmod(local, self.block)
+        return (block_idx * self.stripes + stripe) * self.block + within
+
+    def _stripe_spans(
+        self, stripe: int, start: int, end: int
+    ) -> list[tuple[int, int]]:
+        """Global ``(offset, length)`` spans of stripe-local ``[start, end)``."""
+        spans: list[tuple[int, int]] = []
+        local = start
+        while local < end:
+            within = local % self.block
+            run = min(self.block - within, end - local)
+            spans.append((self._stripe_to_global(stripe, local), run))
+            local += run
+        return spans
+
+    # -- per-stripe protocol --------------------------------------------------
+    def claim_stripe(self, stripe: int) -> tuple[int, int]:
+        """Register a new connection for one stripe.
+
+        Returns ``(generation, stripe_acked)`` — the stripe-local byte
+        count durably received, which is where that stripe's upstream
+        resumes.  Only invalidates earlier claims of the *same* stripe.
+        """
+        self._require_stripe(stripe)
+        with self.lock:
+            self._stripe_gen[stripe] += 1
+            return self._stripe_gen[stripe], self._progress[stripe]
+
+    def append_stripe(self, stripe: int, generation: int, chunk: bytes) -> bool:
+        """Scatter one stripe's sequential bytes into the buffer."""
+        self._require_stripe(stripe)
+        with self.lock:
+            if generation != self._stripe_gen[stripe]:
+                return False
+            local = self._progress[stripe]
+            off = 0
+            for g_off, run in self._stripe_spans(
+                stripe, local, local + len(chunk)
+            ):
+                self.data[g_off : g_off + run] = chunk[off : off + run]
+                off += run
+            self._progress[stripe] = local + len(chunk)
+            return True
+
+    def stripe_acked(self, stripe: int) -> int:
+        """Stripe-local bytes durably received (its resume watermark)."""
+        self._require_stripe(stripe)
+        with self.lock:
+            return self._progress[stripe]
+
+    def stripe_generation(self, stripe: int) -> int:
+        """The stripe's current connection generation."""
+        self._require_stripe(stripe)
+        with self.lock:
+            return self._stripe_gen[stripe]
+
+    def read_stripe(self, stripe: int, start: int, end: int) -> bytes:
+        """Gather staged stripe-local bytes ``[start, end)``."""
+        self._require_stripe(stripe)
+        with self.lock:
+            end = min(end, self._progress[stripe])
+            if end <= start:
+                return b""
+            out = bytearray()
+            for g_off, run in self._stripe_spans(stripe, start, end):
+                out += self.data[g_off : g_off + run]
+            return bytes(out)
+
+    def note_stripe_sent(self, stripe: int, start: int, end: int) -> int:
+        """Per-stripe :meth:`note_sent` (stripe-local offsets)."""
+        self._require_stripe(stripe)
+        with self.lock:
+            high = self._stripe_high[stripe]
+            retransmitted = max(0, min(end, high) - start)
+            self._stripe_high[stripe] = max(high, end)
+            return retransmitted
+
     @property
     def acked(self) -> int:
         with self.lock:
-            return len(self.data)
+            if self.stripes == 1:
+                return len(self.data)
+            return sum(self._progress)
 
     @property
     def complete(self) -> bool:
         with self.lock:
-            return len(self.data) >= self.total
+            if self.stripes == 1:
+                return len(self.data) >= self.total
+            return sum(self._progress) >= self.total
 
     def read(self, start: int, end: int) -> bytes:
-        """A snapshot of staged bytes ``[start, end)``."""
+        """A snapshot of staged bytes ``[start, end)``.
+
+        In striped mode positions are only meaningful once the spanning
+        stripes have delivered them; callers use it on complete ledgers
+        (parking, pickup) where every position is filled.
+        """
         with self.lock:
             return bytes(self.data[start:end])
 

@@ -16,10 +16,11 @@ estimates the synchronous completion time over a
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from repro.lsl.options import MulticastTreeOption
-from repro.models.relay import relay_transfer_time
+from repro.models.relay import relay_transfer_time, striped_relay_transfer_time
 from repro.util.validation import check_positive
 
 
@@ -51,12 +52,21 @@ class StagingTree:
     def from_parent_map(
         cls, root: tuple[str, int], children_of: dict[tuple[str, int], list]
     ) -> "StagingTree":
-        """Build from an adjacency map ``parent_addr -> [child_addr, ...]``."""
+        """Build from an adjacency map ``parent_addr -> [child_addr, ...]``.
+
+        Raises
+        ------
+        ValueError
+            When a node appears twice, or when a ``children_of`` key
+            never connects to the root (its children would otherwise be
+            silently dropped from the tree).
+        """
+        root = (root[0], root[1])
         nodes: list[tuple[int, str, int]] = [(-1, root[0], root[1])]
         index_of = {root: 0}
-        frontier = [root]
+        frontier = deque([root])
         while frontier:
-            parent = frontier.pop(0)
+            parent = frontier.popleft()
             for child in children_of.get(parent, []):
                 child = (child[0], child[1])
                 if child in index_of:
@@ -64,6 +74,16 @@ class StagingTree:
                 index_of[child] = len(nodes)
                 nodes.append((index_of[parent], child[0], child[1]))
                 frontier.append(child)
+        unreachable = sorted(
+            key
+            for key in ((k[0], k[1]) for k in children_of)
+            if key not in index_of
+        )
+        if unreachable:
+            raise ValueError(
+                f"children_of key(s) unreachable from the root "
+                f"{root}: {unreachable}"
+            )
         return cls(nodes=tuple(nodes))
 
     @property
@@ -116,7 +136,7 @@ def simulate_staging(
     received: dict[tuple[str, int], bytes] = {}
     session_root = new_session_id()
 
-    def deliver(index: int, data: bytes) -> None:
+    def stage_at(index: int, data: bytes) -> bytes:
         addr = tree.address_of(index)
         depot = depots.get(addr)
         if depot is None:
@@ -149,32 +169,76 @@ def simulate_staging(
                 break
             collected += chunk
         depot.evict(session_root)
-        received[addr] = bytes(collected)
-        for child in tree.children_of(index):
-            deliver(child, bytes(collected))
+        copy = bytes(collected)
+        received[addr] = copy
+        return copy
 
-    deliver(0, payload)
+    # Iterative breadth-first delivery: a deep chain (thousands of tree
+    # levels) must not recurse once per level.
+    kids: dict[int, list[int]] = {}
+    for i, (parent, _, _) in enumerate(tree.nodes):
+        kids.setdefault(parent, []).append(i)
+    frontier: deque[tuple[int, bytes]] = deque([(0, payload)])
+    while frontier:
+        index, data = frontier.popleft()
+        copy = stage_at(index, data)
+        for child in kids.get(index, []):
+            frontier.append((child, copy))
     return received
 
 
-def staging_time_model(tree: StagingTree, path_spec_of, size: int) -> float:
+def staging_time_model(
+    tree: StagingTree, path_spec_of, size: int, stripes: int = 1
+) -> float:
     """Synchronous staging completion time estimate.
 
     ``path_spec_of(parent_addr, child_addr)`` must return the
     :class:`~repro.net.topology.PathSpec` of that tree edge.  Because
     depots forward while receiving, the data pipeline down each
     root-to-leaf branch behaves like a relay chain; the staging finishes
-    when the slowest branch finishes.
+    when the slowest branch finishes.  With ``stripes > 1`` every hop
+    runs that many parallel striped sublinks
+    (:func:`~repro.models.relay.striped_relay_transfer_time`).
+
+    Raises
+    ------
+    ValueError
+        For a root-only tree (no edges — nothing to stage anywhere),
+        or when ``path_spec_of`` has no spec for some tree edge; the
+        error names the edge so a hole in an edge map is diagnosable.
     """
     check_positive("size", size)
+    check_positive("stripes", stripes)
+    if len(tree) < 2:
+        raise ValueError(
+            "staging tree has no edges: the root already holds the data, "
+            "so there is no staging time to model"
+        )
+    # Validate every edge up front so a hole in the edge map surfaces
+    # as one clear error naming the edge, not an opaque failure
+    # mid-way through the slowest-branch scan.
+    spec_of: dict[tuple[int, int], object] = {}
+    for child in range(1, len(tree)):
+        parent = tree.nodes[child][0]
+        edge = (tree.address_of(parent), tree.address_of(child))
+        try:
+            spec = path_spec_of(*edge)
+        except Exception as exc:
+            raise ValueError(
+                f"no PathSpec for tree edge {edge[0]} -> {edge[1]}: {exc}"
+            ) from exc
+        if spec is None:
+            raise ValueError(
+                f"no PathSpec for tree edge {edge[0]} -> {edge[1]}"
+            )
+        spec_of[(parent, child)] = spec
     worst = 0.0
     for leaf in tree.leaves():
         indices = tree.path_to(leaf)
-        if len(indices) < 2:
-            continue
-        paths = [
-            path_spec_of(tree.address_of(a), tree.address_of(b))
-            for a, b in zip(indices, indices[1:])
-        ]
-        worst = max(worst, relay_transfer_time(paths, size))
+        paths = [spec_of[(a, b)] for a, b in zip(indices, indices[1:])]
+        if stripes > 1:
+            branch = striped_relay_transfer_time(paths, size, stripes)
+        else:
+            branch = relay_transfer_time(paths, size)
+        worst = max(worst, branch)
     return worst

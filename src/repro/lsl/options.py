@@ -32,12 +32,14 @@ class OptionKind(IntEnum):
     LOOSE_SOURCE_ROUTE = 1
     MULTICAST_TREE = 2
     RESUME_OFFSET = 3
+    STRIPE = 4
 
 
 _TL = struct.Struct("!BH")  # kind, length
 _HOP = struct.Struct("!4sH")  # IPv4 + port
 _NODE = struct.Struct("!h4sH")  # parent index (-1 = root), IPv4, port
 _RESUME = struct.Struct("!QQ")  # offset, total payload length
+_STRIPE = struct.Struct("!HHI")  # stripe index, stripe count, block size
 
 
 class HeaderOption:
@@ -227,11 +229,63 @@ class ResumeOffset(HeaderOption):
         return cls(total=total, offset=offset)
 
 
+@dataclass(frozen=True)
+class StripeOption(HeaderOption):
+    """One of N parallel striped sublinks of a session (GridFTP-style).
+
+    A striped session opens ``count`` connections per hop; the one
+    carrying this option transports the interleaved payload slice whose
+    ``block``-sized blocks ``j`` satisfy ``j % count == index``.  Every
+    stripe connection of a session must agree on ``count`` and
+    ``block`` — receivers reassemble the slices positionally through
+    the session ledger, so a disagreement would corrupt the payload and
+    is rejected loudly.
+
+    Attributes
+    ----------
+    index:
+        This connection's stripe number, ``0 <= index < count``.
+    count:
+        Total parallel stripes of the session.
+    block:
+        Interleave unit in bytes.
+    """
+
+    index: int
+    count: int
+    block: int = 16 << 10
+    kind = OptionKind.STRIPE
+
+    def __post_init__(self) -> None:
+        if not (1 <= self.count <= 0xFFFF):
+            raise ValueError(f"stripe count {self.count} out of range")
+        if not (0 <= self.index < self.count):
+            raise ValueError(
+                f"stripe index {self.index} outside 0..{self.count - 1}"
+            )
+        if not (1 <= self.block <= 0xFFFF_FFFF):
+            raise ValueError(f"stripe block {self.block} out of range")
+
+    def encode_value(self) -> bytes:
+        return _STRIPE.pack(self.index, self.count, self.block)
+
+    @classmethod
+    def decode_value(cls, data: bytes) -> "StripeOption":
+        if len(data) != _STRIPE.size:
+            raise ValueError(
+                f"stripe option value of {len(data)} bytes, "
+                f"expected {_STRIPE.size}"
+            )
+        index, count, block = _STRIPE.unpack(data)
+        return cls(index=index, count=count, block=block)
+
+
 _REGISTRY: dict[int, type[HeaderOption]] = {
     int(OptionKind.PADDING): PaddingOption,
     int(OptionKind.LOOSE_SOURCE_ROUTE): LooseSourceRoute,
     int(OptionKind.MULTICAST_TREE): MulticastTreeOption,
     int(OptionKind.RESUME_OFFSET): ResumeOffset,
+    int(OptionKind.STRIPE): StripeOption,
 }
 
 

@@ -28,6 +28,20 @@ Servers additionally consult an optional
 :class:`~repro.lsl.faults.FaultPlan` so tests can inject connection
 drops, refused connects, stalls and corrupted headers deterministically.
 
+Striping and multicast
+----------------------
+A session whose header also carries a
+:class:`~repro.lsl.options.StripeOption` runs as one of N parallel
+*striped sublinks* (GridFTP-style): each stripe connection transports an
+interleaved slice of the payload in stripe-local order, every node
+reassembles the slices positionally through the shared
+:class:`~repro.lsl.faults.SessionLedger`, and the resume protocol runs
+per stripe — each stripe acknowledges and resumes at its own watermark.
+Sessions of type :attr:`~repro.lsl.header.SessionType.MULTICAST` retain
+their completed ledgers instead of evicting them, so a staging tree's
+ancestors can replay the payload toward descendants (and toward orphaned
+branches after a depot death) without the source resending a byte.
+
 Localhost has no bandwidth-delay product, so this transport verifies
 *correctness* (framing, routing, integrity, back-pressure, recovery);
 performance claims are the simulator's job.
@@ -50,7 +64,7 @@ from repro.lsl.faults import (
     SessionLedger,
 )
 from repro.lsl.header import FIXED_HEADER_SIZE, SessionHeader, SessionType
-from repro.lsl.options import LooseSourceRoute, ResumeOffset
+from repro.lsl.options import LooseSourceRoute, ResumeOffset, StripeOption
 from repro.obs.registry import NULL_REGISTRY, Registry
 from repro.obs.timeline import (
     DISABLED_TIMELINE,
@@ -394,6 +408,11 @@ class _DownstreamPump:
     (bounded by the depot's :class:`~repro.lsl.faults.RetryPolicy`) when
     the sublink fails — resending only bytes the downstream node had not
     acknowledged.
+
+    With ``stripe`` given the pump serves one striped sublink: offsets
+    are stripe-local, staged bytes are gathered with
+    :meth:`~repro.lsl.faults.SessionLedger.read_stripe`, and the final
+    acknowledgement must equal that stripe's share of the payload.
     """
 
     def __init__(
@@ -402,17 +421,39 @@ class _DownstreamPump:
         next_hop: tuple[str, int],
         header: SessionHeader,
         ledger: SessionLedger,
+        stripe: StripeOption | None = None,
     ) -> None:
         self._depot = depot
         self._next_hop = next_hop
         self._header = header
         self._ledger = ledger
+        self._stripe = stripe
         self._sock: socket.socket | None = None
-        self._fwd = 0  # next session offset to send downstream
+        self._fwd = 0  # next (stripe-local) offset to send downstream
         self._attempts = 0
         self._tx = depot.obs.counter(
             "lsl_tx_bytes_total", labels={"node": depot.name}
         )
+
+    def _staged(self) -> int:
+        if self._stripe is None:
+            return self._ledger.acked
+        return self._ledger.stripe_acked(self._stripe.index)
+
+    def _goal(self) -> int:
+        if self._stripe is None:
+            return self._ledger.total
+        return self._ledger.stripe_total(self._stripe.index)
+
+    def _read(self, start: int, end: int) -> bytes:
+        if self._stripe is None:
+            return self._ledger.read(start, end)
+        return self._ledger.read_stripe(self._stripe.index, start, end)
+
+    def _note_sent(self, start: int, end: int) -> int:
+        if self._stripe is None:
+            return self._ledger.note_sent(start, end)
+        return self._ledger.note_stripe_sent(self._stripe.index, start, end)
 
     def _backoff(self, exc: Exception) -> None:
         self._drop_socket()
@@ -484,13 +525,13 @@ class _DownstreamPump:
     def flush(self) -> None:
         """Push every staged byte beyond the forward point downstream."""
         while True:
-            staged = self._ledger.acked
+            staged = self._staged()
             if self._fwd >= staged and self._sock is not None:
                 return
             if self._sock is None:
                 self._connect()
                 continue
-            chunk = self._ledger.read(self._fwd, staged)
+            chunk = self._read(self._fwd, staged)
             if not chunk:
                 return
             try:
@@ -501,7 +542,7 @@ class _DownstreamPump:
             end = self._fwd + len(chunk)
             self._tx.inc(len(chunk))
             self._depot._note_retransmitted(
-                self._ledger.note_sent(self._fwd, end)
+                self._note_sent(self._fwd, end)
             )
             self._fwd = end
 
@@ -515,10 +556,10 @@ class _DownstreamPump:
                 final = RESUME_ACK.unpack(
                     _read_exact(self._sock, RESUME_ACK.size)
                 )[0]
-                if final != self._ledger.total:
+                if final != self._goal():
                     raise TruncatedStream(
                         f"downstream acknowledged {final} of "
-                        f"{self._ledger.total} bytes"
+                        f"{self._goal()} bytes"
                     )
                 self._depot.timeline.record(
                     "complete",
@@ -526,6 +567,10 @@ class _DownstreamPump:
                     stream=STREAM_DOWN,
                     session=self._header.hex_id,
                     nbytes=final,
+                    detail=(
+                        "" if self._stripe is None
+                        else f"stripe={self._stripe.index}"
+                    ),
                 )
                 return
             except (ConnectionError, OSError) as exc:
@@ -619,17 +664,31 @@ class DepotServer(_Server):
             return (ip, int(port)), header
         return (header.dst_ip, header.dst_port), header
 
-    def _ledger_for(self, hex_id: str, total: int) -> SessionLedger:
+    def _ledger_for(
+        self, hex_id: str, total: int, stripe: StripeOption | None = None
+    ) -> SessionLedger:
+        stripes = 1 if stripe is None else stripe.count
+        block = 16 << 10 if stripe is None else stripe.block
         with self._ledger_lock:
             ledger = self._ledgers.get(hex_id)
             if ledger is None:
-                ledger = SessionLedger(total)
+                ledger = SessionLedger(total, stripes=stripes, block=block)
                 self._ledgers[hex_id] = ledger
             else:
-                # _stats_lock nests inside _ledger_lock here; no other
-                # path takes them in the opposite order
-                with self._stats_lock:
-                    self.sessions_resumed += 1
+                if not ledger.matches(stripes, block):
+                    raise ValueError(
+                        f"session {hex_id} stripe layout mismatch: ledger "
+                        f"x{ledger.stripes}/block {ledger.block}, connection "
+                        f"x{stripes}/block {block}"
+                    )
+                if stripe is None:
+                    # _stats_lock nests inside _ledger_lock here; no other
+                    # path takes them in the opposite order.  Striped
+                    # connections count their own resumes per stripe —
+                    # stripes 2..N finding the ledger stripe 1 created is
+                    # normal operation, not a recovery.
+                    with self._stats_lock:
+                        self.sessions_resumed += 1
             return ledger
 
     def snapshot(self) -> dict[str, int]:
@@ -692,8 +751,16 @@ class DepotServer(_Server):
             conn.sendall(payload)
             return
         resume = header.option(ResumeOffset)
+        stripe = header.option(StripeOption)
+        if stripe is not None and resume is None:
+            raise ValueError(
+                f"striped session {header.hex_id} lacks a resume option"
+            )
         # sessions addressed to this depot are parked, not forwarded
         if (header.dst_ip, header.dst_port) == (self.host, self.port):
+            if stripe is not None:
+                self._park_striped(conn, header, resume, stripe)
+                return
             if resume is not None:
                 self._park_resumable(conn, header, resume)
                 return
@@ -718,6 +785,9 @@ class DepotServer(_Server):
             )
             with self._held_lock:
                 self.held[header.hex_id] = bytes(chunks)
+            return
+        if stripe is not None:
+            self._forward_striped(conn, header, resume, stripe)
             return
         if resume is not None:
             self._forward_resumable(conn, header, resume)
@@ -785,6 +855,17 @@ class DepotServer(_Server):
         with self._stats_lock:
             self.sessions_forwarded += 1
 
+    def _retains_ledger(self, header: SessionHeader) -> bool:
+        """Multicast sessions keep their completed ledgers.
+
+        A retained ledger is what lets this depot later *replay* the
+        payload toward tree descendants (and re-graft orphaned branches
+        after a downstream depot dies) without the source resending: a
+        new delivery through this depot claims the complete ledger, acks
+        the full total upstream, and pumps from local bytes only.
+        """
+        return header.session_type == SessionType.MULTICAST
+
     # -- fault-tolerant paths ------------------------------------------------
     def _park_resumable(
         self, conn: socket.socket, header: SessionHeader, resume: ResumeOffset
@@ -797,7 +878,112 @@ class DepotServer(_Server):
                 self.held[header.hex_id] = data
 
         if _receive_into_ledger(self, conn, header, ledger, store):
-            self._evict_ledger(header.hex_id)
+            if not self._retains_ledger(header):
+                self._evict_ledger(header.hex_id)
+
+    def _park_striped(
+        self,
+        conn: socket.socket,
+        header: SessionHeader,
+        resume: ResumeOffset,
+        stripe: StripeOption,
+    ) -> None:
+        """Park one striped sublink of a session addressed to this depot."""
+        ledger = self._ledger_for(header.hex_id, resume.total, stripe=stripe)
+        if ledger.stripe_generation(stripe.index) > 0:
+            with self._stats_lock:
+                self.sessions_resumed += 1
+
+        def store(data: bytes) -> None:
+            with self._held_lock:
+                self.held[header.hex_id] = data
+
+        if _receive_stripe_into_ledger(
+            self, conn, header, ledger, stripe.index, store
+        ):
+            if not self._retains_ledger(header):
+                self._evict_ledger(header.hex_id)
+
+    def _forward_striped(
+        self,
+        conn: socket.socket,
+        header: SessionHeader,
+        resume: ResumeOffset,
+        stripe: StripeOption,
+    ) -> None:
+        """Stage and forward one striped sublink of a session.
+
+        Mirrors :meth:`_forward_resumable` with stripe-local offsets:
+        this connection carries stripe ``stripe.index``'s interleaved
+        slice, acknowledges that stripe's own watermark, and pumps the
+        slice downstream on a dedicated striped connection.  The session
+        counts as forwarded when the *last* stripe completes the ledger.
+        """
+        ledger = self._ledger_for(header.hex_id, resume.total, stripe=stripe)
+        if ledger.stripe_generation(stripe.index) > 0:
+            with self._stats_lock:
+                self.sessions_resumed += 1
+        generation, acked = ledger.claim_stripe(stripe.index)
+        conn.sendall(RESUME_ACK.pack(acked))
+        if acked > 0:
+            self.timeline.record(
+                "resume", node=self.name, stream=STREAM_UP,
+                session=header.hex_id, nbytes=acked,
+                detail=f"stripe={stripe.index}",
+            )
+        goal = ledger.stripe_total(stripe.index)
+        progress = _RxProgress(self, header.hex_id, goal, acked)
+        next_hop, out_header = self._next_hop(header)
+        watch = (
+            self.fault_plan.stream_watch(self.name)
+            if self.fault_plan is not None
+            else None
+        )
+        pump = _DownstreamPump(self, next_hop, out_header, ledger, stripe=stripe)
+        try:
+            interrupted = False
+            while ledger.stripe_acked(stripe.index) < goal:
+                try:
+                    data = conn.recv(_IO_CHUNK)
+                except OSError:
+                    interrupted = True
+                    break
+                if not data:
+                    interrupted = True
+                    break
+                if watch is not None:
+                    rule = watch.advance(len(data))
+                    if rule is not None:
+                        if rule.kind is FaultKind.STALL:
+                            time.sleep(rule.delay)
+                        elif rule.kind is FaultKind.DROP:
+                            _abort_socket(conn)
+                            interrupted = True
+                            break
+                if not ledger.append_stripe(stripe.index, generation, data):
+                    return  # a newer connection took over this stripe
+                progress.note(ledger.stripe_acked(stripe.index), len(data))
+                with self._stats_lock:
+                    self.bytes_forwarded += len(data)
+                pump.flush()
+            done = ledger.stripe_acked(stripe.index) >= goal
+            if done and ledger.stripe_generation(stripe.index) == generation:
+                progress.eof()
+                pump.finish()
+                if ledger.claim_completion():
+                    with self._stats_lock:
+                        self.sessions_forwarded += 1
+                conn.sendall(RESUME_ACK.pack(goal))
+                if ledger.complete and not self._retains_ledger(header):
+                    self._evict_ledger(header.hex_id)
+            elif interrupted:
+                raise TruncatedStream(
+                    f"session {header.hex_id} stripe {stripe.index} "
+                    f"interrupted at {ledger.stripe_acked(stripe.index)}/"
+                    f"{goal} bytes; awaiting resume"
+                )
+        finally:
+            pump.close()
 
     def _forward_resumable(
         self, conn: socket.socket, header: SessionHeader, resume: ResumeOffset
@@ -860,7 +1046,8 @@ class DepotServer(_Server):
                 with self._stats_lock:
                     self.sessions_forwarded += 1
                 conn.sendall(RESUME_ACK.pack(ledger.total))
-                self._evict_ledger(header.hex_id)
+                if not self._retains_ledger(header):
+                    self._evict_ledger(header.hex_id)
             elif interrupted:
                 raise TruncatedStream(
                     f"session {header.hex_id} interrupted at "
@@ -990,6 +1177,76 @@ def _receive_into_ledger(
     return False
 
 
+def _receive_stripe_into_ledger(
+    server: _Server,
+    conn: socket.socket,
+    header: SessionHeader,
+    ledger: SessionLedger,
+    stripe_index: int,
+    on_complete,
+) -> bool:
+    """Terminating side of one striped sublink of the resume protocol.
+
+    Claims the stripe, acknowledges its stripe-local watermark, scatters
+    inbound bytes into the shared ledger, and — when this connection's
+    stripe finishing completes the whole ledger — hands the reassembled
+    payload to ``on_complete``.  Returns True when the *ledger* (not
+    just this stripe) completed under this connection.
+    """
+    generation, acked = ledger.claim_stripe(stripe_index)
+    conn.sendall(RESUME_ACK.pack(acked))
+    if acked > 0:
+        server.timeline.record(
+            "resume", node=server.name, stream=STREAM_UP,
+            session=header.hex_id, nbytes=acked,
+            detail=f"stripe={stripe_index}",
+        )
+    goal = ledger.stripe_total(stripe_index)
+    progress = _RxProgress(server, header.hex_id, goal, acked)
+    watch = (
+        server.fault_plan.stream_watch(server.name)
+        if server.fault_plan is not None
+        else None
+    )
+    interrupted = False
+    while ledger.stripe_acked(stripe_index) < goal:
+        try:
+            data = conn.recv(_IO_CHUNK)
+        except OSError:
+            interrupted = True
+            break
+        if not data:
+            interrupted = True
+            break
+        if watch is not None:
+            rule = watch.advance(len(data))
+            if rule is not None:
+                if rule.kind is FaultKind.STALL:
+                    time.sleep(rule.delay)
+                elif rule.kind is FaultKind.DROP:
+                    _abort_socket(conn)
+                    interrupted = True
+                    break
+        if not ledger.append_stripe(stripe_index, generation, data):
+            return False  # superseded by a newer connection
+        progress.note(ledger.stripe_acked(stripe_index), len(data))
+    done = ledger.stripe_acked(stripe_index) >= goal
+    if done and ledger.stripe_generation(stripe_index) == generation:
+        progress.eof()
+        completed = ledger.claim_completion()
+        if completed:
+            on_complete(bytes(ledger.data))
+        conn.sendall(RESUME_ACK.pack(goal))
+        return completed
+    if interrupted:
+        raise TruncatedStream(
+            f"session {header.hex_id} stripe {stripe_index} interrupted "
+            f"at {ledger.stripe_acked(stripe_index)}/{goal} bytes; "
+            f"awaiting resume"
+        )
+    return False
+
+
 class SinkServer(_Server):
     """Terminates LSL sessions; stores payloads keyed by session id."""
 
@@ -1028,6 +1285,10 @@ class SinkServer(_Server):
             "lsl_sessions_total", labels={"node": self.name}
         ).inc()
         resume = header.option(ResumeOffset)
+        if header.option(StripeOption) is not None and resume is None:
+            raise ValueError(
+                f"striped session {header.hex_id} lacks a resume option"
+            )
         if resume is not None:
             self._receive_resumable(conn, header, resume)
             return
@@ -1070,18 +1331,34 @@ class SinkServer(_Server):
     def _receive_resumable(
         self, conn: socket.socket, header: SessionHeader, resume: ResumeOffset
     ) -> None:
+        stripe = header.option(StripeOption)
+        stripes = 1 if stripe is None else stripe.count
+        block = 16 << 10 if stripe is None else stripe.block
         with self._ledger_lock:
             ledger = self._ledgers.get(header.hex_id)
             if ledger is None:
-                ledger = SessionLedger(resume.total)
+                ledger = SessionLedger(resume.total, stripes=stripes,
+                                       block=block)
                 self._ledgers[header.hex_id] = ledger
+            elif not ledger.matches(stripes, block):
+                raise ValueError(
+                    f"session {header.hex_id} stripe layout mismatch: "
+                    f"ledger x{ledger.stripes}/block {ledger.block}, "
+                    f"connection x{stripes}/block {block}"
+                )
 
         def store(data: bytes) -> None:
             with self._lock:
                 self.payloads[header.hex_id] = data
                 self.headers[header.hex_id] = header
 
-        if _receive_into_ledger(self, conn, header, ledger, store):
+        if stripe is None:
+            done = _receive_into_ledger(self, conn, header, ledger, store)
+        else:
+            done = _receive_stripe_into_ledger(
+                self, conn, header, ledger, stripe.index, store
+            )
+        if done:
             with self._ledger_lock:
                 self._ledgers.pop(header.hex_id, None)
 
@@ -1102,6 +1379,21 @@ class SinkServer(_Server):
         raise TimeoutError(f"session {session_id_hex} never arrived")
 
 
+def _stripe_slice(
+    payload: bytes, index: int, count: int, block: int
+) -> bytes:
+    """Stripe ``index``'s interleaved slice of ``payload``.
+
+    The gather mirror of :meth:`SessionLedger.append_stripe`'s scatter:
+    every ``block``-sized block ``j`` with ``j % count == index``, in
+    order.
+    """
+    out = bytearray()
+    for start in range(index * block, len(payload), count * block):
+        out += payload[start : start + block]
+    return bytes(out)
+
+
 @dataclass
 class SendReport:
     """Outcome of a fault-tolerant :func:`send_session`.
@@ -1109,7 +1401,7 @@ class SendReport:
     Attributes
     ----------
     attempts:
-        Connections opened (1 = no failure).
+        Connections opened (``stripes`` = no failure: one per sublink).
     retransmitted:
         Payload bytes this source sent more than once.
     payload_bytes:
@@ -1132,6 +1424,8 @@ def send_session(
     source_name: str = "source",
     registry: Registry | None = None,
     timeline: SessionTimeline | None = None,
+    stripes: int = 1,
+    stripe_block: int = 16 << 10,
 ) -> SendReport | None:
     """Open a session toward ``first_hop`` and stream the payload.
 
@@ -1146,16 +1440,44 @@ def send_session(
     resuming from the acknowledged byte.  Returns a :class:`SendReport`
     in that mode, ``None`` for a legacy fire-and-forget send.
 
+    With ``stripes > 1`` the session runs as that many parallel striped
+    sublinks (always fault-tolerant): the per-stripe resume handshakes
+    happen serially — one blocking header+ack round trip each — and the
+    interleaved slices then stream concurrently, each stripe retrying
+    and resuming at its own watermark.
+
     Raises
     ------
     RetryExhausted
         The fault-tolerant path failed more times than the policy allows.
     """
     check_positive_int("chunk_size", chunk_size)
+    check_positive_int("stripes", stripes)
+    check_positive_int("stripe_block", stripe_block)
     obs = registry if registry is not None else NULL_REGISTRY
     tl = timeline if timeline is not None else DISABLED_TIMELINE
     tx = obs.counter("lsl_tx_bytes_total", labels={"node": source_name})
     resume = header.option(ResumeOffset)
+    if stripes > 1:
+        if header.option(StripeOption) is not None:
+            raise ValueError(
+                "send_session attaches stripe options itself; the header "
+                "must not already carry one"
+            )
+        if resume is None:
+            header = header.with_options(
+                header.options + (ResumeOffset(total=len(payload)),)
+            )
+        elif resume.total != len(payload):
+            raise ValueError(
+                f"resume option total {resume.total} != payload "
+                f"{len(payload)} bytes"
+            )
+        return _striped_send(
+            payload, header, first_hop, chunk_size,
+            retry or RetryPolicy(), fault_plan, source_name, obs, tl,
+            stripes, stripe_block,
+        )
     if retry is None and resume is None:
         # legacy fire-and-forget: no resume protocol, but the initial
         # connect still gets the default policy's timeout and budget
@@ -1286,6 +1608,238 @@ def _attempt_resumable_send(
             raise TruncatedStream(
                 f"sink acknowledged {final} of {len(payload)} bytes"
             )
+
+
+class _StripeWorker:
+    """Source side of one striped sublink.
+
+    :meth:`handshake` (run serially by :func:`_striped_send`) opens the
+    connection and performs the header+ack round trip; :meth:`run` (one
+    thread per stripe) streams the slice from the acknowledged offset,
+    transparently re-handshaking on failure under the retry policy.
+    """
+
+    def __init__(
+        self,
+        payload_slice: bytes,
+        header: SessionHeader,
+        first_hop: tuple[str, int],
+        chunk_size: int,
+        policy: RetryPolicy,
+        fault_plan: FaultPlan | None,
+        source_name: str,
+        obs: Registry,
+        tl: SessionTimeline,
+        index: int,
+    ) -> None:
+        self._slice = payload_slice
+        self._header = header
+        self._first_hop = first_hop
+        self._chunk = chunk_size
+        self._policy = policy
+        self._fault_plan = fault_plan
+        self._source_name = source_name
+        self._tl = tl
+        self._tx = obs.counter(
+            "lsl_tx_bytes_total", labels={"node": source_name}
+        )
+        self.index = index
+        self.connects = 0
+        self.retransmitted = 0
+        self.high_water = 0
+        self.error: Exception | None = None
+        self._sock: socket.socket | None = None
+        self._start = 0
+        self._failures = 0
+
+    def _drop(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _failure(self, exc: Exception) -> None:
+        self._drop()
+        self._failures += 1
+        if self._failures > self._policy.max_retries:
+            raise RetryExhausted(
+                f"session {self._header.hex_id} stripe {self.index} failed "
+                f"after {self._policy.max_retries} retries: {exc}"
+            ) from exc
+        time.sleep(self._policy.delay(self._failures - 1))
+
+    def _connect(self) -> None:
+        sock = socket.create_connection(
+            self._first_hop, timeout=self._policy.connect_timeout
+        )
+        try:
+            sock.settimeout(self._policy.io_timeout)
+            _cap_buffers(sock)
+            self._tl.record(
+                "connect", node=self._source_name, stream=STREAM_DOWN,
+                session=self._header.hex_id,
+            )
+            self._tl.record(
+                "header_tx", node=self._source_name, stream=STREAM_DOWN,
+                session=self._header.hex_id,
+            )
+            encoded = self._header.encode()
+            if self._fault_plan is not None:
+                encoded = self._fault_plan.corrupt_header(
+                    self._source_name, encoded
+                )
+            sock.sendall(encoded)
+            ack = RESUME_ACK.unpack(_read_exact(sock, RESUME_ACK.size))[0]
+        except BaseException:
+            try:
+                sock.close()
+            except OSError:
+                pass
+            raise
+        if ack > len(self._slice):
+            try:
+                sock.close()
+            except OSError:
+                pass
+            raise ValueError(
+                f"stripe {self.index} peer acknowledged {ack} bytes of a "
+                f"{len(self._slice)}-byte slice"
+            )
+        if ack > 0:
+            self._tl.record(
+                "resume", node=self._source_name, stream=STREAM_DOWN,
+                session=self._header.hex_id, nbytes=ack,
+                detail=f"stripe={self.index}",
+            )
+        self._sock = sock
+        self._start = ack
+        self.connects += 1
+
+    def handshake(self) -> None:
+        """Connect and complete the header+ack round trip (with retry)."""
+        while self._sock is None:
+            try:
+                self._connect()
+            except (ConnectionError, OSError) as exc:
+                self._failure(exc)
+
+    def run(self) -> None:
+        """Stream the slice to completion; stores failures in ``error``."""
+        try:
+            while True:
+                try:
+                    if self._sock is None:
+                        self._connect()
+                    sock = self._sock
+                    for off in range(self._start, len(self._slice),
+                                     self._chunk):
+                        chunk = self._slice[off : off + self._chunk]
+                        sock.sendall(chunk)
+                        self._tx.inc(len(chunk))
+                        end = off + len(chunk)
+                        self.retransmitted += max(
+                            0, min(end, self.high_water) - off
+                        )
+                        self.high_water = max(self.high_water, end)
+                    sock.shutdown(socket.SHUT_WR)
+                    final = RESUME_ACK.unpack(
+                        _read_exact(sock, RESUME_ACK.size)
+                    )[0]
+                    if final != len(self._slice):
+                        raise TruncatedStream(
+                            f"stripe {self.index} acknowledged {final} of "
+                            f"{len(self._slice)} bytes"
+                        )
+                    return
+                except (ConnectionError, OSError) as exc:
+                    self._failure(exc)
+        except Exception as exc:
+            # held for _striped_send to re-raise after every thread joins
+            self.error = exc
+            self._tl.record(
+                "error", node=self._source_name, stream=STREAM_DOWN,
+                session=self._header.hex_id,
+                detail=f"stripe={self.index}: {exc}",
+            )
+        finally:
+            self._drop()
+
+
+def _striped_send(
+    payload: bytes,
+    header: SessionHeader,
+    first_hop: tuple[str, int],
+    chunk_size: int,
+    policy: RetryPolicy,
+    fault_plan: FaultPlan | None,
+    source_name: str,
+    obs: Registry,
+    tl: SessionTimeline,
+    stripes: int,
+    block: int,
+) -> SendReport:
+    """Drive one session over N striped sublinks (source side)."""
+    workers = [
+        _StripeWorker(
+            _stripe_slice(payload, k, stripes, block),
+            header.with_options(
+                header.options
+                + (StripeOption(index=k, count=stripes, block=block),)
+            ),
+            first_hop, chunk_size, policy, fault_plan, source_name,
+            obs, tl, k,
+        )
+        for k in range(stripes)
+    ]
+    t0 = time.monotonic()
+    try:
+        # Serialized handshakes: one blocking header+ack round trip per
+        # stripe, the setup cost the striped transfer-time model prices.
+        for worker in workers:
+            worker.handshake()
+    except BaseException:
+        for worker in workers:
+            worker._drop()
+        raise
+    threads = [
+        threading.Thread(
+            target=worker.run,
+            name=f"lsl:{source_name}:stripe{worker.index}",
+            daemon=True,
+        )
+        for worker in workers
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    errors = [w.error for w in workers if w.error is not None]
+    if errors:
+        # each failed stripe already recorded its own "error" event
+        raise errors[0]
+    report = SendReport(
+        attempts=sum(w.connects for w in workers),
+        retransmitted=sum(w.retransmitted for w in workers),
+        payload_bytes=len(payload),
+        high_water=sum(w.high_water for w in workers),
+    )
+    tl.record(
+        "complete", node=source_name, stream=STREAM_DOWN,
+        session=header.hex_id, nbytes=len(payload),
+        detail=f"stripes={stripes}",
+    )
+    elapsed = time.monotonic() - t0
+    obs.histogram(
+        "lsl_session_seconds", labels={"node": source_name}
+    ).observe(elapsed)
+    if elapsed > 0:
+        obs.gauge(
+            "lsl_session_throughput_bytes_per_sec",
+            labels={"node": source_name},
+        ).set(len(payload) / elapsed)
+    return report
 
 
 def fetch_pickup(

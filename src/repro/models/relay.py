@@ -25,6 +25,7 @@ trace-level analyses.)
 from __future__ import annotations
 
 import math
+from dataclasses import replace
 
 from repro.models.transfer_time import (
     steady_state_rate,
@@ -84,6 +85,92 @@ def relay_transfer_time(
     # the final byte crosses every hop at-or-after the bottleneck
     tail = sum(p.one_way_delay for p in paths[bottleneck_idx:])
     return completion + tail
+
+
+def stripe_share(path: PathSpec, stripes: int) -> PathSpec:
+    """The slice of a hop one of ``stripes`` parallel sublinks sees.
+
+    GridFTP-style striping opens N TCP connections over the same
+    physical hop: each gets an equal share of the raw bandwidth and of
+    the socket buffers (so the per-flow window limit splits too), while
+    the propagation delay and loss process are properties of the path
+    itself and stay whole.  Crucially the *loss-limited* rate of one
+    Reno flow (``mss/rtt * C/sqrt(p)``) does not split — that is the
+    aggregation win parallel streams are used for.
+    """
+    check_positive("stripes", stripes)
+    if stripes == 1:
+        return path
+    return replace(
+        path,
+        bandwidth=path.bandwidth / stripes,
+        send_buffer=max(1, path.send_buffer // stripes),
+        recv_buffer=max(1, path.recv_buffer // stripes),
+    )
+
+
+def striped_relay_transfer_time(
+    paths: list[PathSpec],
+    size: int,
+    stripes: int,
+    config: TcpConfig | None = None,
+) -> float:
+    """Completion time of a relay whose every hop runs N striped sublinks.
+
+    Each stripe carries an interleaved ``1/N`` slice of the payload over
+    its own TCP connection.  The sender performs the per-stripe resume
+    handshakes serially (one blocking header+ack round trip each, as the
+    socket transport does), so stripe ``k`` starts ``k`` first-hop RTTs
+    late; the session completes when the *last* stripe's slice drains.
+    The crossover this prices: small transfers pay the serialized
+    handshakes without amortizing them, large transfers on lossy paths
+    gain up to N times the loss-limited per-flow rate.
+    """
+    check_positive("stripes", stripes)
+    if stripes == 1:
+        return relay_transfer_time(paths, size, config)
+    if not paths:
+        raise ValueError("at least one path is required")
+    check_positive("size", size)
+    per_stripe = [stripe_share(p, stripes) for p in paths]
+    slice_size = max(1, math.ceil(size / stripes))
+    setup = (stripes - 1) * paths[0].rtt
+    return setup + relay_transfer_time(per_stripe, slice_size, config)
+
+
+def striped_crossover_size(
+    paths: list[PathSpec],
+    stripes: int,
+    config: TcpConfig | None = None,
+    lo: int = 1 << 10,
+    hi: int = 1 << 32,
+) -> float:
+    """Smallest size (bytes) at which ``stripes`` sublinks beat one.
+
+    Bisects the transfer size between ``lo`` and ``hi``; returns
+    ``math.inf`` when striping never wins in that range (e.g. a
+    loss-free, bandwidth-limited path) and ``float(lo)`` when it always
+    does.
+    """
+    check_positive("stripes", stripes)
+
+    def striped_wins(size: int) -> bool:
+        return striped_relay_transfer_time(
+            paths, size, stripes, config
+        ) < relay_transfer_time(paths, size, config)
+
+    if striped_wins(lo):
+        return float(lo)
+    if not striped_wins(hi):
+        return math.inf
+    lo_b, hi_b = lo, hi
+    while hi_b - lo_b > max(1, lo_b // 256):
+        mid = (lo_b + hi_b) // 2
+        if striped_wins(mid):
+            hi_b = mid
+        else:
+            lo_b = mid
+    return float(hi_b)
 
 
 def relay_effective_bandwidth(

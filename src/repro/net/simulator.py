@@ -123,6 +123,44 @@ class FaultedTransferResult(TransferResult):
 
 
 @dataclass
+class StagingResult(TransferResult):
+    """A :class:`TransferResult` for a multicast staging operation.
+
+    ``size`` is the payload size (each node receives a full copy);
+    ``duration`` is the virtual time at which the *last* node completed.
+
+    Attributes
+    ----------
+    node_times:
+        Virtual completion time of every tree node, in delivery order.
+    failovers:
+        Branch re-grafts performed (0 or 1 in this runner).
+    failed_node:
+        Name of the depot that died mid-staging ("" = clean run).
+    orphan:
+        Name of the node whose delivery was interrupted.
+    resumed_from:
+        The nearest surviving ancestor the orphan re-grafted to.
+    staged_at_failover:
+        Bytes the orphan held when its chain died — the watermark the
+        re-grafted delivery resumed from.
+    handoff_time:
+        Virtual time of the failover.
+    stripes:
+        Striped sublinks per hop (1 = single stream).
+    """
+
+    node_times: dict[str, float] = field(default_factory=dict)
+    failovers: int = 0
+    failed_node: str = ""
+    orphan: str = ""
+    resumed_from: str = ""
+    staged_at_failover: float = 0.0
+    handoff_time: float = 0.0
+    stripes: int = 1
+
+
+@dataclass
 class FailoverTransferResult(TransferResult):
     """A :class:`TransferResult` for a transfer that switched routes.
 
@@ -421,6 +459,78 @@ class NetworkSimulator:
             traces=traces,
             loss_events=pipeline.total_loss_events(),
             depot_peaks=[d.peak_occupancy for d in pipeline.depots],
+        )
+
+    def run_striped_relay(
+        self,
+        paths: list[PathSpec],
+        size: int,
+        stripes: int,
+        depot_capacities: list[int] | None = None,
+        max_time: float = 3600.0,
+        configs: list[TcpConfig] | None = None,
+    ) -> TransferResult:
+        """Transfer ``size`` bytes over ``stripes`` parallel sublinks per hop.
+
+        The fluid mirror of the socket transport's striped sessions:
+        every hop's bandwidth and socket buffers split ``stripes`` ways
+        (:func:`~repro.models.relay.stripe_share` — the loss-limited
+        per-flow rate does *not* split, which is the aggregation win),
+        each stripe carries an equal slice of the payload, and the
+        serialized per-stripe resume handshakes stagger stripe ``k``'s
+        start by ``k`` first-hop RTTs.  The transfer completes when the
+        last stripe's slice drains.
+
+        ``stripes == 1`` degenerates to :meth:`run_relay`.
+        """
+        from repro.models.relay import stripe_share
+
+        check_positive("stripes", stripes)
+        if stripes == 1:
+            return self.run_relay(
+                paths,
+                size,
+                depot_capacities=depot_capacities,
+                record_trace=False,
+                max_time=max_time,
+                configs=configs,
+            )
+        shared = [stripe_share(p, stripes) for p in paths]
+        slice_sizes = [
+            size // stripes + (1 if k < size % stripes else 0)
+            for k in range(stripes)
+        ]
+        dt = self.dt if self.dt is not None else choose_dt(shared)
+        setup = paths[0].rtt
+        duration = 0.0
+        loss = 0
+        peaks: list[float] = []
+        for k, slice_size in enumerate(slice_sizes):
+            pipeline = RelayPipeline(
+                shared,
+                max(1, slice_size),
+                config=self.config,
+                depot_capacities=depot_capacities,
+                rng=self._next_rng(),
+                record_trace=False,
+                configs=configs,
+            )
+            dur = pipeline.run(dt, max_time=max_time)
+            duration = max(duration, k * setup + dur)
+            loss += pipeline.total_loss_events()
+            if pipeline.depots:
+                if not peaks:
+                    peaks = [0.0] * len(pipeline.depots)
+                # stripes share each depot, so occupancies add
+                peaks = [
+                    acc + d.peak_occupancy
+                    for acc, d in zip(peaks, pipeline.depots)
+                ]
+        return TransferResult(
+            size=int(size),
+            duration=duration,
+            loss_events=loss,
+            depot_peaks=peaks,
         )
 
     def run_relay_with_faults(
@@ -1002,6 +1112,237 @@ class NetworkSimulator:
             primary_route=list(names),
             fallback_route=list(fnames),
         )
+
+    def run_staging_with_failover(
+        self,
+        node_names: list[str],
+        parents: list[int],
+        edge_paths: dict[tuple[str, str], PathSpec],
+        size: int,
+        fail_node: str | None = None,
+        fail_during: str | None = None,
+        fail_after_bytes: float = 0.0,
+        stripes: int = 1,
+        source_name: str = "source",
+        max_time: float = 3600.0,
+        timeline: SessionTimeline | None = None,
+        session: str = "",
+    ) -> StagingResult:
+        """Multicast staging down a depot tree, with an optional depot kill.
+
+        The virtual-time mirror of
+        :class:`repro.lsl.multicast_failover.MulticastFailoverSender`:
+        nodes are delivered parents-before-children, and because every
+        already-staged ancestor holds a complete retained ledger, each
+        delivery moves payload across exactly one edge — from the node's
+        nearest surviving ancestor (the source, for the root).  Deliveries
+        are sequential in virtual time, as the socket sender's are.
+
+        ``node_names``/``parents`` describe the tree (``parents[0] ==
+        -1``, parents before children); ``edge_paths`` maps
+        ``(upstream_name, node_name)`` to the :class:`PathSpec` of that
+        delivery edge and must cover ``(source_name, root)``, every tree
+        edge, and any re-graft edge a failover needs.
+
+        With ``fail_node`` given, that depot dies once the delivery to
+        ``fail_during`` (a strict descendant) has moved
+        ``fail_after_bytes`` payload bytes: the broken chain's nodes log
+        server-side ``error`` events, the source logs a session-scoped
+        ``error`` and a ``failover`` naming the branch and the avoided
+        host, and the orphaned delivery resumes from its staged
+        watermark via the nearest surviving ancestor.  Later deliveries
+        route around the dead depot up front (the avoided set persists),
+        so sibling branches simply never touch it.
+
+        With ``stripes > 1`` each delivery runs as that many striped
+        sublinks (:func:`~repro.models.relay.stripe_share` shares, one
+        RTT of serialized handshake stagger per extra stripe); the
+        timeline then mirrors one representative stripe per hop and
+        byte thresholds are interpreted as absolute session bytes.
+        """
+        check_positive("size", size)
+        check_positive("stripes", stripes)
+        if len(node_names) != len(parents):
+            raise ValueError("one parent index per node required")
+        if not node_names:
+            raise ValueError("the staging tree is empty")
+        if parents[0] != -1:
+            raise ValueError("node 0 must be the root (parent -1)")
+        for i, parent in enumerate(parents[1:], start=1):
+            if not (0 <= parent < i):
+                raise ValueError(
+                    f"node {i} references parent {parent} at or after itself"
+                )
+        if (fail_node is None) != (fail_during is None):
+            raise ValueError(
+                "fail_node and fail_during must be given together"
+            )
+        index_of = {name: i for i, name in enumerate(node_names)}
+        if fail_node is not None:
+            if fail_node not in index_of or fail_during not in index_of:
+                raise ValueError(
+                    f"fail_node {fail_node!r} and fail_during "
+                    f"{fail_during!r} must name tree nodes"
+                )
+            check_positive("fail_after_bytes", fail_after_bytes)
+            ancestor = parents[index_of[fail_during]]
+            chain = set()
+            while ancestor >= 0:
+                chain.add(node_names[ancestor])
+                ancestor = parents[ancestor]
+            if fail_node not in chain:
+                raise ValueError(
+                    f"{fail_node!r} is not an ancestor of {fail_during!r}; "
+                    f"its death would not orphan that branch"
+                )
+
+        def edge(a: str, b: str) -> PathSpec:
+            path = edge_paths.get((a, b))
+            if path is None:
+                raise ValueError(f"no PathSpec for staging edge {a} -> {b}")
+            return path
+
+        from repro.models.relay import stripe_share
+
+        def delivery_path(a: str, b: str) -> PathSpec:
+            path = edge(a, b)
+            return path if stripes == 1 else stripe_share(path, stripes)
+
+        # representative-stripe slice of a byte quantity
+        def rep(nbytes: float) -> float:
+            return nbytes / stripes
+
+        setup = float(stripes - 1)  # multiplied by the edge RTT below
+        dead: set[str] = set()
+        dt = self.dt if self.dt is not None else min(
+            choose_dt([p]) for p in edge_paths.values()
+        )
+        result = StagingResult(size=int(size), duration=0.0, stripes=stripes)
+        now = 0.0
+        for i, name in enumerate(node_names):
+            # nearest surviving ancestor streams this delivery
+            j = parents[i]
+            while j >= 0 and node_names[j] in dead:
+                j = parents[j]
+            upstream = node_names[j] if j >= 0 else source_name
+            path = delivery_path(upstream, name)
+            names = [upstream, name]
+            killing = fail_node is not None and name == fail_during
+            pipeline = RelayPipeline(
+                [path],
+                max(1.0, rep(size)),
+                config=self.config,
+                rng=self._next_rng(),
+                record_trace=False,
+            )
+            emitter = (
+                _TimelineEmitter(
+                    pipeline, timeline, session=session,
+                    node_names=names, t_offset=now,
+                )
+                if timeline is not None
+                else None
+            )
+            if not killing:
+                dur = pipeline.run(
+                    dt,
+                    max_time=max_time - now,
+                    observer=(
+                        emitter.observe if emitter is not None else None
+                    ),
+                )
+                now += dur + setup * edge(upstream, name).rtt
+                result.node_times[name] = now
+                result.loss_events += pipeline.total_loss_events()
+                continue
+            # -- the depot kill: run until the fault point, hand off ----
+            threshold = rep(fail_after_bytes)
+            pnow = 0.0
+            while True:
+                pnow += dt
+                if now + pnow > max_time:
+                    raise RuntimeError(
+                        f"staging did not reach the fault point within "
+                        f"{max_time}s simulated"
+                    )
+                pipeline.step(pnow, dt)
+                if emitter is not None:
+                    emitter.observe(pnow)
+                if pipeline.flows[0].delivered >= threshold:
+                    break
+                if pipeline.complete:
+                    raise ValueError(
+                        f"delivery to {name!r} completed before "
+                        f"{fail_after_bytes} bytes; lower fail_after_bytes"
+                    )
+            staged = float(pipeline.flows[0].delivered)
+            handoff = now + pnow
+            dead.add(fail_node)
+            # the orphan re-grafts to its nearest surviving ancestor
+            j = parents[i]
+            while j >= 0 and node_names[j] in dead:
+                j = parents[j]
+            survivor = node_names[j] if j >= 0 else source_name
+            if timeline is not None:
+                # server-side errors carry no session id (the socket
+                # transport's handlers record them outside session scope)
+                for broken in (fail_node, name):
+                    timeline.record(
+                        "error", node=broken, stream=STREAM_UP,
+                        session="", t=handoff,
+                        detail=f"{fail_node} died mid-staging",
+                    )
+                timeline.record(
+                    "error", node=source_name, stream=STREAM_DOWN,
+                    session=session, t=handoff,
+                    detail=f"branch {name} through {fail_node} failed",
+                )
+                timeline.record(
+                    "failover", node=source_name, stream=STREAM_DOWN,
+                    session=session, t=handoff,
+                    detail=f"branch={name} avoid={fail_node}",
+                )
+            regraft = delivery_path(survivor, name)
+            fallback = RelayPipeline(
+                [regraft],
+                max(1.0, rep(size) - staged),
+                config=self.config,
+                rng=self._next_rng(),
+                record_trace=False,
+            )
+            emitter2 = (
+                _TimelineEmitter(
+                    fallback,
+                    timeline,
+                    session=session,
+                    node_names=[survivor, name],
+                    staged={survivor: rep(size), name: staged},
+                    t_offset=handoff,
+                    total=rep(size),
+                )
+                if timeline is not None
+                else None
+            )
+            tail = fallback.run(
+                dt,
+                max_time=max_time - handoff,
+                observer=(
+                    emitter2.observe if emitter2 is not None else None
+                ),
+            )
+            now = handoff + tail + setup * edge(survivor, name).rtt
+            result.node_times[name] = now
+            result.loss_events += (
+                pipeline.total_loss_events() + fallback.total_loss_events()
+            )
+            result.failovers += 1
+            result.failed_node = fail_node
+            result.orphan = name
+            result.resumed_from = survivor
+            result.staged_at_failover = min(staged * stripes, float(size))
+            result.handoff_time = handoff
+        result.duration = now
+        return result
 
     def compare_recovery(
         self,

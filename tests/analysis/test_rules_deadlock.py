@@ -15,7 +15,7 @@ SEEDED_METHOD = '''\
 
 '''
 
-ANCHOR = "    def _ledger_for(self, hex_id: str, total: int)"
+ANCHOR = "    def _ledger_for(\n"
 
 
 def test_inversions_match_annotations(expect_findings):

@@ -203,3 +203,37 @@ class TestSuiteSmoke:
         full = report.result("reroute.full_rebuild.n120").value
         assert inc < full
         assert report.result("reroute.speedup.n120").value > 1.0
+
+
+class TestMulticastWorkload:
+    """The striped-staging workload added with the multicast failover PR."""
+
+    @pytest.fixture(scope="class")
+    def mc_report(self):
+        return run_suite(smoke=True, only=("multicast",))
+
+    def test_metric_names_present(self, mc_report):
+        names = {r.name for r in mc_report.results}
+        assert names == {
+            "multicast.striped.speedup.x4",
+            "multicast.striped.crossover.x4",
+            "multicast.staging.model",
+            "multicast.stage.wall",
+        }
+
+    def test_striping_wins_on_the_wan_workload(self, mc_report):
+        speedup = mc_report.result("multicast.striped.speedup.x4")
+        assert speedup.kind == "ratio"
+        assert speedup.value > 1.0
+
+    def test_crossover_is_a_finite_byte_count(self, mc_report):
+        crossover = mc_report.result("multicast.striped.crossover.x4")
+        assert crossover.unit == "bytes"
+        # striping must lose below it and win above it, so the search
+        # has to land strictly inside the probed range
+        assert 0 < crossover.value < 1 << 30
+
+    def test_real_socket_staging_completes(self, mc_report):
+        wall = mc_report.result("multicast.stage.wall")
+        assert wall.kind == "wall"
+        assert wall.value > 0.0

@@ -426,6 +426,35 @@ class TestChaos:
         assert rc == 2
         assert "episodes" in capsys.readouterr().err
 
+    def test_multicast_topology_soaks_staging_trees(self, capsys):
+        rc = main(
+            [
+                "chaos",
+                "--topology",
+                "multicast",
+                "--tree-nodes",
+                "3",
+                "--episodes",
+                "1",
+                "--seed",
+                "11",
+                "--stack",
+                "simulator",
+                "--max-size-kb",
+                "128",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "tree=" in out
+
+    def test_invalid_tree_nodes_is_a_usage_error(self, capsys):
+        rc = main(
+            ["chaos", "--topology", "multicast", "--tree-nodes", "1"]
+        )
+        assert rc == 2
+        assert "tree_nodes" in capsys.readouterr().err
+
 
 class TestDepotSigterm:
     def test_sigterm_flushes_metrics(self, tmp_path):

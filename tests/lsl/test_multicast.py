@@ -31,6 +31,20 @@ class TestStagingTree:
         with pytest.raises(ValueError, match="twice"):
             StagingTree.from_parent_map(ROOT, {ROOT: [LEFT, LEFT]})
 
+    def test_unreachable_adjacency_key_rejected(self):
+        # a children_of key that never connects to the root used to be
+        # silently dropped, losing its whole subtree from the wire tree
+        with pytest.raises(ValueError, match="unreachable"):
+            StagingTree.from_parent_map(
+                ROOT, {ROOT: [LEFT], RIGHT: [DEEP]}
+            )
+
+    def test_wide_tree_builds_in_bfs_order(self):
+        hosts = [(f"10.1.{i // 200}.{i % 200}", 9000) for i in range(600)]
+        t = StagingTree.from_parent_map(ROOT, {ROOT: hosts})
+        assert len(t) == 601
+        assert t.children_of(0) == list(range(1, 601))
+
     def test_option_roundtrip(self):
         t = simple_tree()
         restored = StagingTree.from_option(
@@ -83,6 +97,25 @@ class TestSimulateStaging:
         with pytest.raises(ValueError):
             simulate_staging(simple_tree(), self.make_depots(), b"")
 
+    def test_deep_chain_does_not_recurse(self):
+        # the traversal used to be recursive and blew the interpreter
+        # stack on chains deeper than the recursion limit
+        n = 2000
+        addrs = [(f"10.{i >> 8 & 0xFF}.{i & 0xFF}.1", 9000) for i in range(n)]
+        tree = StagingTree(
+            nodes=tuple(
+                (i - 1, addr[0], addr[1]) for i, addr in enumerate(addrs)
+            )
+        )
+        payload = b"deep" * 64
+        depots = {
+            addr: Depot(DepotConfig(name=str(addr), capacity=1 << 20))
+            for addr in addrs
+        }
+        received = simulate_staging(tree, depots, payload)
+        assert len(received) == n
+        assert all(copy == payload for copy in received.values())
+
 
 class TestStagingTimeModel:
     def path_spec_of(self, a, b):
@@ -108,6 +141,40 @@ class TestStagingTimeModel:
             deep, self.path_spec_of, size
         ) > staging_time_model(shallow, self.path_spec_of, size)
 
-    def test_root_only_tree_is_instant(self):
+    def test_root_only_tree_rejected(self):
+        # a root-only tree has no edges to stage over: the old model
+        # silently returned 0.0, hiding a degenerate tree from callers
         t = StagingTree.from_parent_map(ROOT, {})
-        assert staging_time_model(t, self.path_spec_of, 1 << 20) == 0.0
+        with pytest.raises(ValueError, match="no edges"):
+            staging_time_model(t, self.path_spec_of, 1 << 20)
+
+    def test_missing_edge_spec_names_the_edge(self):
+        def gappy(a, b):
+            if b == DEEP:
+                return None
+            return self.path_spec_of(a, b)
+
+        with pytest.raises(ValueError, match=r"10\.0\.0\.4"):
+            staging_time_model(simple_tree(), gappy, 1 << 20)
+
+    def test_striped_staging_beats_single_on_lossy_tree(self):
+        lossy = PathSpec.from_mbit(60, 200, loss_rate=1e-3)
+        single = staging_time_model(
+            simple_tree(), lambda a, b: lossy, 32 << 20
+        )
+        striped = staging_time_model(
+            simple_tree(), lambda a, b: lossy, 32 << 20, stripes=4
+        )
+        assert striped < single
+
+    def test_striping_hurts_tiny_payloads(self):
+        # below the crossover the (N-1) serialized handshake RTTs
+        # dominate any aggregation win
+        lossy = PathSpec.from_mbit(60, 200, loss_rate=1e-3)
+        single = staging_time_model(
+            simple_tree(), lambda a, b: lossy, 64 << 10
+        )
+        striped = staging_time_model(
+            simple_tree(), lambda a, b: lossy, 64 << 10, stripes=4
+        )
+        assert striped > single

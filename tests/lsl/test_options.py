@@ -204,3 +204,130 @@ class TestResumeOffset:
             ResumeOffset(total=999, offset=42),
         ]
         assert decode_options(encode_options(opts)) == opts
+
+
+class TestStripeOption:
+    def test_roundtrip(self):
+        from repro.lsl.options import StripeOption
+
+        opt = StripeOption(index=3, count=8, block=64 << 10)
+        assert decode_options(encode_options([opt])) == [opt]
+
+    def test_default_block(self):
+        from repro.lsl.options import StripeOption
+
+        assert StripeOption(index=0, count=2).block == 16 << 10
+
+    def test_index_outside_count_rejected(self):
+        from repro.lsl.options import StripeOption
+
+        with pytest.raises(ValueError, match="outside"):
+            StripeOption(index=2, count=2)
+        with pytest.raises(ValueError, match="outside"):
+            StripeOption(index=-1, count=2)
+
+    def test_zero_count_rejected(self):
+        from repro.lsl.options import StripeOption
+
+        with pytest.raises(ValueError, match="count"):
+            StripeOption(index=0, count=0)
+
+    def test_zero_block_rejected(self):
+        from repro.lsl.options import StripeOption
+
+        with pytest.raises(ValueError, match="block"):
+            StripeOption(index=0, count=2, block=0)
+
+    def test_truncated_value_rejected(self):
+        from repro.lsl.options import StripeOption
+
+        wire = bytearray(encode_options([StripeOption(index=1, count=4)]))
+        wire[1:3] = (4).to_bytes(2, "big")  # claim a short value
+        with pytest.raises(ValueError, match="stripe option"):
+            decode_options(bytes(wire[: 3 + 4]))
+
+    @given(
+        index=st.integers(min_value=0, max_value=0xFFFE),
+        extra=st.integers(min_value=1, max_value=0xFF),
+        block=st.integers(min_value=1, max_value=0xFFFF_FFFF),
+    )
+    def test_roundtrip_property(self, index, extra, block):
+        from repro.lsl.options import StripeOption
+
+        opt = StripeOption(index=index, count=index + extra, block=block)
+        assert decode_options(encode_options([opt])) == [opt]
+
+
+class TestMulticastWireOptionsUnderCorruption:
+    """The full multicast option set survives encode/decode intact, and a
+    corrupted header is rejected loudly rather than misparsed."""
+
+    def full_option_set(self):
+        from repro.lsl.options import ResumeOffset, StripeOption
+
+        return [
+            MulticastTreeOption(
+                nodes=(
+                    (-1, "10.0.0.1", 9000),
+                    (0, "10.0.0.2", 9001),
+                    (1, "10.0.0.3", 9002),
+                )
+            ),
+            LooseSourceRoute(hops=(("10.0.0.1", 9000), ("10.0.0.2", 9001))),
+            ResumeOffset(total=1 << 20),
+            StripeOption(index=1, count=4, block=32 << 10),
+        ]
+
+    def test_full_set_roundtrips_in_a_header(self):
+        from repro.lsl.header import SessionHeader, SessionType, new_session_id
+
+        header = SessionHeader(
+            session_id=new_session_id(),
+            src_ip="127.0.0.1",
+            dst_ip="10.0.0.3",
+            src_port=0,
+            dst_port=9002,
+            session_type=SessionType.MULTICAST,
+            options=tuple(self.full_option_set()),
+        )
+        restored, consumed = SessionHeader.decode(header.encode())
+        assert consumed == len(header.encode())
+        assert restored.options == header.options
+        assert restored.session_type == SessionType.MULTICAST
+
+    def test_faultplan_corruption_is_rejected_not_misparsed(self):
+        from repro.lsl.faults import FaultKind, FaultPlan, FaultRule
+        from repro.lsl.header import SessionHeader, SessionType, new_session_id
+
+        header = SessionHeader(
+            session_id=new_session_id(),
+            src_ip="127.0.0.1",
+            dst_ip="10.0.0.3",
+            src_port=0,
+            dst_port=9002,
+            session_type=SessionType.MULTICAST,
+            options=tuple(self.full_option_set()),
+        )
+        plan = FaultPlan(
+            [FaultRule(site="source", kind=FaultKind.CORRUPT_HEADER)]
+        )
+        corrupted = plan.corrupt_header("source", header.encode())
+        assert corrupted != header.encode()
+        with pytest.raises(ValueError):
+            SessionHeader.decode(corrupted)
+        # the rule is consumed: the retry's header goes out clean
+        clean = plan.corrupt_header("source", header.encode())
+        assert SessionHeader.decode(clean)[0].options == header.options
+
+    def test_every_single_byte_flip_never_misparses_options(self):
+        # flip each option byte in turn: decode must either reject or
+        # reproduce a valid option list -- never crash some other way
+        opts = self.full_option_set()
+        wire = bytearray(encode_options(opts))
+        for i in range(len(wire)):
+            mutated = bytearray(wire)
+            mutated[i] ^= 0xFF
+            try:
+                decode_options(bytes(mutated))
+            except ValueError:
+                continue

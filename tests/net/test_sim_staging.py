@@ -1,0 +1,210 @@
+"""run_staging_with_failover and run_striped_relay contracts.
+
+The virtual-time mirrors of the socket-level multicast failover sender
+and striped sublinks: sequential parents-before-children deliveries
+over retained-ledger edges, optional mid-staging depot kill with
+re-graft to the nearest surviving ancestor, and GridFTP-style striping
+with its handshake-stagger cost.
+"""
+
+import pytest
+
+from repro.net.simulator import NetworkSimulator, StagingResult
+from repro.net.topology import PathSpec
+from repro.obs.timeline import SessionTimeline
+
+SPEC = PathSpec(rtt=0.02, bandwidth=1e7)
+SIZE = 2 << 20
+
+# root -> relay -> leafA, root -> leafB
+NAMES = ["root", "relay", "leafA", "leafB"]
+PARENTS = [-1, 0, 1, 0]
+
+
+def full_mesh(names, source="source"):
+    """A PathSpec for every possible delivery edge, re-grafts included."""
+    uppers = [source, *names]
+    return {(a, b): SPEC for a in uppers for b in names if a != b}
+
+
+def run(sim=None, timeline=None, session="mc", **overrides):
+    sim = sim or NetworkSimulator(seed=3)
+    kwargs = dict(
+        node_names=NAMES,
+        parents=PARENTS,
+        edge_paths=full_mesh(NAMES),
+        size=SIZE,
+        timeline=timeline,
+        session=session,
+    )
+    kwargs.update(overrides)
+    return sim.run_staging_with_failover(**kwargs)
+
+
+class TestCleanStaging:
+    def test_result_shape(self):
+        result = run()
+        assert isinstance(result, StagingResult)
+        assert result.failovers == 0
+        assert result.failed_node == ""
+        assert result.size == SIZE
+        assert list(result.node_times) == NAMES
+
+    def test_deliveries_are_sequential(self):
+        times = list(run().node_times.values())
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_duration_scales_with_tree_size(self):
+        small = run(node_names=["root"], parents=[-1],
+                    edge_paths=full_mesh(["root"]))
+        assert run().node_times["leafB"] > small.node_times["root"]
+
+
+class TestDepotKill:
+    def kill(self, timeline=None, **overrides):
+        return run(
+            timeline=timeline,
+            fail_node="relay",
+            fail_during="leafA",
+            fail_after_bytes=256 << 10,
+            **overrides,
+        )
+
+    def test_orphan_resumes_from_surviving_ancestor(self):
+        result = self.kill()
+        assert result.failovers == 1
+        assert result.failed_node == "relay"
+        assert result.orphan == "leafA"
+        assert result.resumed_from == "root"
+        assert result.staged_at_failover >= 256 << 10
+        assert result.staged_at_failover < SIZE
+        assert 0.0 < result.handoff_time < result.node_times["leafA"]
+
+    def test_pre_kill_deliveries_match_the_clean_run(self):
+        clean = run()
+        killed = self.kill()
+        # the kill fires during leafA's delivery: everything staged
+        # before it is bit-identical to a clean run with the same seed
+        for name in ("root", "relay"):
+            assert killed.node_times[name] == clean.node_times[name]
+        assert killed.node_times["leafA"] > clean.node_times["leafA"]
+
+    def test_later_siblings_route_around_the_dead_depot(self):
+        # leafB hangs off the root, so the dead relay never delays it
+        result = self.kill()
+        assert result.node_times["leafB"] > result.node_times["leafA"]
+
+    def test_timeline_records_the_failover_protocol(self):
+        timeline = SessionTimeline()
+        self.kill(timeline=timeline, session="mc")
+        failovers = [
+            e for e in timeline.events() if e.event == "failover"
+        ]
+        assert len(failovers) == 1
+        assert failovers[0].node == "source"
+        assert failovers[0].detail == "branch=leafA avoid=relay"
+        assert failovers[0].session == "mc"
+        # server-side errors carry no session id, mirroring the socket
+        # depots' handler-scope records
+        server_errors = [
+            e
+            for e in timeline.events()
+            if e.event == "error" and e.session == ""
+        ]
+        assert {e.node for e in server_errors} == {"relay", "leafA"}
+        source_errors = [
+            e
+            for e in timeline.events(session="mc")
+            if e.event == "error"
+        ]
+        assert len(source_errors) == 1
+        assert "leafA" in source_errors[0].detail
+        assert "relay" in source_errors[0].detail
+
+    def test_striped_kill_resumes_too(self):
+        result = self.kill(stripes=4)
+        assert result.stripes == 4
+        assert result.failovers == 1
+        assert result.staged_at_failover >= 256 << 10
+
+
+class TestValidation:
+    def test_root_parent_must_be_minus_one(self):
+        with pytest.raises(ValueError, match="root"):
+            run(parents=[0, 0, 1, 0])
+
+    def test_parents_must_precede_children(self):
+        with pytest.raises(ValueError, match="parent"):
+            run(parents=[-1, 3, 1, 0])
+
+    def test_fail_args_must_come_together(self):
+        with pytest.raises(ValueError, match="together"):
+            run(fail_node="relay")
+
+    def test_fail_node_must_be_an_ancestor_of_the_orphan(self):
+        with pytest.raises(ValueError, match="ancestor"):
+            run(
+                fail_node="leafB",
+                fail_during="leafA",
+                fail_after_bytes=1024,
+            )
+
+    def test_missing_regraft_edge_is_named(self):
+        paths = full_mesh(NAMES)
+        del paths[("source", "leafA")]
+        del paths[("root", "leafA")]
+        with pytest.raises(ValueError, match=r"root -> leafA"):
+            run(
+                edge_paths=paths,
+                fail_node="relay",
+                fail_during="leafA",
+                fail_after_bytes=256 << 10,
+            )
+
+    def test_completing_before_the_fault_point_is_an_error(self):
+        with pytest.raises(ValueError, match="lower fail_after_bytes"):
+            run(
+                fail_node="relay",
+                fail_during="leafA",
+                fail_after_bytes=SIZE * 2,
+            )
+
+
+class TestStripedRelay:
+    PATHS = [PathSpec.from_mbit(rtt_ms=60, mbit_per_sec=200,
+                                loss_rate=1e-3)] * 2
+
+    def test_single_stripe_degenerates_to_run_relay(self):
+        striped = NetworkSimulator(seed=5).run_striped_relay(
+            self.PATHS, SIZE, stripes=1
+        )
+        plain = NetworkSimulator(seed=5).run_relay(
+            self.PATHS, SIZE, record_trace=False
+        )
+        assert striped.duration == plain.duration
+
+    def test_striping_wins_on_large_lossy_transfers(self):
+        size = 32 << 20
+        single = NetworkSimulator(seed=5).run_striped_relay(
+            self.PATHS, size, stripes=1
+        )
+        striped = NetworkSimulator(seed=5).run_striped_relay(
+            self.PATHS, size, stripes=4
+        )
+        assert striped.duration < single.duration
+
+    def test_handshake_stagger_hurts_tiny_transfers(self):
+        size = 64 << 10
+        single = NetworkSimulator(seed=5).run_striped_relay(
+            self.PATHS, size, stripes=1
+        )
+        striped = NetworkSimulator(seed=5).run_striped_relay(
+            self.PATHS, size, stripes=4
+        )
+        assert striped.duration > single.duration
+
+    def test_stripes_must_be_positive(self):
+        with pytest.raises(ValueError):
+            NetworkSimulator(seed=5).run_striped_relay(
+                self.PATHS, SIZE, stripes=0
+            )

@@ -39,6 +39,12 @@ class TestChaosConfig:
         with pytest.raises(ValueError):
             ChaosConfig(stacks=())
 
+    def test_invalid_topology_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(topology="ring")
+        with pytest.raises(ValueError):
+            ChaosConfig(topology="multicast", tree_nodes=1)
+
 
 class TestShortSoak:
     def test_socket_stack_holds_invariants(self):
@@ -99,6 +105,40 @@ class TestShortSoak:
         )
         assert not report.ok
         assert report.violations == ["episode 0 (socket, seed=42): boom"]
+
+
+class TestMulticastSoak:
+    """Randomized staging trees under fault schedules, both stacks."""
+
+    MC = dict(topology="multicast", tree_nodes=3, **QUICK)
+
+    def test_socket_trees_hold_invariants(self):
+        report = run_chaos(
+            ChaosConfig(seed=11, stacks=("socket",), **self.MC)
+        )
+        assert len(report.episodes) == 2
+        assert report.ok, report.violations
+
+    def test_simulator_trees_hold_invariants(self):
+        report = run_chaos(
+            ChaosConfig(seed=11, stacks=("simulator",), **self.MC)
+        )
+        assert len(report.episodes) == 2
+        assert report.ok, report.violations
+
+    def test_episodes_record_the_tree_shape(self):
+        report = run_chaos(
+            ChaosConfig(seed=4, stacks=("socket",), **self.MC)
+        )
+        for episode in report.episodes:
+            assert any(f.startswith("tree=") for f in episode.faults)
+
+    def test_same_seed_reproduces_the_trees(self):
+        a = run_chaos(ChaosConfig(seed=6, stacks=("socket",), **self.MC))
+        b = run_chaos(ChaosConfig(seed=6, stacks=("socket",), **self.MC))
+        assert [e.faults for e in a.episodes] == [
+            e.faults for e in b.episodes
+        ]
 
 
 @pytest.mark.chaos
